@@ -1,0 +1,162 @@
+// Command edisql is an interactive SQL shell over the EdiFlow embedded
+// database.
+//
+//	edisql [-db /path/to/dbdir] [-c "SELECT ..."]
+//
+// Meta commands: .tables, .views, .schema <table>, .checkpoint, .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ediflow"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (empty = in-memory)")
+	command := flag.String("c", "", "execute one statement and exit")
+	flag.Parse()
+
+	p, err := ediflow.Open(*dbDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	if *command != "" {
+		if err := run(p, *command); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("EdiFlow SQL shell — .help for meta commands")
+	r := bufio.NewReader(os.Stdin)
+	var buf strings.Builder
+	for {
+		if buf.Len() == 0 {
+			fmt.Print("edisql> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			fmt.Println()
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if meta(p, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		if strings.HasSuffix(trimmed, ";") || trimmed == "" {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if stmt == "" {
+				continue
+			}
+			if err := run(p, stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+	}
+}
+
+// meta handles dot-commands; returns true to exit.
+func meta(p *ediflow.Platform, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Println(".tables  .views  .schema <table>  .processes  .instances  .checkpoint  .quit")
+	case ".processes":
+		if err := run(p, "SELECT name FROM "+ediflow.TableProcess+" ORDER BY name"); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+		}
+	case ".instances":
+		if err := run(p, "SELECT id, process, status, start_ts, end_ts FROM "+ediflow.TableProcessInstance+" ORDER BY id"); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+		}
+	case ".tables":
+		for _, t := range p.DB().TableNames() {
+			fmt.Println(t)
+		}
+	case ".views":
+		for _, v := range p.DB().Catalog().ViewNames() {
+			fmt.Println(v)
+		}
+	case ".schema":
+		if len(fields) < 2 {
+			fmt.Println("usage: .schema <table>")
+			return false
+		}
+		s, ok := p.DB().Catalog().Table(fields[1])
+		if !ok {
+			fmt.Printf("no such table %q\n", fields[1])
+			return false
+		}
+		for _, c := range s.Columns {
+			flags := ""
+			if c.PrimaryKey {
+				flags += " PRIMARY KEY"
+			}
+			if c.Unique {
+				flags += " UNIQUE"
+			}
+			if c.NotNull && !c.PrimaryKey {
+				flags += " NOT NULL"
+			}
+			fmt.Printf("  %s %s%s\n", c.Name, c.Type, flags)
+		}
+	case ".checkpoint":
+		if err := p.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		} else {
+			fmt.Println("checkpointed")
+		}
+	default:
+		fmt.Printf("unknown command %s (.help)\n", fields[0])
+	}
+	return false
+}
+
+func run(p *ediflow.Platform, sql string) error {
+	start := time.Now()
+	res, err := p.ExecScript(sql)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if res == nil {
+		return nil
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		fmt.Println(strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	} else {
+		fmt.Printf("ok (%d affected, %v)\n", res.Affected, elapsed.Round(time.Microsecond))
+	}
+	return nil
+}

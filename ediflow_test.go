@@ -1,0 +1,221 @@
+package ediflow
+
+import (
+	"testing"
+	"time"
+
+	"ediflow/internal/module"
+)
+
+func TestPlatformLifecycle(t *testing.T) {
+	p := MustOpenMemory(WithLogf(func(string, ...any) {}))
+	defer p.Close()
+	if _, err := p.Exec("CREATE TABLE t (a INT PRIMARY KEY, b STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec("INSERT INTO t VALUES (?, ?)", NewInt(1), NewString("x")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.QueryInt("SELECT COUNT(*) FROM t")
+	if err != nil || n != 1 {
+		t.Fatalf("%d, %v", n, err)
+	}
+}
+
+func TestPlatformDurable(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Exec("CREATE TABLE t (a INT)")
+	p.Exec("INSERT INTO t VALUES (7)")
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	n, _ := p2.QueryInt("SELECT a FROM t")
+	if n != 7 {
+		t.Fatalf("a = %d", n)
+	}
+}
+
+func TestPlatformEndToEndReactiveProcess(t *testing.T) {
+	// The full paper loop through the public API: a reactive process whose
+	// procedure recomputes visual attributes, a mirror watching them, and
+	// a data change propagated while the process runs.
+	updates := make(chan int64, 16)
+	hold := make(chan struct{})
+
+	const processXML = `
+<process name="recolorflow">
+  <relation name="points" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="v" type="float"/>
+  </relation>
+  <relation name="colored" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="v2" type="float"/>
+  </relation>
+  <function name="recolor" class="recolor"/>
+  <variable name="a" type="string"/>
+  <body>
+    <sequence>
+      <activity name="compute"><callFunction name="recolor" inputs="points" outputs="colored"/></activity>
+      <activity name="wait"><askUser prompt="hold" bindTo="a"/></activity>
+    </sequence>
+  </body>
+  <updatePropagation relation="points" activity="compute" scope="ta-rp"/>
+</process>`
+
+	agentCalled := make(chan struct{})
+	p := MustOpenMemory(
+		WithLogf(func(string, ...any) {}),
+		WithUserAgent(AgentFunc(func(prompt, group string) (string, error) {
+			close(agentCalled)
+			<-hold
+			return "done", nil
+		})),
+	)
+	defer p.Close()
+	p.Procedures().Register("recolor", func() Procedure {
+		return &module.Func{
+			ProcName: "recolor",
+			RunFn: func(env *ProcEnv) error {
+				_, err := env.DB.Exec("INSERT INTO colored SELECT id, v * 2 FROM points")
+				return err
+			},
+			UpdateFn: func(env *ProcEnv) error {
+				updates <- env.Delta.Seq
+				for i := range env.Delta.TIDs {
+					row := env.Delta.Rows[i]
+					if _, err := env.DB.Exec("INSERT INTO colored VALUES (?, ?)",
+						row[0], NewFloat(row[1].Float()*2)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+	})
+
+	if _, err := p.DeployXML(processXML); err != nil {
+		t.Fatal(err)
+	}
+	p.Exec("INSERT INTO points VALUES (1, 1.5)")
+	inst, err := p.Start("recolorflow", "ana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-agentCalled:
+	case <-time.After(3 * time.Second):
+		t.Fatal("process did not reach the hold activity")
+	}
+	// The initial run converted the pre-existing point.
+	n, _ := p.QueryInt("SELECT COUNT(*) FROM colored")
+	if n != 1 {
+		t.Fatalf("colored rows after run: %d", n)
+	}
+	// New data while the process is held: the ta-rp handler fires.
+	p.Exec("INSERT INTO points VALUES (2, 3.0)")
+	select {
+	case <-updates:
+	case <-time.After(3 * time.Second):
+		t.Fatal("delta handler did not fire")
+	}
+	waitUntil(t, func() bool {
+		n, _ := p.QueryInt("SELECT COUNT(*) FROM colored")
+		return n == 2
+	})
+	v, _ := p.QueryInt("SELECT CAST_INT(v2) FROM colored WHERE id = 2")
+	if v != 6 {
+		t.Fatalf("v2 = %d", v)
+	}
+	close(hold)
+	if err := inst.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformMirrorAndViews(t *testing.T) {
+	p := MustOpenMemory(WithLogf(func(string, ...any) {}))
+	defer p.Close()
+	p.Exec("CREATE TABLE stars (id INT PRIMARY KEY, mag FLOAT)")
+	p.Exec("INSERT INTO stars VALUES (1, 0.5), (2, 1.5)")
+	m, err := p.Mirror("viewer", "stars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 2 {
+		t.Fatalf("mirror len: %d", m.Len())
+	}
+	v, err := p.NewVisualization("sky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := v.AddComponent("plot", "scatter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertAttributes(map[int64]Attr{1: {X: 1}, 2: {X: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := p.OpenView("display", c.ID, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+	if len(view.Visible()) != 2 {
+		t.Fatalf("view sees %d objects", len(view.Visible()))
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestAutoMaintain(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(dir, WithLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Exec("CREATE TABLE t (a INT)")
+	m, err := p.Mirror("m", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	stop := p.AutoMaintain(20 * time.Millisecond)
+	defer stop()
+	p.Exec("INSERT INTO t VALUES (1)")
+	p.Exec("INSERT INTO t VALUES (2)")
+	waitUntil(t, func() bool {
+		n, _ := m.Refresh()
+		_ = n
+		return m.Len() == 2
+	})
+	// After the mirror acks, maintenance purges consumed notifications.
+	waitUntil(t, func() bool {
+		left, _ := p.QueryInt("SELECT COUNT(*) FROM " + TableNotification)
+		return left <= 1
+	})
+	stop()
+	stop() // idempotent
+}

@@ -1,0 +1,99 @@
+package ediflow_test
+
+import (
+	"fmt"
+	"log"
+
+	"ediflow"
+	"ediflow/internal/module"
+)
+
+// The basic loop: open a platform, create tables, query.
+func Example() {
+	p := ediflow.MustOpenMemory(ediflow.WithLogf(func(string, ...any) {}))
+	defer p.Close()
+
+	p.Exec("CREATE TABLE cities (name STRING PRIMARY KEY, pop INT)")
+	p.Exec("INSERT INTO cities VALUES ('Paris', 2100000), ('Lyon', 520000)")
+	res, _ := p.Query("SELECT name FROM cities WHERE pop > 1000000")
+	fmt.Println(res.Rows[0][0])
+	// Output: Paris
+}
+
+// Deploying and running a process from its XML definition.
+func ExamplePlatform_DeployXML() {
+	p := ediflow.MustOpenMemory(ediflow.WithLogf(func(string, ...any) {}))
+	defer p.Close()
+
+	proc, err := p.DeployXML(`
+<process name="hello">
+  <variable name="n" type="int"/>
+  <relation name="greetings"><attribute name="text" type="string"/></relation>
+  <body>
+    <sequence>
+      <activity name="write"><update>INSERT INTO greetings (text) VALUES ('bonjour')</update></activity>
+      <activity name="count"><assign variable="n" value="(SELECT COUNT(*) FROM greetings)"/></activity>
+    </sequence>
+  </body>
+</process>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, _ := p.Start(proc.Name, "ana")
+	inst.Wait()
+	n, _ := inst.Var("n")
+	fmt.Println(inst.Status(), n)
+	// Output: completed 1
+}
+
+// A materialized view maintained incrementally as data changes.
+func ExamplePlatform_materializedView() {
+	p := ediflow.MustOpenMemory(ediflow.WithLogf(func(string, ...any) {}))
+	defer p.Close()
+
+	p.Exec("CREATE TABLE votes (state STRING, n INT)")
+	p.Exec("CREATE MATERIALIZED VIEW totals AS SELECT state, SUM(n) AS total FROM votes GROUP BY state")
+	p.Exec("INSERT INTO votes VALUES ('CA', 100), ('CA', 50), ('TX', 70)")
+	res, _ := p.Query("SELECT state, total FROM totals ORDER BY state")
+	for _, r := range res.Rows {
+		fmt.Println(r[0], r[1])
+	}
+	// Output:
+	// CA 150
+	// TX 70
+}
+
+// Registering a procedure with a delta handler — the reactive core of the
+// platform.
+func ExamplePlatform_procedures() {
+	p := ediflow.MustOpenMemory(ediflow.WithLogf(func(string, ...any) {}))
+	defer p.Close()
+
+	p.Procedures().Register("doubler", func() ediflow.Procedure {
+		return &module.Func{
+			ProcName: "doubler",
+			RunFn: func(env *ediflow.ProcEnv) error {
+				_, err := env.DB.Exec("INSERT INTO doubled SELECT v * 2 FROM src")
+				return err
+			},
+		}
+	})
+	p.Exec("CREATE TABLE src (v INT)")
+	p.Exec("CREATE TABLE doubled (v2 INT)")
+	p.Exec("INSERT INTO src VALUES (21)")
+
+	proc, _ := p.DeployXML(`
+<process name="double">
+  <relation name="src"><attribute name="v" type="int"/></relation>
+  <relation name="doubled"><attribute name="v2" type="int"/></relation>
+  <function name="doubler" class="doubler"/>
+  <body>
+    <activity name="run"><callFunction name="doubler" inputs="src" outputs="doubled"/></activity>
+  </body>
+</process>`)
+	inst, _ := p.Start(proc.Name, "ana")
+	inst.Wait()
+	v, _ := p.QueryInt("SELECT v2 FROM doubled")
+	fmt.Println(v)
+	// Output: 42
+}

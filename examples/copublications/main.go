@@ -1,0 +1,260 @@
+// Command copublications reproduces the paper's evaluation scenario
+// (§VII): the INRIA co-publication graph (synthetic, same scale knobs) is
+// loaded into the database; an EdiFlow process runs the Edge-LinLog
+// layout procedure, streaming node positions into the shared
+// VisualAttributes table; several display views (phone / laptop / wall)
+// mirror that table over the real TCP notification protocol; and while
+// everything runs, new publications arrive — the procedure's delta
+// handler places the new nodes near their laid-out neighbors and
+// converges "much faster" than the initial computation (§VII-B).
+//
+//	go run ./examples/copublications [-authors 400] [-out /tmp/ediflow-copubs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ediflow"
+	"ediflow/internal/graph"
+	"ediflow/internal/layout"
+	"ediflow/internal/module"
+	"ediflow/internal/render"
+	"ediflow/internal/vis"
+	"ediflow/internal/workload/copubs"
+)
+
+// linlogProc is the paper's layout procedure: Run computes the initial
+// layout from random positions, streaming intermediate positions into
+// VisualAttributes; Update is the delta handler of §VII-B.
+type linlogProc struct {
+	comp *vis.Component
+
+	mu        sync.Mutex
+	g         *graph.Graph
+	positions map[graph.NodeID]layout.Point
+	runIters  int
+	updIters  []int
+}
+
+func (p *linlogProc) Initialize() error { return nil }
+func (p *linlogProc) Name() string      { return "layout.EdgeLinLog" }
+
+func (p *linlogProc) stream(pos map[graph.NodeID]layout.Point) {
+	upd := make(map[int64][2]float64, len(pos))
+	for id, pt := range pos {
+		upd[int64(id)] = [2]float64{pt.X, pt.Y}
+	}
+	if err := p.comp.SetPositions(upd); err != nil {
+		log.Printf("streaming positions: %v", err)
+	}
+}
+
+func (p *linlogProc) Run(env *module.Env) error {
+	g, err := copubs.FromDB(env.DB)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.g = g
+	p.mu.Unlock()
+	res := layout.LinLog(g, layout.Config{
+		Seed: 1, MaxIter: 600, Tolerance: 2e-3,
+		OnIteration: func(iter int, pos map[graph.NodeID]layout.Point) {
+			if iter%25 == 0 { // store positions at a steady rate (§VII-B)
+				p.stream(pos)
+			}
+		},
+	})
+	p.mu.Lock()
+	p.positions = res.Positions
+	p.runIters = res.Iterations
+	p.mu.Unlock()
+	p.stream(res.Positions)
+	return nil
+}
+
+func (p *linlogProc) Update(env *module.Env) error {
+	p.mu.Lock()
+	g := p.g
+	old := p.positions
+	p.mu.Unlock()
+	if g == nil {
+		return nil
+	}
+	// Fold the delta into the in-memory graph.
+	switch env.Delta.Table {
+	case "authors":
+		for _, row := range env.Delta.Rows {
+			g.AddNode(graph.NodeID(row[0].Int()), row[1].Str())
+		}
+	case "copublications":
+		for _, row := range env.Delta.Rows {
+			g.AddEdge(graph.NodeID(row[0].Int()), graph.NodeID(row[1].Int()), float64(row[2].Int()))
+		}
+	}
+	seeded := layout.IncrementalSeed(g, old, 2)
+	res := layout.LinLogFrom(g, seeded, layout.Config{Seed: 2, MaxIter: 600, Tolerance: 2e-3})
+	p.mu.Lock()
+	p.positions = res.Positions
+	p.updIters = append(p.updIters, res.Iterations)
+	p.mu.Unlock()
+	p.stream(res.Positions)
+	return nil
+}
+
+const processXML = `
+<process name="copublications">
+  <relation name="authors" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="name" type="string"/>
+  </relation>
+  <relation name="copublications">
+    <attribute name="a" type="int"/>
+    <attribute name="b" type="int"/>
+    <attribute name="weight" type="int"/>
+  </relation>
+  <function name="layout" class="layout.EdgeLinLog"/>
+  <variable name="ack" type="string"/>
+  <body>
+    <sequence>
+      <activity name="layout"><callFunction name="layout" inputs="authors,copublications"/></activity>
+      <activity name="monitor" group="analysts"><askUser prompt="Layout live. Stop?" bindTo="ack"/></activity>
+    </sequence>
+  </body>
+  <updatePropagation relation="authors" activity="layout" scope="ta-rp"/>
+  <updatePropagation relation="copublications" activity="layout" scope="ta-rp"/>
+</process>`
+
+func main() {
+	authors := flag.Int("authors", 400, "number of authors (paper: 4500)")
+	edges := flag.Int("edges", 900, "number of co-publication edges (paper: 10000)")
+	outDir := flag.String("out", filepath.Join(os.TempDir(), "ediflow-copubs"), "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	p := ediflow.MustOpenMemory(
+		ediflow.WithLogf(func(string, ...any) {}),
+		ediflow.WithUserAgent(ediflow.AgentFunc(func(prompt, group string) (string, error) {
+			<-stop
+			return "stop", nil
+		})),
+	)
+	defer p.Close()
+
+	// Load the dataset.
+	ds := copubs.Generate(copubs.Config{Authors: *authors, Edges: *edges, Seed: 2011})
+	if err := ds.Load(p.DB()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d authors, %d co-publication edges\n", ds.Graph.NodeCount(), ds.Graph.EdgeCount())
+
+	// Visualization component shared by all views.
+	v, err := p.NewVisualization("copublications")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := v.AddComponent("graph", "node-link")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proc := &linlogProc{comp: comp}
+	p.Procedures().Register("layout.EdgeLinLog", func() ediflow.Procedure { return proc })
+
+	// Multi-display fan-out (Figure 6): three views over one component.
+	views := map[string]*ediflow.View{}
+	for name, fraction := range map[string]float64{"phone": 0.1, "laptop": 0.3, "wall": 1.0} {
+		view, err := p.OpenView(name, comp.ID, fraction)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer view.Close()
+		view.Mirror().AutoRefresh(20 * time.Millisecond)
+		views[name] = view
+	}
+
+	// Deploy and start the process.
+	if _, err := p.DeployXML(processXML); err != nil {
+		log.Fatal(err)
+	}
+	inst, err := p.Start("copublications", "ana")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	waitFor(func() bool {
+		st, _ := inst.ActivityStatus("layout")
+		return st == "completed"
+	}, 120*time.Second)
+	fmt.Printf("initial layout converged in %d iterations (%v)\n", proc.runIters, time.Since(t0).Round(time.Millisecond))
+
+	// New publications arrive while the process is running: the delta
+	// handlers warm-restart the layout.
+	for round := 1; round <= 3; round++ {
+		gr := ds.Grow(*authors/50, *edges/50)
+		t := time.Now()
+		before := len(proc.updIters)
+		if err := gr.Apply(p.DB(), ds.Graph); err != nil {
+			log.Fatal(err)
+		}
+		waitFor(func() bool {
+			proc.mu.Lock()
+			defer proc.mu.Unlock()
+			return len(proc.updIters) > before
+		}, 60*time.Second)
+		proc.mu.Lock()
+		iters := proc.updIters[len(proc.updIters)-1]
+		proc.mu.Unlock()
+		fmt.Printf("growth round %d: +%d authors +%d edges → incremental relayout in %d iterations (%v)\n",
+			round, len(gr.NewAuthors), len(gr.NewEdges), iters, time.Since(t).Round(time.Millisecond))
+	}
+
+	// Let the views catch up, then render each one.
+	time.Sleep(300 * time.Millisecond)
+	edgePairs := make([][2]int64, 0, ds.Graph.EdgeCount())
+	for _, e := range ds.Graph.Edges() {
+		edgePairs = append(edgePairs, [2]int64{int64(e.A), int64(e.B)})
+	}
+	for name, view := range views {
+		view.Refresh()
+		visible := view.Visible()
+		path := filepath.Join(*outDir, name+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := render.NodeLink(f, visible, edgePairs, 1000, 700); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("view %-6s shows %4d/%d nodes after %d repaints → %s\n",
+			name, len(visible), ds.Graph.NodeCount(), view.Repaints(), path)
+	}
+
+	close(stop)
+	if err := inst.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("process %s; incremental relayouts used %v iterations vs %d for the cold start\n",
+		inst.Status(), proc.updIters, proc.runIters)
+}
+
+func waitFor(cond func() bool, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("timed out")
+}

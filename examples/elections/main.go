@@ -1,0 +1,137 @@
+// Command elections reproduces the US-elections application of §III-a
+// (Figure 1): on voting day the database gradually fills with precinct
+// returns; a two-activity reactive process aggregates votes per state and
+// recolors a treemap visualization, where "the more the states vote for
+// the respective party, the darker the color". The aggregation is an
+// incrementally maintained materialized view; the treemap is recomputed
+// by the visualization procedure's delta handler and written as SVG
+// frames.
+//
+//	go run ./examples/elections [-batches 8] [-out /tmp/elections]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ediflow"
+	"ediflow/internal/render"
+	"ediflow/internal/vis"
+	"ediflow/internal/vis/treemap"
+	"ediflow/internal/workload/elections"
+)
+
+func main() {
+	batches := flag.Int("batches", 8, "number of precinct-return batches")
+	batchSize := flag.Int("batch-size", 300, "returns per batch")
+	outDir := flag.String("out", filepath.Join(os.TempDir(), "ediflow-elections"), "output directory for SVG frames")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	p := ediflow.MustOpenMemory(ediflow.WithLogf(func(string, ...any) {}))
+	defer p.Close()
+
+	gen := elections.NewGenerator(2011)
+	if err := gen.Load(p.DB()); err != nil {
+		log.Fatal(err)
+	}
+
+	// The aggregate activity as an incrementally maintained view: per-state
+	// counted votes.
+	if _, err := p.Exec(`CREATE MATERIALIZED VIEW state_votes AS
+		SELECT state_id, SUM(dem) AS dem, SUM(rep) AS rep FROM returns GROUP BY state_id`); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := p.NewVisualization("us-elections")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := v.AddComponent("treemap", "treemap")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frame := 0
+	redraw := func() {
+		tallies, err := elections.Tallies(p.DB())
+		if err != nil {
+			log.Fatal(err)
+		}
+		items := make([]treemap.Item, 0, len(tallies))
+		for _, t := range tallies {
+			items = append(items, treemap.Item{ID: t.StateID, Value: float64(t.Population), Label: t.Name})
+		}
+		rects, err := treemap.Squarify(items, treemap.Rect{W: 960, H: 600})
+		if err != nil {
+			log.Fatal(err)
+		}
+		attrs := map[int64]vis.Attr{}
+		for _, t := range tallies {
+			r := rects[t.StateID]
+			color := "#999999" // not enough data yet (Figure 1's gray areas)
+			if t.HasData() {
+				share := t.DemShare()
+				if share >= 0.5 {
+					color = render.PartyShade("dem", share)
+				} else {
+					color = render.PartyShade("rep", 1-share)
+				}
+			}
+			attrs[t.StateID] = vis.Attr{
+				X: r.X, Y: r.Y, Width: r.W, Height: r.H,
+				Color: color, Label: t.Name,
+			}
+		}
+		if err := comp.SetAttributes(attrs); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("frame-%02d.svg", frame))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := render.Treemap(f, attrs, 960, 600); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		frame++
+	}
+
+	// Initial frame: no returns counted yet.
+	redraw()
+	fmt.Printf("frame 0: all states gray (no returns yet)\n")
+
+	for b := 1; b <= *batches; b++ {
+		batch := gen.NextBatch(*batchSize)
+		if err := elections.Apply(p.DB(), batch); err != nil {
+			log.Fatal(err)
+		}
+		redraw()
+		counted, _ := p.QueryInt("SELECT COUNT(*) FROM state_votes")
+		total, _ := p.QueryInt("SELECT SUM(dem) + SUM(rep) FROM returns")
+		fmt.Printf("frame %d: %4d returns applied, %2d states reporting, %9d ballots counted\n",
+			b, len(batch)*b, counted, total)
+	}
+
+	// Final outcome table.
+	tallies, _ := elections.Tallies(p.DB())
+	demStates, repStates := 0, 0
+	for _, t := range tallies {
+		if !t.HasData() {
+			continue
+		}
+		if t.DemShare() >= 0.5 {
+			demStates++
+		} else {
+			repStates++
+		}
+	}
+	fmt.Printf("\noutcome so far: %d states lean dem, %d lean rep\n", demStates, repStates)
+	fmt.Printf("SVG frames written to %s\n", *outDir)
+}

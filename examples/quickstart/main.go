@@ -1,0 +1,156 @@
+// Command quickstart is the smallest end-to-end EdiFlow tour: open an
+// in-memory platform, deploy a reactive process from XML, run it, push a
+// live data change while it is paused on a user interaction, and watch
+// the delta handler keep a derived table fresh.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ediflow"
+	"ediflow/internal/module"
+)
+
+const processXML = `
+<process name="quickstart">
+  <variable name="total" type="int"/>
+  <variable name="answer" type="string"/>
+  <relation name="readings" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="sensor" type="string"/>
+    <attribute name="value" type="float"/>
+  </relation>
+  <relation name="summary">
+    <attribute name="sensor" type="string"/>
+    <attribute name="n" type="int"/>
+    <attribute name="mean" type="float"/>
+  </relation>
+  <function name="summarize" class="demo.Summarize"/>
+  <body>
+    <sequence>
+      <activity name="seed"><update>
+        INSERT INTO readings (id, sensor, value) VALUES
+          (1, 'north', 20.0), (2, 'north', 22.0), (3, 'south', 15.0)
+      </update></activity>
+      <activity name="count"><assign variable="total" value="(SELECT COUNT(*) FROM readings)"/></activity>
+      <activity name="analyze"><callFunction name="summarize" inputs="readings" outputs="summary"/></activity>
+      <activity name="confirm" group="analysts"><askUser prompt="Summary ready. Continue?" bindTo="answer"/></activity>
+      <activity name="report"><runQuery>SELECT * FROM summary</runQuery></activity>
+    </sequence>
+  </body>
+  <updatePropagation relation="readings" activity="analyze" scope="ta-rp"/>
+</process>`
+
+// summarize recomputes per-sensor aggregates; its Update handler is the
+// reactive part: new readings arriving after the activity finished are
+// folded in without redoing the whole computation.
+func summarize() ediflow.Procedure {
+	return &module.Func{
+		ProcName: "demo.Summarize",
+		RunFn: func(env *ediflow.ProcEnv) error {
+			if _, err := env.DB.Exec("DELETE FROM summary"); err != nil {
+				return err
+			}
+			_, err := env.DB.Exec(`INSERT INTO summary
+				SELECT sensor, COUNT(*), AVG(value) FROM readings GROUP BY sensor`)
+			return err
+		},
+		UpdateFn: func(env *ediflow.ProcEnv) error {
+			env.Logf("delta handler: %d new reading(s) while %s", len(env.Delta.TIDs), env.Phase)
+			// Repair by recomputation of the affected sensors only.
+			sensors := map[string]bool{}
+			for _, row := range env.Delta.Rows {
+				sensors[row[1].Str()] = true
+			}
+			for s := range sensors {
+				if _, err := env.DB.Exec("DELETE FROM summary WHERE sensor = ?", ediflow.NewString(s)); err != nil {
+					return err
+				}
+				if _, err := env.DB.Exec(`INSERT INTO summary
+					SELECT sensor, COUNT(*), AVG(value) FROM readings WHERE sensor = ? GROUP BY sensor`,
+					ediflow.NewString(s)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func main() {
+	proceed := make(chan struct{})
+	p := ediflow.MustOpenMemory(
+		ediflow.WithUserAgent(ediflow.AgentFunc(func(prompt, group string) (string, error) {
+			fmt.Printf("  [askUser → group %s] %s\n", group, prompt)
+			<-proceed
+			return "yes", nil
+		})),
+	)
+	defer p.Close()
+
+	p.Procedures().Register("demo.Summarize", summarize)
+
+	proc, err := p.DeployXML(processXML)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	fmt.Printf("deployed process %q with %d activities\n", proc.Name, len(proc.AllActivities()))
+
+	inst, err := p.Start(proc.Name, "ana")
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+
+	// Wait for the process to pause on the user interaction, then inject
+	// fresh data: the ta-rp update propagation refreshes the summary even
+	// though the analyze activity already terminated.
+	waitFor(func() bool {
+		st, _ := inst.ActivityStatus("analyze")
+		return st == "completed"
+	})
+	printSummary(p, "summary after initial run")
+
+	fmt.Println("injecting a new reading while the process is paused …")
+	if _, err := p.Exec("INSERT INTO readings (id, sensor, value) VALUES (4, 'south', 17.0)"); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool {
+		n, _ := p.QueryInt("SELECT n FROM summary WHERE sensor = 'south'")
+		return n == 2
+	})
+	printSummary(p, "summary after live update (delta handler)")
+
+	close(proceed)
+	if err := inst.Wait(); err != nil {
+		log.Fatalf("process failed: %v", err)
+	}
+	total, _ := inst.Var("total")
+	answer, _ := inst.Var("answer")
+	fmt.Printf("process completed: status=%s total=%s answer=%s\n", inst.Status(), total, answer)
+}
+
+func printSummary(p *ediflow.Platform, title string) {
+	res, err := p.Query("SELECT sensor, n, mean FROM summary ORDER BY sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title + ":")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-6s n=%s mean=%s\n", r[0], r[1], r[2])
+	}
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("timed out waiting for condition")
+}

@@ -1,0 +1,3 @@
+module ediflow
+
+go 1.22

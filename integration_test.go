@@ -1,0 +1,399 @@
+package ediflow
+
+// Integration tests exercising whole applications end-to-end through the
+// public API — the functional validation counterpart of the paper's §III
+// use cases, plus failure injection.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ediflow/internal/module"
+	"ediflow/internal/workload/elections"
+	"ediflow/internal/workload/raweb"
+)
+
+func quiet() Option { return WithLogf(func(string, ...any) {}) }
+
+// TestRawebApplication reproduces §III-c as an EdiFlow process: yearly
+// XML reports are ingested by a procedure (with similarity-based person
+// dedup), statistics recomputed by SQL, and new yearly files handled by
+// the delta path (here: re-running the process for the next year).
+func TestRawebApplication(t *testing.T) {
+	p := MustOpenMemory(quiet())
+	defer p.Close()
+	if err := raweb.Schema(p.DB()); err != nil {
+		t.Fatal(err)
+	}
+	gen := raweb.NewGenerator(4, 5)
+
+	// The ingestion procedure: parses the XML files of the year given by
+	// the $year constant-carrying variable and ingests them.
+	var mu sync.Mutex
+	ingested := map[int]int{}
+	p.Procedures().Register("raweb.Ingest", func() Procedure {
+		return &module.Func{
+			ProcName: "raweb.Ingest",
+			RunFn: func(env *ProcEnv) error {
+				yearV := env.Vars["year"]
+				year, err := yearV.AsInt()
+				if err != nil {
+					return err
+				}
+				for _, r := range gen.YearReports(int(year)) {
+					data, err := raweb.MarshalReport(r)
+					if err != nil {
+						return err
+					}
+					parsed, err := raweb.ParseReport(data)
+					if err != nil {
+						return err
+					}
+					n, err := raweb.Ingest(env.DB, parsed)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					ingested[int(year)] += n
+					mu.Unlock()
+				}
+				return nil
+			},
+		}
+	})
+
+	const xmlTemplate = `
+<process name="raweb-%d">
+  <constant name="year" value="%d"/>
+  <variable name="people" type="int"/>
+  <relation name="people" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="name" type="string"/>
+    <attribute name="team" type="string"/>
+    <attribute name="age" type="int"/>
+    <attribute name="position" type="string"/>
+  </relation>
+  <function name="ingest" class="raweb.Ingest"/>
+  <body>
+    <sequence>
+      <activity name="load"><callFunction name="ingest" outputs="people"/></activity>
+      <activity name="stats"><assign variable="people" value="(SELECT COUNT(*) FROM people)"/></activity>
+    </sequence>
+  </body>
+</process>`
+
+	var firstYearPeople int64
+	for year := 2005; year <= 2009; year++ {
+		proc, err := p.DeployXML(fmt.Sprintf(xmlTemplate, year, year))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := p.Start(proc.Name, "admin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if year == 2005 {
+			v, _ := inst.Var("people")
+			firstYearPeople, _ = v.AsInt()
+		}
+	}
+	// Dedup keeps the population near the stable rosters.
+	people, _ := p.QueryInt("SELECT COUNT(*) FROM people")
+	if people > firstYearPeople*2 || people < firstYearPeople {
+		t.Fatalf("dedup broken: %d people after 5 years vs %d in year one", people, firstYearPeople)
+	}
+	stats, err := raweb.ComputeStats(p.DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Teams != 4 || stats.Publications == 0 || stats.AvgAge <= 0 {
+		t.Fatalf("%+v", stats)
+	}
+	// Activity bookkeeping: 5 processes × 2 activities completed.
+	done, _ := p.QueryInt("SELECT COUNT(*) FROM " + TableActivityInstance + " WHERE status = 'completed'")
+	if done != 10 {
+		t.Fatalf("completed activities: %d", done)
+	}
+}
+
+// TestElectionsApplication runs the §III-a loop: returns stream in, an
+// IVM view keeps per-state tallies, and a reactive process recomputes the
+// visualization procedure on every batch.
+func TestElectionsApplication(t *testing.T) {
+	var recomputes int
+	var mu sync.Mutex
+	hold := make(chan struct{})
+	// The blocking agent keeps the process alive while returns stream in.
+	p := MustOpenMemory(quiet(), WithUserAgent(AgentFunc(func(prompt, group string) (string, error) {
+		<-hold
+		return "", nil
+	})))
+	defer p.Close()
+	gen := elections.NewGenerator(7)
+	if err := gen.Load(p.DB()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`CREATE MATERIALIZED VIEW state_votes AS
+		SELECT state_id, SUM(dem) AS dem, SUM(rep) AS rep FROM returns GROUP BY state_id`); err != nil {
+		t.Fatal(err)
+	}
+	p.Procedures().Register("viz", func() Procedure {
+		return &module.Func{
+			ProcName: "viz",
+			RunFn:    func(env *ProcEnv) error { return nil },
+			UpdateFn: func(env *ProcEnv) error {
+				mu.Lock()
+				recomputes++
+				mu.Unlock()
+				return nil
+			},
+		}
+	})
+	if _, err := p.DeployXML(`
+<process name="elections">
+  <relation name="returns">
+    <attribute name="state_id" type="int"/>
+    <attribute name="dem" type="int"/>
+    <attribute name="rep" type="int"/>
+  </relation>
+  <variable name="a" type="string"/>
+  <function name="viz" class="viz"/>
+  <body>
+    <sequence>
+      <activity name="visualize"><callFunction name="viz" inputs="returns"/></activity>
+      <activity name="watch"><askUser prompt="election night" bindTo="a"/></activity>
+    </sequence>
+  </body>
+  <updatePropagation relation="returns" activity="visualize" scope="ta-rp"/>
+</process>`); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Start("elections", "anchor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, func() bool {
+		st, _ := inst.ActivityStatus("visualize")
+		return st == "completed"
+	})
+
+	for batch := 0; batch < 3; batch++ {
+		if err := elections.Apply(p.DB(), gen.NextBatch(40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return recomputes >= 3*40 // one per insert statement
+	})
+	// The IVM view agrees with recomputation.
+	viewTotal, _ := p.QueryInt("SELECT SUM(dem) + SUM(rep) FROM state_votes")
+	rawTotal, _ := p.QueryInt("SELECT SUM(dem) + SUM(rep) FROM returns")
+	if viewTotal != rawTotal || rawTotal == 0 {
+		t.Fatalf("view %d vs raw %d", viewTotal, rawTotal)
+	}
+	close(hold)
+	if err := inst.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryPreservesWorkflowState closes the platform without a
+// checkpoint (WAL-only recovery) and verifies that process definitions,
+// instance bookkeeping, views and triggers all survive.
+func TestCrashRecoveryPreservesWorkflowState(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Exec("CREATE TABLE data (id INT PRIMARY KEY, v INT)")
+	p.Exec("INSERT INTO data VALUES (1, 10), (2, 20)")
+	p.Exec("CREATE MATERIALIZED VIEW total AS SELECT SUM(v) AS s FROM data")
+	if _, err := p.DeployXML(`
+<process name="crashy">
+  <relation name="data" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="v" type="int"/>
+  </relation>
+  <variable name="n" type="int"/>
+  <body>
+    <activity name="count"><assign variable="n" value="(SELECT COUNT(*) FROM data)"/></activity>
+  </body>
+</process>`); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := p.Start("crashy", "u")
+	inst.Wait()
+	p.Close() // no checkpoint: recovery replays the WAL
+
+	p2, err := Open(dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	// Data, view and instance bookkeeping recovered.
+	s, _ := p2.QueryInt("SELECT s FROM total")
+	if s != 30 {
+		t.Fatalf("view after recovery: %d", s)
+	}
+	status, err := p2.DB().QueryString("SELECT status FROM " + TableProcessInstance + " WHERE id = 1")
+	if err != nil || status != "completed" {
+		t.Fatalf("instance status after recovery: %q, %v", status, err)
+	}
+	spec, _ := p2.DB().QueryString("SELECT spec FROM " + TableProcess + " WHERE name = 'crashy'")
+	if spec == "" {
+		t.Fatal("process spec lost")
+	}
+	// The view keeps maintaining after recovery.
+	p2.Exec("INSERT INTO data VALUES (3, 5)")
+	s, _ = p2.QueryInt("SELECT s FROM total")
+	if s != 35 {
+		t.Fatalf("view maintenance after recovery: %d", s)
+	}
+	// And the process can be redeployed from its stored spec and re-run.
+	proc, err := p2.DeployXML(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := p2.Start(proc.Name, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := inst2.Var("n")
+	if n.Int() != 3 {
+		t.Fatalf("re-run saw %v rows", n)
+	}
+}
+
+// TestNotificationClientCrash kills one mirror's TCP endpoint abruptly;
+// the notifier must drop it, clean its registration, and keep serving the
+// surviving client.
+func TestNotificationClientCrash(t *testing.T) {
+	p := MustOpenMemory(quiet())
+	defer p.Close()
+	p.Exec("CREATE TABLE s (a INT)")
+	healthy, err := p.Mirror("healthy", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	crashy, err := p.Mirror("crashy", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abrupt death: close without DISCONNECT courtesy.
+	crashy.Close()
+
+	// The registration disappears once the notifier notices.
+	waitCond(t, func() bool {
+		n, _ := p.QueryInt("SELECT COUNT(*) FROM " + TableConnectedUser)
+		return n == 1
+	})
+	// The healthy mirror still receives changes.
+	p.Exec("INSERT INTO s VALUES (1)")
+	waitCond(t, func() bool {
+		healthy.Refresh()
+		return healthy.Len() == 1
+	})
+}
+
+// TestConcurrentProcessInstances runs many isolated instances at once;
+// each must observe exactly its own snapshot count.
+func TestConcurrentProcessInstances(t *testing.T) {
+	p := MustOpenMemory(quiet())
+	defer p.Close()
+	if _, err := p.DeployXML(`
+<process name="iso">
+  <relation name="r" primaryKey="id">
+    <attribute name="id" type="int"/>
+  </relation>
+  <variable name="n" type="int"/>
+  <body>
+    <activity name="count"><assign variable="n" value="(SELECT COUNT(*) FROM r)"/></activity>
+  </body>
+</process>`); err != nil {
+		t.Fatal(err)
+	}
+	var instances []*Instance
+	for i := 0; i < 10; i++ {
+		if _, err := p.Exec(fmt.Sprintf("INSERT INTO r VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := p.Start("iso", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, inst)
+	}
+	for i, inst := range instances {
+		if err := inst.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := inst.Var("n")
+		// Instance i started right after i+1 rows existed; later inserts
+		// are invisible under snapshot isolation. (Instances run fast, so
+		// an instance may also legitimately see fewer — never more — rows
+		// than the final count; the lower bound is its start snapshot.)
+		if n.Int() != int64(i+1) {
+			t.Fatalf("instance %d saw %v rows, want %d", i, n, i+1)
+		}
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+// Concurrent Start() calls must not collide on instance ids.
+func TestConcurrentStarts(t *testing.T) {
+	p := MustOpenMemory(quiet())
+	defer p.Close()
+	if _, err := p.DeployXML(`
+<process name="burst">
+  <variable name="n" type="int"/>
+  <body>
+    <activity name="a"><assign variable="n" value="1"/></activity>
+  </body>
+</process>`); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 12
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			inst, err := p.Start("burst", "u")
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- inst.Wait()
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := p.QueryInt("SELECT COUNT(*) FROM " + TableProcessInstance + " WHERE status = 'completed'")
+	if n != workers {
+		t.Fatalf("completed instances: %d", n)
+	}
+}

@@ -1,0 +1,198 @@
+package database
+
+import (
+	"testing"
+
+	"ediflow/internal/types"
+)
+
+func TestOpenInstallsSystemSchema(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	for _, tbl := range []string{
+		TableProcess, TableActivity, TableProcessInstance, TableActivityInstance,
+		TableUser, TableGroup, TableUserGroup, TableConnectedUser,
+		TableNotification, TableVisualization, TableVisComponent, TableVisualAttributes,
+	} {
+		if _, err := db.Query("SELECT COUNT(*) FROM " + tbl); err != nil {
+			t.Errorf("system table %s missing: %v", tbl, err)
+		}
+	}
+}
+
+func TestOpenIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO " + TableGroup + " (name) VALUES ('analysts')"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	n, err := db2.QueryInt("SELECT COUNT(*) FROM " + TableGroup)
+	if err != nil || n != 1 {
+		t.Fatalf("group lost on reopen: %d, %v", n, err)
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (a INT, b STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (7, 'x')"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := db.QueryInt("SELECT a FROM t"); err != nil || n != 7 {
+		t.Fatalf("QueryInt: %d, %v", n, err)
+	}
+	if s, err := db.QueryString("SELECT b FROM t"); err != nil || s != "x" {
+		t.Fatalf("QueryString: %q, %v", s, err)
+	}
+	if _, err := db.QueryValue("SELECT a, b FROM t"); err == nil {
+		t.Error("two columns must error")
+	}
+	if _, err := db.QueryValue("SELECT a FROM t WHERE a = 99"); err == nil {
+		t.Error("zero rows must error")
+	}
+}
+
+func TestInsertRowAndNextID(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE items (id INT PRIMARY KEY, name STRING, qty INT)"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := db.NextID("items")
+	if err != nil || id != 1 {
+		t.Fatalf("NextID on empty: %d, %v", id, err)
+	}
+	tid, err := db.InsertRow("items", map[string]types.Value{
+		"id": types.NewInt(id), "name": types.NewString("widget"), "qty": types.NewInt(5),
+	})
+	if err != nil || tid == 0 {
+		t.Fatalf("InsertRow: %d, %v", tid, err)
+	}
+	id2, _ := db.NextID("items")
+	if id2 != 2 {
+		t.Fatalf("NextID after insert: %d", id2)
+	}
+}
+
+func TestUsersAndGroups(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	if err := db.EnsureUser("ana", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureUser("ana", "secret"); err != nil {
+		t.Fatal("EnsureUser must be idempotent:", err)
+	}
+	if err := db.EnsureGroup("analysts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddUserToGroup("ana", "analysts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddUserToGroup("ana", "analysts"); err != nil {
+		t.Fatal("AddUserToGroup must be idempotent:", err)
+	}
+	in, err := db.UserInGroup("ana", "analysts")
+	if err != nil || !in {
+		t.Fatalf("UserInGroup: %v, %v", in, err)
+	}
+	in, _ = db.UserInGroup("bob", "analysts")
+	if in {
+		t.Error("bob is not in analysts")
+	}
+}
+
+func TestExecScriptStopsOnError(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	_, err := db.ExecScript(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1);
+		INSERT INTO missing VALUES (2);
+		INSERT INTO t VALUES (3);
+	`)
+	if err == nil {
+		t.Fatal("script with bad statement must fail")
+	}
+	// Statements before the failure applied; the one after did not.
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM t")
+	if n != 1 {
+		t.Fatalf("rows: %d", n)
+	}
+}
+
+func TestInsertRowErrors(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	db.Exec("CREATE TABLE t (a INT PRIMARY KEY)")
+	if _, err := db.InsertRow("missing", map[string]types.Value{"a": types.NewInt(1)}); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := db.InsertRow("t", map[string]types.Value{"nope": types.NewInt(1)}); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := db.InsertRow("t", map[string]types.Value{"a": types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertRow("t", map[string]types.Value{"a": types.NewInt(1)}); err == nil {
+		t.Error("pk conflict must fail")
+	}
+}
+
+func TestNextIDIgnoresGaps(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	db.Exec("CREATE TABLE items (id INT PRIMARY KEY)")
+	db.Exec("INSERT INTO items VALUES (5), (9)")
+	id, err := db.NextID("items")
+	if err != nil || id != 10 {
+		t.Fatalf("NextID: %d, %v", id, err)
+	}
+}
+
+// Concurrent NextID allocations must never collide (the SELECT MAX+1
+// TOCTOU race).
+func TestNextIDConcurrent(t *testing.T) {
+	db := MustOpenMemory()
+	defer db.Close()
+	db.Exec("CREATE TABLE items (id INT PRIMARY KEY)")
+	const workers, each = 8, 25
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < each; i++ {
+				id, err := db.NextID("items")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.Exec("INSERT INTO items (id) VALUES (?)", types.NewInt(id)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM items")
+	if n != workers*each {
+		t.Fatalf("rows: %d", n)
+	}
+}

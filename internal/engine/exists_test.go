@@ -1,0 +1,68 @@
+package engine
+
+import "testing"
+
+func TestExistsPredicate(t *testing.T) {
+	e := newTestDB(t)
+	seedUsers(t, e)
+	mustExec(t, e, "CREATE TABLE orders (oid INT PRIMARY KEY, uid INT)")
+	mustExec(t, e, "INSERT INTO orders VALUES (1, 1)")
+
+	res := mustExec(t, e, "SELECT name FROM users WHERE EXISTS (SELECT oid FROM orders)")
+	if len(res.Rows) != 5 {
+		t.Fatalf("EXISTS true: %d rows", len(res.Rows))
+	}
+	res = mustExec(t, e, "SELECT name FROM users WHERE EXISTS (SELECT oid FROM orders WHERE uid = 99)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("EXISTS false: %d rows", len(res.Rows))
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM users WHERE NOT EXISTS (SELECT oid FROM orders WHERE uid = 99)")
+	if res.Rows[0][0].Int() != 5 {
+		t.Fatalf("NOT EXISTS: %v", res.Rows)
+	}
+	// As a scalar output.
+	res = mustExec(t, e, "SELECT EXISTS (SELECT oid FROM orders) AS any_orders")
+	if !res.Rows[0][0].Bool() {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestDropView(t *testing.T) {
+	e := newTestDB(t)
+	seedUsers(t, e)
+	mustExec(t, e, "CREATE MATERIALIZED VIEW v AS SELECT id FROM users")
+	mustExec(t, e, "DROP VIEW v")
+	if _, err := e.Query("SELECT * FROM v"); err == nil {
+		t.Fatal("view still queryable after drop")
+	}
+	// The base table is droppable again (no dependents).
+	mustExec(t, e, "DROP TABLE users")
+	// IF EXISTS swallows the absence.
+	mustExec(t, e, "DROP VIEW IF EXISTS v")
+	if _, err := e.Exec("DROP VIEW v"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+}
+
+func TestDropViewSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	e := openDurable(t, dir)
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	mustExec(t, e, "CREATE MATERIALIZED VIEW va AS SELECT a FROM t")
+	mustExec(t, e, "DROP VIEW va")
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openDurable(t, dir)
+	defer e2.Close()
+	if _, err := e2.Query("SELECT * FROM va"); err == nil {
+		t.Fatal("dropped view resurrected after restart")
+	}
+	// The name is reusable.
+	mustExec(t, e2, "CREATE MATERIALIZED VIEW va AS SELECT a FROM t")
+	mustExec(t, e2, "INSERT INTO t VALUES (1)")
+	res := mustExec(t, e2, "SELECT COUNT(*) FROM va")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("%v", res.Rows)
+	}
+}

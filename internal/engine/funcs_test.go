@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ediflow/internal/types"
+)
+
+func evalScalarSQL(t *testing.T, e *Engine, expr string) types.Value {
+	t.Helper()
+	res := mustExec(t, e, "SELECT "+expr)
+	return res.Rows[0][0]
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := newTestDB(t)
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"ABS(-5)", "5"},
+		{"ABS(2.5)", "2.5"},
+		{"LENGTH('héllo')", "5"},
+		{"UPPER('aBc')", "ABC"},
+		{"LOWER('AbC')", "abc"},
+		{"TRIM('  x  ')", "x"},
+		{"SUBSTR('abcdef', 2, 3)", "bcd"},
+		{"SUBSTR('abcdef', 4)", "def"},
+		{"SUBSTR('abc', 9)", ""},
+		{"SUBSTR('abc', -2, 2)", "ab"},
+		{"CONCAT('a', 1, 'b')", "a1b"},
+		{"ROUND(2.6)", "3"},
+		{"FLOOR(2.9)", "2"},
+		{"CEIL(2.1)", "3"},
+		{"SQRT(16)", "4"},
+		{"COALESCE(NULL, NULL, 7)", "7"},
+		{"COALESCE(NULL, 'x', 'y')", "x"},
+		{"NULLIF(3, 3)", "NULL"},
+		{"NULLIF(3, 4)", "3"},
+		{"IIF(TRUE, 'yes', 'no')", "yes"},
+		{"IIF(1 > 2, 'yes', 'no')", "no"},
+		{"CAST_INT('42')", "42"},
+		{"CAST_FLOAT(3)", "3"},
+		{"CAST_STRING(12)", "12"},
+		{"LENGTH(NULL)", "NULL"},
+		{"UPPER(NULL)", "NULL"},
+		{"ABS(NULL)", "NULL"},
+	}
+	for _, c := range cases {
+		got := evalScalarSQL(t, e, c.expr)
+		if got.String() != c.want {
+			t.Errorf("%s = %s, want %s", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	e := newTestDB(t)
+	bad := []string{
+		"SELECT NOSUCHFN(1)",
+		"SELECT ABS(1, 2)",
+		"SELECT ABS('text')",
+		"SELECT SQRT(-1)",
+		"SELECT SUBSTR('x')",
+		"SELECT NOW(1)",
+		"SELECT CAST_INT('nope')",
+	}
+	for _, sql := range bad {
+		if _, err := e.Exec(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+	// NOW() works and yields a TIME.
+	res := mustExec(t, e, "SELECT NOW()")
+	if res.Rows[0][0].Kind() != types.KindTime {
+		t.Errorf("NOW() kind: %v", res.Rows[0][0].Kind())
+	}
+}
+
+func TestLikeSemantics(t *testing.T) {
+	e := newTestDB(t)
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h___l", false},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "%%", true},
+		{"abc", "a%b%c", true},
+		{"mississippi", "%iss%ppi", true},
+		{"héllo", "h_llo", true}, // '_' matches one rune
+	}
+	for _, c := range cases {
+		got := evalScalarSQL(t, e, fmt.Sprintf("'%s' LIKE '%s'", c.s, c.pat))
+		if got.Bool() != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, got.Bool(), c.want)
+		}
+	}
+}
+
+// Property test: random WHERE predicates over random rows produce the same
+// result as a direct Go evaluation.
+func TestRandomPredicatesAgainstReference(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE p (a INT, b INT, s STRING)")
+	rng := rand.New(rand.NewSource(123))
+	type row struct {
+		a, b int64
+		s    string
+	}
+	var rows []row
+	strsPool := []string{"x", "y", "zz", "xy"}
+	for i := 0; i < 60; i++ {
+		r := row{a: int64(rng.Intn(20)), b: int64(rng.Intn(20)), s: strsPool[rng.Intn(len(strsPool))]}
+		rows = append(rows, r)
+		mustExec(t, e, fmt.Sprintf("INSERT INTO p VALUES (%d, %d, '%s')", r.a, r.b, r.s))
+	}
+
+	type pred struct {
+		sql string
+		fn  func(r row) bool
+	}
+	atoms := []pred{
+		{"a < b", func(r row) bool { return r.a < r.b }},
+		{"a = b", func(r row) bool { return r.a == r.b }},
+		{"a >= 10", func(r row) bool { return r.a >= 10 }},
+		{"b != 5", func(r row) bool { return r.b != 5 }},
+		{"s = 'x'", func(r row) bool { return r.s == "x" }},
+		{"s LIKE 'x%'", func(r row) bool { return len(r.s) > 0 && r.s[0] == 'x' }},
+		{"a + b > 20", func(r row) bool { return r.a+r.b > 20 }},
+		{"a BETWEEN 5 AND 15", func(r row) bool { return r.a >= 5 && r.a <= 15 }},
+		{"a IN (1, 3, 5, 7)", func(r row) bool { return r.a == 1 || r.a == 3 || r.a == 5 || r.a == 7 }},
+		{"a % 2 = 0", func(r row) bool { return r.a%2 == 0 }},
+	}
+	for trial := 0; trial < 200; trial++ {
+		p1 := atoms[rng.Intn(len(atoms))]
+		p2 := atoms[rng.Intn(len(atoms))]
+		p3 := atoms[rng.Intn(len(atoms))]
+		var sql string
+		var fn func(r row) bool
+		switch rng.Intn(4) {
+		case 0:
+			sql = fmt.Sprintf("(%s) AND (%s)", p1.sql, p2.sql)
+			fn = func(r row) bool { return p1.fn(r) && p2.fn(r) }
+		case 1:
+			sql = fmt.Sprintf("(%s) OR (%s)", p1.sql, p2.sql)
+			fn = func(r row) bool { return p1.fn(r) || p2.fn(r) }
+		case 2:
+			sql = fmt.Sprintf("NOT (%s)", p1.sql)
+			fn = func(r row) bool { return !p1.fn(r) }
+		default:
+			sql = fmt.Sprintf("(%s) AND ((%s) OR (%s))", p1.sql, p2.sql, p3.sql)
+			fn = func(r row) bool { return p1.fn(r) && (p2.fn(r) || p3.fn(r)) }
+		}
+		res := mustExec(t, e, "SELECT COUNT(*) FROM p WHERE "+sql)
+		want := 0
+		for _, r := range rows {
+			if fn(r) {
+				want++
+			}
+		}
+		if res.Rows[0][0].Int() != int64(want) {
+			t.Fatalf("trial %d: WHERE %s → %d, reference %d", trial, sql, res.Rows[0][0].Int(), want)
+		}
+	}
+}
+
+// Transactions must keep materialized views consistent through rollback.
+func TestTransactionRollbackWithViews(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (k STRING, v INT)")
+	mustExec(t, e, "INSERT INTO t VALUES ('a', 1), ('b', 2)")
+	mustExec(t, e, "CREATE MATERIALIZED VIEW agg AS SELECT k, SUM(v) AS s FROM t GROUP BY k")
+	mustExec(t, e, "BEGIN")
+	mustExec(t, e, "INSERT INTO t VALUES ('a', 10)")
+	mustExec(t, e, "DELETE FROM t WHERE k = 'b'")
+	mustExec(t, e, "UPDATE t SET v = 99 WHERE k = 'a' AND v = 1")
+	mustExec(t, e, "ROLLBACK")
+	res := mustExec(t, e, "SELECT k, s FROM agg ORDER BY k")
+	if len(res.Rows) != 2 || res.Rows[0][1].Int() != 1 || res.Rows[1][1].Int() != 2 {
+		t.Fatalf("view after rollback: %v", res.Rows)
+	}
+	// And the view still maintains correctly afterwards.
+	mustExec(t, e, "INSERT INTO t VALUES ('a', 4)")
+	v, _ := e.Query("SELECT s FROM agg WHERE k = 'a'")
+	if v.Rows[0][0].Int() != 5 {
+		t.Fatalf("view after post-rollback insert: %v", v.Rows)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE w (g INT, n INT)")
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				if _, err := e.Exec(fmt.Sprintf("INSERT INTO w VALUES (%d, %d)", g, i)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustExec(t, e, "SELECT COUNT(*), COUNT(DISTINCT g) FROM w")
+	if res.Rows[0][0].Int() != 200 || res.Rows[0][1].Int() != 4 {
+		t.Fatalf("%v", res.Rows)
+	}
+}

@@ -1,0 +1,705 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/types"
+)
+
+// evalSelect runs a SELECT. The caller holds at least a read lock.
+func (e *Engine) evalSelect(sel *sqltext.Select, args []types.Value) (*Result, error) {
+	return e.evalSelectWith(sel, args, nil)
+}
+
+// EvalWith implements ivm.Evaluator: evaluate a SELECT with some tables'
+// contents substituted. The caller is the view maintainer running inside
+// an engine mutation, which already holds the write lock.
+func (e *Engine) EvalWith(sel *sqltext.Select, overrides map[string][]types.Row) ([]types.Row, error) {
+	res, err := e.evalSelectWith(sel, nil, overrides)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row) (*Result, error) {
+	// Build the source relation (FROM + JOINs + WHERE).
+	var rel *relation
+	var b *binder
+	if sel.From == nil {
+		rel = &relation{rows: []types.Row{nil}} // one empty row: SELECT 1+1
+		b = newBinder(e, args, rel, overrides)
+	} else {
+		var err error
+		rel, b, err = e.buildFrom(sel, args, overrides)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE.
+	if sel.Where != nil {
+		kept := rel.rows[:0:0]
+		for _, r := range rel.rows {
+			ok, err := b.evalBool(sel.Where, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rel.rows = kept
+	}
+
+	// Projection: expand stars, determine output columns.
+	items, colNames, err := expandItems(sel, rel)
+	if err != nil {
+		return nil, err
+	}
+
+	aggregate := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !aggregate {
+		for _, it := range items {
+			if it.Expr != nil && sqltext.HasAggregate(it.Expr) {
+				aggregate = true
+				break
+			}
+		}
+	}
+
+	var out []types.Row
+	var srcRows []types.Row // representative source row per output row (for ORDER BY)
+	if aggregate {
+		out, srcRows, err = e.evalAggregateSelect(sel, items, rel, b)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		out = make([]types.Row, 0, len(rel.rows))
+		srcRows = rel.rows
+		for _, r := range rel.rows {
+			row := make(types.Row, len(items))
+			for i, it := range items {
+				v, err := b.eval(it.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out = append(out, row)
+		}
+	}
+
+	// DISTINCT.
+	if sel.Distinct {
+		seen := map[string]bool{}
+		kept := out[:0:0]
+		keptSrc := srcRows[:0:0]
+		for i, r := range out {
+			k := types.RowKey(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+			if i < len(srcRows) {
+				keptSrc = append(keptSrc, srcRows[i])
+			}
+		}
+		out = kept
+		srcRows = keptSrc
+	}
+
+	// ORDER BY.
+	if len(sel.OrderBy) > 0 {
+		if err := e.orderRows(sel, items, colNames, out, srcRows, b); err != nil {
+			return nil, err
+		}
+	}
+
+	// LIMIT / OFFSET.
+	if sel.Offset != nil {
+		n, err := evalIntArg(b, sel.Offset)
+		if err != nil {
+			return nil, err
+		}
+		if n > int64(len(out)) {
+			n = int64(len(out))
+		}
+		if n > 0 {
+			out = out[n:]
+		}
+	}
+	if sel.Limit != nil {
+		n, err := evalIntArg(b, sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if n < int64(len(out)) && n >= 0 {
+			out = out[:n]
+		}
+	}
+
+	// Copy rows out so callers never alias engine-internal storage.
+	final := make([]types.Row, len(out))
+	for i, r := range out {
+		final[i] = types.CloneRow(r)
+	}
+	return &Result{Columns: colNames, Rows: final}, nil
+}
+
+func evalIntArg(b *binder, e sqltext.Expr) (int64, error) {
+	v, err := b.eval(e, nil)
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt()
+}
+
+// projItem is a resolved projection item.
+type projItem struct {
+	Expr  sqltext.Expr
+	Alias string
+}
+
+// expandItems resolves stars against the relation and returns projection
+// expressions plus output column names.
+func expandItems(sel *sqltext.Select, rel *relation) ([]projItem, []string, error) {
+	var items []projItem
+	var names []string
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			qual := strings.ToLower(it.Table)
+			matched := false
+			for _, c := range rel.cols {
+				if c.hidden {
+					continue
+				}
+				if qual != "" && c.qual != qual {
+					continue
+				}
+				matched = true
+				ref := &sqltext.ColumnRef{Column: c.name}
+				if c.qual != "" {
+					ref.Table = c.qual
+				}
+				items = append(items, projItem{Expr: ref})
+				names = append(names, c.name)
+			}
+			if qual != "" && !matched {
+				return nil, nil, fmt.Errorf("engine: unknown table %s in %s.*", it.Table, it.Table)
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				if cr, ok := it.Expr.(*sqltext.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					name = it.Expr.String()
+				}
+			}
+			items = append(items, projItem{Expr: it.Expr, Alias: it.Alias})
+			names = append(names, name)
+		}
+	}
+	return items, names, nil
+}
+
+// evalAggregateSelect evaluates GROUP BY / aggregate projection.
+func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel *relation, b *binder) ([]types.Row, []types.Row, error) {
+	groups := map[string][]types.Row{}
+	var order []string
+	if len(sel.GroupBy) == 0 {
+		// Single implicit group; aggregates over an empty relation still
+		// produce one row (COUNT(*) = 0).
+		key := ""
+		groups[key] = rel.rows
+		order = append(order, key)
+	} else {
+		for _, r := range rel.rows {
+			keyVals := make(types.Row, len(sel.GroupBy))
+			for i, g := range sel.GroupBy {
+				v, err := b.eval(g, r)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyVals[i] = v
+			}
+			k := types.RowKey(keyVals)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+	}
+	var out []types.Row
+	var src []types.Row
+	for _, k := range order {
+		group := groups[k]
+		if sel.Having != nil {
+			hv, err := b.evalAgg(sel.Having, group)
+			if err != nil {
+				return nil, nil, err
+			}
+			keep := false
+			if !hv.IsNull() {
+				keep, err = hv.AsBool()
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		row := make(types.Row, len(items))
+		for i, it := range items {
+			v, err := b.evalAgg(it.Expr, group)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+		if len(group) > 0 {
+			src = append(src, group[0])
+		} else {
+			src = append(src, nil)
+		}
+	}
+	return out, src, nil
+}
+
+// orderRows sorts output (and keeps srcRows aligned). ORDER BY keys may
+// reference output aliases/columns or source-relation expressions.
+func (e *Engine) orderRows(sel *sqltext.Select, items []projItem, colNames []string, out []types.Row, srcRows []types.Row, b *binder) error {
+	type keyFn func(i int) (types.Value, error)
+	fns := make([]keyFn, len(sel.OrderBy))
+	for oi, o := range sel.OrderBy {
+		o := o
+		// Alias / output column reference?
+		if cr, ok := o.Expr.(*sqltext.ColumnRef); ok && cr.Table == "" {
+			pos := -1
+			for ci, n := range colNames {
+				if strings.EqualFold(n, cr.Column) {
+					pos = ci
+					break
+				}
+			}
+			if pos >= 0 {
+				p := pos
+				fns[oi] = func(i int) (types.Value, error) { return out[i][p], nil }
+				continue
+			}
+		}
+		// Positional: ORDER BY 2.
+		if lit, ok := o.Expr.(*sqltext.Literal); ok && lit.Value.Kind() == types.KindInt {
+			p := int(lit.Value.Int()) - 1
+			if p < 0 || p >= len(colNames) {
+				return fmt.Errorf("engine: ORDER BY position %d out of range", p+1)
+			}
+			fns[oi] = func(i int) (types.Value, error) { return out[i][p], nil }
+			continue
+		}
+		// Source expression.
+		expr := o.Expr
+		agg := sqltext.HasAggregate(expr)
+		fns[oi] = func(i int) (types.Value, error) {
+			if i >= len(srcRows) {
+				return types.Null, nil
+			}
+			if agg {
+				return b.evalAgg(expr, []types.Row{srcRows[i]})
+			}
+			return b.eval(expr, srcRows[i])
+		}
+	}
+	// Precompute keys.
+	keys := make([][]types.Value, len(out))
+	for i := range out {
+		keys[i] = make([]types.Value, len(fns))
+		for j, fn := range fns {
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			keys[i][j] = v
+		}
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, bIdx int) bool {
+		for j := range fns {
+			c, err := types.Compare(keys[idx[a]][j], keys[idx[bIdx]][j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if sel.OrderBy[j].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([]types.Row, len(out))
+	for i, p := range idx {
+		sorted[i] = out[p]
+	}
+	copy(out, sorted)
+	if len(srcRows) == len(out) {
+		sortedSrc := make([]types.Row, len(srcRows))
+		for i, p := range idx {
+			sortedSrc[i] = srcRows[p]
+		}
+		copy(srcRows, sortedSrc)
+	}
+	return nil
+}
+
+// buildFrom materializes the FROM clause (with joins) into a relation and
+// returns a binder over it. The WHERE clause is used for index fast paths
+// on single-table scans.
+func (e *Engine) buildFrom(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row) (*relation, *binder, error) {
+	left, err := e.buildTableRef(*sel.From, args, overrides, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, j := range sel.Joins {
+		right, err := e.buildTableRef(j.Right, args, overrides, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		left, err = e.join(left, right, j, args, overrides)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return left, newBinder(e, args, left, overrides), nil
+}
+
+// buildTableRef materializes one FROM entry. When sel is non-nil (single
+// base table with no joins), WHERE-based index fast paths may prune rows.
+func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row, sel *sqltext.Select) (*relation, error) {
+	if tr.Subquery != nil {
+		res, err := e.evalSelectWith(tr.Subquery, args, overrides)
+		if err != nil {
+			return nil, err
+		}
+		qual := strings.ToLower(tr.Alias)
+		rel := &relation{}
+		for _, n := range res.Columns {
+			rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(n)})
+		}
+		rel.rows = res.Rows
+		return rel, nil
+	}
+	name := tr.Table
+	qual := strings.ToLower(tr.Alias)
+	if qual == "" {
+		qual = strings.ToLower(name)
+	}
+
+	// View resolution: the backing table holds the materialized rows.
+	if v, ok := e.cat.View(name); ok {
+		name = v.Backing
+	}
+
+	schema, ok := e.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", tr.Table)
+	}
+	rel := &relation{}
+	for _, c := range schema.Columns {
+		rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(c.Name)})
+	}
+	rel.cols = append(rel.cols,
+		colMeta{qual: qual, name: catalog.SysTID, hidden: true},
+		colMeta{qual: qual, name: catalog.SysCreated, hidden: true},
+	)
+
+	// IVM override: substitute rows (user columns only; system columns 0).
+	if rows, ok := overrides[strings.ToLower(tr.Table)]; ok {
+		for _, r := range rows {
+			if len(r) != len(schema.Columns) {
+				return nil, fmt.Errorf("engine: override row arity %d for %s (want %d)", len(r), tr.Table, len(schema.Columns))
+			}
+			full := make(types.Row, 0, len(r)+2)
+			full = append(full, r...)
+			full = append(full, types.NewInt(0), types.NewInt(0))
+			rel.rows = append(rel.rows, full)
+		}
+		return rel, nil
+	}
+
+	tbl := e.store.Table(name)
+	if tbl == nil {
+		return nil, fmt.Errorf("engine: storage missing for table %q", name)
+	}
+
+	// Index fast path: single-table query with a point predicate.
+	if sel != nil && len(sel.Joins) == 0 && sel.Where != nil {
+		if tids, ok := e.fastPathTIDs(sel.Where, schema, tbl0{tbl}, qual, args); ok {
+			for _, tid := range tids {
+				if sr, found := tbl.Get(tid); found {
+					full := make(types.Row, 0, len(sr.Values)+2)
+					full = append(full, sr.Values...)
+					full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
+					rel.rows = append(rel.rows, full)
+				}
+			}
+			return rel, nil
+		}
+	}
+
+	for _, sr := range tbl.Rows() {
+		full := make(types.Row, 0, len(sr.Values)+2)
+		full = append(full, sr.Values...)
+		full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
+		rel.rows = append(rel.rows, full)
+	}
+	return rel, nil
+}
+
+// tbl0 is a tiny indirection so fastPathTIDs stays testable without
+// importing storage in its signature.
+type tbl0 struct {
+	t interface {
+		LookupPK(types.Value) (int64, bool)
+		HasPK() bool
+		PKCol() int
+	}
+}
+
+// fastPathTIDs recognizes point predicates usable for index access:
+//
+//	pk = <literal/param>         pk IN (<literals>)
+//	_tid = <literal/param>       _tid IN (<literals>)
+//
+// possibly as the left arm of a top-level AND chain. It returns candidate
+// tids (the full WHERE is still applied afterwards, so over-approximation
+// by conjunct is safe — we only use a conjunct that *restricts* rows).
+func (e *Engine) fastPathTIDs(where sqltext.Expr, schema *catalog.TableSchema, tw tbl0, qual string, args []types.Value) ([]int64, bool) {
+	// Walk the top-level AND chain and try each conjunct.
+	var conjuncts []sqltext.Expr
+	var collect func(sqltext.Expr)
+	collect = func(x sqltext.Expr) {
+		if bin, ok := x.(*sqltext.Binary); ok && bin.Op == "AND" {
+			collect(bin.L)
+			collect(bin.R)
+			return
+		}
+		conjuncts = append(conjuncts, x)
+	}
+	collect(where)
+
+	lit := func(x sqltext.Expr) (types.Value, bool) {
+		switch v := x.(type) {
+		case *sqltext.Literal:
+			return v.Value, true
+		case *sqltext.Param:
+			if v.Index < len(args) {
+				return args[v.Index], true
+			}
+		}
+		return types.Null, false
+	}
+	colMatches := func(cr *sqltext.ColumnRef, name string) bool {
+		if !strings.EqualFold(cr.Column, name) {
+			return false
+		}
+		return cr.Table == "" || strings.EqualFold(cr.Table, qual)
+	}
+
+	pkName := ""
+	if tw.t.HasPK() {
+		pkName = schema.Columns[tw.t.PKCol()].Name
+	}
+
+	for _, c := range conjuncts {
+		switch x := c.(type) {
+		case *sqltext.Binary:
+			if x.Op != "=" {
+				continue
+			}
+			cr, ok := x.L.(*sqltext.ColumnRef)
+			val, okV := lit(x.R)
+			if !ok || !okV {
+				// try reversed
+				cr, ok = x.R.(*sqltext.ColumnRef)
+				val, okV = lit(x.L)
+				if !ok || !okV {
+					continue
+				}
+			}
+			if val.IsNull() {
+				return nil, true // col = NULL matches nothing
+			}
+			if colMatches(cr, catalog.SysTID) {
+				tid, err := val.AsInt()
+				if err != nil {
+					continue
+				}
+				return []int64{tid}, true
+			}
+			if pkName != "" && colMatches(cr, pkName) {
+				if tid, found := tw.t.LookupPK(val); found {
+					return []int64{tid}, true
+				}
+				return nil, true
+			}
+		case *sqltext.InExpr:
+			if x.Not || x.Query != nil {
+				continue
+			}
+			cr, ok := x.X.(*sqltext.ColumnRef)
+			if !ok {
+				continue
+			}
+			isTID := colMatches(cr, catalog.SysTID)
+			isPK := pkName != "" && colMatches(cr, pkName)
+			if !isTID && !isPK {
+				continue
+			}
+			var tids []int64
+			usable := true
+			for _, le := range x.List {
+				v, okV := lit(le)
+				if !okV {
+					usable = false
+					break
+				}
+				if v.IsNull() {
+					continue
+				}
+				if isTID {
+					tid, err := v.AsInt()
+					if err != nil {
+						usable = false
+						break
+					}
+					tids = append(tids, tid)
+				} else {
+					if tid, found := tw.t.LookupPK(v); found {
+						tids = append(tids, tid)
+					}
+				}
+			}
+			if usable {
+				return tids, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// join combines two relations according to the join clause.
+func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row) (*relation, error) {
+	out := &relation{cols: append(append([]colMeta{}, left.cols...), right.cols...)}
+
+	concat := func(l, r types.Row) types.Row {
+		row := make(types.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		return append(row, r...)
+	}
+
+	if jc.Kind == "CROSS" {
+		for _, lr := range left.rows {
+			for _, rr := range right.rows {
+				out.rows = append(out.rows, concat(lr, rr))
+			}
+		}
+		return out, nil
+	}
+
+	b := newBinder(e, args, out, overrides)
+
+	// Hash join fast path: ON is a single equality between one column of
+	// each side.
+	if eq, ok := jc.On.(*sqltext.Binary); ok && eq.Op == "=" {
+		lcr, lok := eq.L.(*sqltext.ColumnRef)
+		rcr, rok := eq.R.(*sqltext.ColumnRef)
+		if lok && rok {
+			lb := newBinder(e, args, left, overrides)
+			rb := newBinder(e, args, right, overrides)
+			li, lerr := lb.resolve(lcr)
+			ri, rerr := rb.resolve(rcr)
+			if lerr != nil || rerr != nil {
+				// Maybe the refs are swapped relative to the sides.
+				li2, lerr2 := lb.resolve(rcr)
+				ri2, rerr2 := rb.resolve(lcr)
+				if lerr2 == nil && rerr2 == nil {
+					li, ri, lerr, rerr = li2, ri2, nil, nil
+				}
+			}
+			if lerr == nil && rerr == nil {
+				return hashJoin(left, right, li, ri, jc.Kind == "LEFT", concat, out), nil
+			}
+		}
+	}
+
+	// General nested-loop join.
+	for _, lr := range left.rows {
+		matched := false
+		for _, rr := range right.rows {
+			row := concat(lr, rr)
+			ok, err := b.evalBool(jc.On, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				out.rows = append(out.rows, row)
+			}
+		}
+		if !matched && jc.Kind == "LEFT" {
+			pad := make(types.Row, len(right.cols))
+			out.rows = append(out.rows, concat(lr, pad))
+		}
+	}
+	return out, nil
+}
+
+func hashJoin(left, right *relation, li, ri int, leftOuter bool, concat func(l, r types.Row) types.Row, out *relation) *relation {
+	idx := make(map[string][]int, len(right.rows))
+	for i, rr := range right.rows {
+		v := rr[ri]
+		if v.IsNull() {
+			continue
+		}
+		k := v.HashKey()
+		idx[k] = append(idx[k], i)
+	}
+	for _, lr := range left.rows {
+		v := lr[li]
+		var matches []int
+		if !v.IsNull() {
+			matches = idx[v.HashKey()]
+		}
+		if len(matches) == 0 {
+			if leftOuter {
+				pad := make(types.Row, len(right.cols))
+				out.rows = append(out.rows, concat(lr, pad))
+			}
+			continue
+		}
+		for _, m := range matches {
+			out.rows = append(out.rows, concat(lr, right.rows[m]))
+		}
+	}
+	return out
+}

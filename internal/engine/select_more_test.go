@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ediflow/internal/types"
+)
+
+func TestFromSubqueryWithJoin(t *testing.T) {
+	e := newTestDB(t)
+	seedUsers(t, e)
+	mustExec(t, e, "CREATE TABLE orders (oid INT PRIMARY KEY, uid INT, total FLOAT)")
+	mustExec(t, e, "INSERT INTO orders VALUES (1, 1, 10.0), (2, 2, 20.0), (3, 1, 5.0)")
+	res := mustExec(t, e, `
+		SELECT u.name, s.total
+		FROM users u JOIN (SELECT uid, SUM(total) AS total FROM orders GROUP BY uid) AS s
+		ON u.id = s.uid ORDER BY s.total DESC`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%v", res.Rows)
+	}
+	if res.Rows[0][0].Str() != "bob" || res.Rows[1][1].Float() != 15.0 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE a (x INT)")
+	mustExec(t, e, "CREATE TABLE b (x INT, y INT)")
+	mustExec(t, e, "CREATE TABLE c (y INT, z STRING)")
+	mustExec(t, e, "INSERT INTO a VALUES (1), (2)")
+	mustExec(t, e, "INSERT INTO b VALUES (1, 10), (2, 20), (3, 30)")
+	mustExec(t, e, "INSERT INTO c VALUES (10, 'ten'), (20, 'twenty')")
+	res := mustExec(t, e, "SELECT c.z FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y ORDER BY c.z")
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "ten" {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestOrderByStringsAndMixedDirections(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (grp STRING, v INT)")
+	mustExec(t, e, "INSERT INTO t VALUES ('b', 1), ('a', 2), ('b', 3), ('a', 1)")
+	res := mustExec(t, e, "SELECT grp, v FROM t ORDER BY grp, v DESC")
+	want := [][2]string{{"a", "2"}, {"a", "1"}, {"b", "3"}, {"b", "1"}}
+	for i, w := range want {
+		if res.Rows[i][0].Str() != w[0] || res.Rows[i][1].String() != w[1] {
+			t.Fatalf("row %d: %v", i, res.Rows[i])
+		}
+	}
+}
+
+func TestLimitOffsetEdges(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	for i := 0; i < 5; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	if res := mustExec(t, e, "SELECT a FROM t ORDER BY a LIMIT 0"); len(res.Rows) != 0 {
+		t.Fatal("LIMIT 0")
+	}
+	if res := mustExec(t, e, "SELECT a FROM t ORDER BY a LIMIT 99"); len(res.Rows) != 5 {
+		t.Fatal("LIMIT beyond size")
+	}
+	if res := mustExec(t, e, "SELECT a FROM t ORDER BY a OFFSET 99"); len(res.Rows) != 0 {
+		t.Fatal("OFFSET beyond size")
+	}
+	res := mustExec(t, e, "SELECT a FROM t ORDER BY a LIMIT ? OFFSET ?", types.NewInt(2), types.NewInt(1))
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1), (2)")
+	res := mustExec(t, e, "SELECT COUNT(*) FROM t HAVING COUNT(*) > 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("%v", res.Rows)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM t HAVING COUNT(*) > 5")
+	if len(res.Rows) != 0 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	res := mustExec(t, e, "SELECT a % 3, COUNT(*) FROM t GROUP BY a % 3 ORDER BY 1")
+	if len(res.Rows) != 3 || res.Rows[0][1].Int() != 4 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestStringConcatOperator(t *testing.T) {
+	e := newTestDB(t)
+	res := mustExec(t, e, "SELECT 'a' || 'b' || 3")
+	if res.Rows[0][0].Str() != "ab3" {
+		t.Fatalf("%v", res.Rows)
+	}
+	res = mustExec(t, e, "SELECT 'a' || NULL")
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestCaseWithOperand(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1), (2), (3)")
+	res := mustExec(t, e, "SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END FROM t ORDER BY a")
+	if res.Rows[0][0].Str() != "one" || res.Rows[1][0].Str() != "two" || res.Rows[2][0].Str() != "many" {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+// Property: engine ORDER BY agrees with a reference sort on random data,
+// including NULL placement (NULL sorts first ascending).
+func TestOrderByAgainstReference(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (a INT, b INT)")
+	rng := rand.New(rand.NewSource(77))
+	type row struct {
+		a    int64
+		null bool
+		b    int64
+	}
+	var rows []row
+	for i := 0; i < 80; i++ {
+		r := row{a: int64(rng.Intn(10)), null: rng.Intn(5) == 0, b: int64(i)}
+		rows = append(rows, r)
+		if r.null {
+			mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (NULL, %d)", r.b))
+		} else {
+			mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", r.a, r.b))
+		}
+	}
+	res := mustExec(t, e, "SELECT a, b FROM t ORDER BY a, b DESC")
+	// Reference sort: NULL first, then a asc; ties by b desc.
+	sorted := append([]row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ri, rj := sorted[i], sorted[j]
+		if ri.null != rj.null {
+			return ri.null
+		}
+		if !ri.null && ri.a != rj.a {
+			return ri.a < rj.a
+		}
+		return ri.b > rj.b
+	})
+	for i, want := range sorted {
+		got := res.Rows[i]
+		if want.null != got[0].IsNull() {
+			t.Fatalf("row %d: null mismatch: %v vs %+v", i, got, want)
+		}
+		if !want.null && got[0].Int() != want.a {
+			t.Fatalf("row %d: a=%v want %d", i, got[0], want.a)
+		}
+		if got[1].Int() != want.b {
+			t.Fatalf("row %d: b=%v want %d", i, got[1], want.b)
+		}
+	}
+}
+
+func TestMinMaxOverStrings(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, "CREATE TABLE t (s STRING)")
+	mustExec(t, e, "INSERT INTO t VALUES ('pear'), ('apple'), ('zucchini'), (NULL)")
+	res := mustExec(t, e, "SELECT MIN(s), MAX(s) FROM t")
+	if res.Rows[0][0].Str() != "apple" || res.Rows[0][1].Str() != "zucchini" {
+		t.Fatalf("%v", res.Rows)
+	}
+}

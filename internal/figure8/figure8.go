@@ -1,0 +1,309 @@
+// Package figure8 reproduces the robustness experiment of §VII-C
+// (Figure 8): the time to perform an insert operation as a function of
+// the number of inserted tuples, broken into the paper's five steps.
+//
+// Setup (mirroring the paper's two EdiFlow machines + DBMS): one
+// notification client plays the first EdiFlow machine (computes visual
+// attributes when the Author table changes); a second client plays the
+// display machine (extracts new nodes from VisualAttributes and inserts
+// them into its display). All protocol traffic crosses real loopback TCP.
+//
+// The measured steps, in the paper's order:
+//
+//  1. message parsing after the insertion into the authors table
+//  2. inserting the resulting tuples into the VisualAttributes table
+//  3. message parsing after the insertion into VisualAttributes
+//  4. extracting the visual attributes of the new nodes (select)
+//  5. inserting the new nodes into the display
+package figure8
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/notify"
+	"ediflow/internal/types"
+	"ediflow/internal/vis"
+)
+
+// Steps are the five measured phases plus the total.
+type Steps struct {
+	N              int           // inserted tuples
+	ParseAuthorMsg time.Duration // step 1
+	InsertVisAttrs time.Duration // step 2
+	ParseVisMsg    time.Duration // step 3
+	ExtractSelect  time.Duration // step 4
+	InsertDisplay  time.Duration // step 5
+}
+
+// Total sums the five steps.
+func (s Steps) Total() time.Duration {
+	return s.ParseAuthorMsg + s.InsertVisAttrs + s.ParseVisMsg + s.ExtractSelect + s.InsertDisplay
+}
+
+// Harness wires the experiment.
+type Harness struct {
+	DB       *database.DB
+	notifier *notify.Notifier
+
+	authorClient  *notify.Client // EdiFlow machine 1: watches authors
+	displayClient *notify.Client // EdiFlow machine 2: watches VisualAttributes
+
+	comp    *vis.Component
+	display map[int64]vis.Attr // the display's in-memory node set
+	nextID  int64
+	rng     *rand.Rand
+	ownDB   bool
+}
+
+// NewHarness builds the experiment over a fresh in-memory platform.
+func NewHarness() (*Harness, error) {
+	db, err := database.Open("")
+	if err != nil {
+		return nil, err
+	}
+	h, err := newWithDB(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	h.ownDB = true
+	return h, nil
+}
+
+func newWithDB(db *database.DB) (*Harness, error) {
+	n, err := notify.NewNotifier(db)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec("CREATE TABLE IF NOT EXISTS authors (id INT PRIMARY KEY, name STRING NOT NULL)"); err != nil {
+		return nil, err
+	}
+	v, err := vis.NewVisualization(db, "figure8")
+	if err != nil {
+		return nil, err
+	}
+	comp, err := v.AddComponent("graph", "node-link")
+	if err != nil {
+		return nil, err
+	}
+	authorClient, err := notify.Connect(db, "machine1", "authors")
+	if err != nil {
+		return nil, err
+	}
+	displayClient, err := notify.Connect(db, "machine2", database.TableVisualAttributes)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{
+		DB:            db,
+		notifier:      n,
+		authorClient:  authorClient,
+		displayClient: displayClient,
+		comp:          comp,
+		display:       map[int64]vis.Attr{},
+		rng:           rand.New(rand.NewSource(8)),
+	}, nil
+}
+
+// Close tears the harness down.
+func (h *Harness) Close() {
+	h.authorClient.Close()
+	h.displayClient.Close()
+	h.notifier.Close()
+	if h.ownDB {
+		h.DB.Close()
+	}
+}
+
+// waitNotify blocks until a NOTIFY for the table arrives on the channel.
+func waitNotify(c *notify.Client, table string) (notify.Message, string, error) {
+	for {
+		select {
+		case m := <-c.C:
+			if strings.EqualFold(m.Table, table) {
+				return m, m.Format(), nil
+			}
+		case <-time.After(10 * time.Second):
+			return notify.Message{}, "", fmt.Errorf("figure8: timed out waiting for NOTIFY %s", table)
+		}
+	}
+}
+
+// parseStep re-parses the wire line and decodes the notification's tid
+// list — the paper's "message parsing" cost (steps 1 and 3): extracting
+// the new tuple information from the compact message.
+func (h *Harness) parseStep(line string, seq int64) ([]int64, time.Duration, error) {
+	start := time.Now()
+	msg, err := notify.ParseMessage(line)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := h.DB.Query("SELECT tids FROM "+database.TableNotification+" WHERE seq_no = ?", types.NewInt(seq))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(res.Rows) != 1 {
+		return nil, 0, fmt.Errorf("figure8: notification %d not found", seq)
+	}
+	tids, err := notify.DecodeTIDs(res.Rows[0][0].Str())
+	if err != nil {
+		return nil, 0, err
+	}
+	_ = msg
+	return tids, time.Since(start), nil
+}
+
+// RunBatch performs one full insert-propagation cycle for n tuples and
+// returns the per-step timings.
+func (h *Harness) RunBatch(n int) (Steps, error) {
+	steps := Steps{N: n}
+
+	// Drain any stale notifications.
+	for len(h.authorClient.C) > 0 {
+		<-h.authorClient.C
+	}
+	for len(h.displayClient.C) > 0 {
+		<-h.displayClient.C
+	}
+
+	// The external update: n new authors in one statement.
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO authors (id, name) VALUES ")
+	var args []types.Value
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(?, ?)")
+		h.nextID++
+		args = append(args, types.NewInt(h.nextID), types.NewString(fmt.Sprintf("author-%d", h.nextID)))
+	}
+	if _, err := h.DB.Exec(sb.String(), args...); err != nil {
+		return steps, err
+	}
+
+	// Step 1: machine 1 receives and parses the authors NOTIFY.
+	msg, line, err := waitNotify(h.authorClient, "authors")
+	if err != nil {
+		return steps, err
+	}
+	authorTIDs, d1, err := h.parseStep(line, msg.Seq)
+	if err != nil {
+		return steps, err
+	}
+	steps.ParseAuthorMsg = d1
+	if len(authorTIDs) != n {
+		return steps, fmt.Errorf("figure8: expected %d tids, got %d", n, len(authorTIDs))
+	}
+	h.authorClient.Ack(msg.Seq)
+
+	// Step 2: machine 1 computes attributes for the new authors and
+	// inserts them into VisualAttributes (one statement; this is the
+	// dominating cost in the paper).
+	attrs := make(map[int64]vis.Attr, n)
+	res, err := h.DB.Query(fmt.Sprintf("SELECT id FROM authors WHERE _tid IN (%s)", tidList(authorTIDs)))
+	if err != nil {
+		return steps, err
+	}
+	for _, r := range res.Rows {
+		attrs[r[0].Int()] = vis.Attr{
+			X: h.rng.Float64() * 100, Y: h.rng.Float64() * 100,
+			Color: "#3366cc", Label: fmt.Sprintf("a%d", r[0].Int()),
+		}
+	}
+	t2 := time.Now()
+	if err := h.comp.InsertAttributes(attrs); err != nil {
+		return steps, err
+	}
+	steps.InsertVisAttrs = time.Since(t2)
+
+	// Step 3: the display machine receives and parses the VA NOTIFY.
+	msg, line, err = waitNotify(h.displayClient, database.TableVisualAttributes)
+	if err != nil {
+		return steps, err
+	}
+	vaTIDs, d3, err := h.parseStep(line, msg.Seq)
+	if err != nil {
+		return steps, err
+	}
+	steps.ParseVisMsg = d3
+	h.displayClient.Ack(msg.Seq)
+
+	// Step 4: extract the new nodes from VisualAttributes (select by tid).
+	t4 := time.Now()
+	res, err = h.DB.Query(fmt.Sprintf(
+		"SELECT obj_id, x, y, color, label FROM %s WHERE _tid IN (%s)",
+		database.TableVisualAttributes, tidList(vaTIDs)))
+	if err != nil {
+		return steps, err
+	}
+	steps.ExtractSelect = time.Since(t4)
+	if len(res.Rows) != n {
+		return steps, fmt.Errorf("figure8: extracted %d rows, want %d", len(res.Rows), n)
+	}
+
+	// Step 5: insert the new nodes into the display structure.
+	t5 := time.Now()
+	for _, r := range res.Rows {
+		h.display[r[0].Int()] = vis.Attr{
+			X: r[1].Float(), Y: r[2].Float(),
+			Color: r[3].AsString(), Label: r[4].AsString(),
+		}
+	}
+	steps.InsertDisplay = time.Since(t5)
+	return steps, nil
+}
+
+// DisplaySize reports the number of nodes in the simulated display.
+func (h *Harness) DisplaySize() int { return len(h.display) }
+
+func tidList(tids []int64) string {
+	var sb strings.Builder
+	for i, t := range tids {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", t)
+	}
+	return sb.String()
+}
+
+// Run executes the full sweep and returns one Steps row per batch size.
+func Run(sizes []int) ([]Steps, error) {
+	h, err := NewHarness()
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	var out []Steps
+	for _, n := range sizes {
+		s, err := h.RunBatch(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatTable renders the rows like the Figure 8 series.
+func FormatTable(rows []Steps) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %18s %18s %18s %18s %18s %14s\n",
+		"#tuples", "parse(author msg)", "insert VisAttrs", "parse(VA msg)", "extract(select)", "insert display", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %18s %18s %18s %18s %18s %14s\n",
+			r.N,
+			r.ParseAuthorMsg.Round(time.Microsecond),
+			r.InsertVisAttrs.Round(time.Microsecond),
+			r.ParseVisMsg.Round(time.Microsecond),
+			r.ExtractSelect.Round(time.Microsecond),
+			r.InsertDisplay.Round(time.Microsecond),
+			r.Total().Round(time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package figure8
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBatchPipeline(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	s, err := h.RunBatch(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 25 {
+		t.Fatalf("%+v", s)
+	}
+	for name, d := range map[string]int64{
+		"parse author": s.ParseAuthorMsg.Nanoseconds(),
+		"insert va":    s.InsertVisAttrs.Nanoseconds(),
+		"parse va":     s.ParseVisMsg.Nanoseconds(),
+		"extract":      s.ExtractSelect.Nanoseconds(),
+		"display":      s.InsertDisplay.Nanoseconds(),
+	} {
+		if d <= 0 {
+			t.Errorf("step %s has no measured time", name)
+		}
+	}
+	if h.DisplaySize() != 25 {
+		t.Fatalf("display size: %d", h.DisplaySize())
+	}
+	// A second batch accumulates.
+	if _, err := h.RunBatch(10); err != nil {
+		t.Fatal(err)
+	}
+	if h.DisplaySize() != 35 {
+		t.Fatalf("display size: %d", h.DisplaySize())
+	}
+}
+
+func TestRunSweepAndFormat(t *testing.T) {
+	rows, err := Run([]int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].N != 20 {
+		t.Fatalf("%+v", rows)
+	}
+	table := FormatTable(rows)
+	if !strings.Contains(table, "insert VisAttrs") || !strings.Contains(table, "total") {
+		t.Fatalf("table:\n%s", table)
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines: %d", len(lines))
+	}
+}
+
+// The Figure 8 shape: times grow with batch size and the VisualAttributes
+// insert dominates the pipeline for large batches.
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-shape test")
+	}
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// Warm up.
+	if _, err := h.RunBatch(50); err != nil {
+		t.Fatal(err)
+	}
+	small, err := h.RunBatch(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := h.RunBatch(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Total() <= small.Total() {
+		t.Fatalf("total must grow with batch size: %v vs %v", small.Total(), large.Total())
+	}
+	// Dominating step (paper: "the dominating time is required to write in
+	// the VisualAttributes table").
+	if large.InsertVisAttrs < large.ParseAuthorMsg || large.InsertVisAttrs < large.ParseVisMsg {
+		t.Fatalf("insert step should dominate parsing: %+v", large)
+	}
+}

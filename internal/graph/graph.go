@@ -1,0 +1,296 @@
+// Package graph provides the undirected weighted graph structure used by
+// the layout algorithms and the co-publication workload (§VII): nodes with
+// string labels, weighted edges, neighbor access, and deterministic
+// generators for community-structured graphs of the INRIA co-publication
+// shape (~4,500 nodes, ~10,000 edges).
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies a node.
+type NodeID int64
+
+// Edge is one undirected weighted edge.
+type Edge struct {
+	A, B   NodeID
+	Weight float64
+}
+
+// Graph is an undirected weighted multigraph-free graph.
+type Graph struct {
+	nodes  map[NodeID]string // id → label
+	adj    map[NodeID]map[NodeID]float64
+	nedges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: map[NodeID]string{},
+		adj:   map[NodeID]map[NodeID]float64{},
+	}
+}
+
+// AddNode inserts (or relabels) a node.
+func (g *Graph) AddNode(id NodeID, label string) {
+	if _, ok := g.nodes[id]; !ok {
+		g.adj[id] = map[NodeID]float64{}
+	}
+	g.nodes[id] = label
+}
+
+// HasNode reports membership.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// Label returns a node's label.
+func (g *Graph) Label(id NodeID) string { return g.nodes[id] }
+
+// RemoveNode deletes a node and its incident edges.
+func (g *Graph) RemoveNode(id NodeID) {
+	if _, ok := g.nodes[id]; !ok {
+		return
+	}
+	for nb := range g.adj[id] {
+		delete(g.adj[nb], id)
+		g.nedges--
+	}
+	delete(g.adj, id)
+	delete(g.nodes, id)
+}
+
+// AddEdge inserts an undirected edge (idempotent; re-adding updates the
+// weight). Self-loops are ignored. Both endpoints must exist.
+func (g *Graph) AddEdge(a, b NodeID, w float64) error {
+	if a == b {
+		return nil
+	}
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return fmt.Errorf("graph: edge (%d,%d) references missing node", a, b)
+	}
+	if _, exists := g.adj[a][b]; !exists {
+		g.nedges++
+	}
+	g.adj[a][b] = w
+	g.adj[b][a] = w
+	return nil
+}
+
+// RemoveEdge deletes an edge if present.
+func (g *Graph) RemoveEdge(a, b NodeID) {
+	if _, ok := g.adj[a][b]; ok {
+		delete(g.adj[a], b)
+		delete(g.adj[b], a)
+		g.nedges--
+	}
+}
+
+// HasEdge reports whether the edge exists.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Weight returns an edge's weight (0 if absent).
+func (g *Graph) Weight(a, b NodeID) float64 { return g.adj[a][b] }
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return g.nedges }
+
+// Nodes returns all node ids, sorted (deterministic iteration).
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges with A < B, sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.nedges)
+	for a, nbs := range g.adj {
+		for b, w := range nbs {
+			if a < b {
+				out = append(out, Edge{A: a, B: b, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Neighbors returns a node's neighbors, sorted.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.adj[id]))
+	for nb := range g.adj[id] {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of incident edges.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// WeightedDegree returns the sum of incident edge weights.
+func (g *Graph) WeightedDegree(id NodeID) float64 {
+	var s float64
+	for _, w := range g.adj[id] {
+		s += w
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for id, label := range g.nodes {
+		c.AddNode(id, label)
+	}
+	for a, nbs := range g.adj {
+		for b, w := range nbs {
+			if a < b {
+				c.AddEdge(a, b, w)
+			}
+		}
+	}
+	return c
+}
+
+// Components returns the connected components as sorted id slices, largest
+// first.
+func (g *Graph) Components() [][]NodeID {
+	seen := map[NodeID]bool{}
+	var comps [][]NodeID
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for nb := range g.adj[n] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// ------------------------------------------------------------ generators
+
+// CommunityConfig parameterizes GenerateCommunity.
+type CommunityConfig struct {
+	Nodes       int
+	Communities int
+	// IntraProb is the probability weight of attaching within the
+	// community; the rest of a node's edges go anywhere (rewiring).
+	IntraProb float64
+	// AvgDegree controls the edge count: edges ≈ Nodes*AvgDegree/2.
+	AvgDegree float64
+	Seed      int64
+}
+
+// GenerateCommunity builds a community-structured graph via preferential
+// attachment within communities plus random rewiring — the degree shape of
+// co-authorship networks (the paper's INRIA co-publication graph).
+func GenerateCommunity(cfg CommunityConfig) *Graph {
+	if cfg.Nodes <= 0 {
+		return New()
+	}
+	if cfg.Communities <= 0 {
+		cfg.Communities = 1
+	}
+	if cfg.AvgDegree <= 0 {
+		cfg.AvgDegree = 4
+	}
+	if cfg.IntraProb <= 0 || cfg.IntraProb > 1 {
+		cfg.IntraProb = 0.9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New()
+	community := make([]int, cfg.Nodes)
+	byCommunity := make([][]NodeID, cfg.Communities)
+	for i := 0; i < cfg.Nodes; i++ {
+		id := NodeID(i + 1)
+		c := i % cfg.Communities
+		community[i] = c
+		g.AddNode(id, fmt.Sprintf("author-%d", id))
+		byCommunity[c] = append(byCommunity[c], id)
+	}
+	targetEdges := int(float64(cfg.Nodes) * cfg.AvgDegree / 2)
+	// Preferential attachment pool: nodes appear once per degree + 1.
+	pool := make([]NodeID, 0, targetEdges*2+cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		pool = append(pool, NodeID(i+1))
+	}
+	attempts := 0
+	for g.EdgeCount() < targetEdges && attempts < targetEdges*20 {
+		attempts++
+		a := NodeID(rng.Intn(cfg.Nodes) + 1)
+		var b NodeID
+		if rng.Float64() < cfg.IntraProb {
+			// Within the community, preferring high-degree members.
+			members := byCommunity[community[a-1]]
+			b = members[rng.Intn(len(members))]
+			if g.Degree(b) < 1 && len(members) > 1 {
+				b = members[rng.Intn(len(members))]
+			}
+		} else {
+			b = pool[rng.Intn(len(pool))]
+		}
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		w := 1 + float64(rng.Intn(5)) // co-publication counts 1..5
+		g.AddEdge(a, b, w)
+		pool = append(pool, a, b)
+	}
+	return g
+}
+
+// GenerateRandom builds an Erdős–Rényi-ish graph (baseline workloads).
+func GenerateRandom(nodes, edges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for i := 0; i < nodes; i++ {
+		g.AddNode(NodeID(i+1), fmt.Sprintf("n%d", i+1))
+	}
+	attempts := 0
+	for g.EdgeCount() < edges && attempts < edges*20 {
+		attempts++
+		a := NodeID(rng.Intn(nodes) + 1)
+		b := NodeID(rng.Intn(nodes) + 1)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		g.AddEdge(a, b, 1)
+	}
+	return g
+}

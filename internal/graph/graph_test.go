@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for i := 1; i <= 4; i++ {
+		g.AddNode(NodeID(i), "")
+	}
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 2)
+	g.AddEdge(3, 1, 1)
+	return g
+}
+
+func TestBasicOps(t *testing.T) {
+	g := small(t)
+	if g.NodeCount() != 4 || g.EdgeCount() != 3 {
+		t.Fatalf("%d nodes, %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("undirected edge")
+	}
+	if g.Weight(2, 3) != 2 {
+		t.Error("weight")
+	}
+	if g.Degree(3) != 2 || g.Degree(4) != 0 {
+		t.Error("degree")
+	}
+	if g.WeightedDegree(2) != 3 {
+		t.Errorf("weighted degree: %f", g.WeightedDegree(2))
+	}
+	nbs := g.Neighbors(1)
+	if len(nbs) != 2 || nbs[0] != 2 || nbs[1] != 3 {
+		t.Errorf("neighbors: %v", nbs)
+	}
+}
+
+func TestSelfLoopAndMissingNode(t *testing.T) {
+	g := small(t)
+	g.AddEdge(1, 1, 1)
+	if g.EdgeCount() != 3 {
+		t.Error("self loop must be ignored")
+	}
+	if err := g.AddEdge(1, 99, 1); err == nil {
+		t.Error("edge to missing node must fail")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := small(t)
+	g.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) || g.EdgeCount() != 2 {
+		t.Error("remove edge")
+	}
+	g.RemoveNode(3)
+	if g.HasNode(3) || g.EdgeCount() != 0 {
+		t.Errorf("remove node: %d edges left", g.EdgeCount())
+	}
+	g.RemoveNode(3) // idempotent
+}
+
+func TestEdgesSortedAndClone(t *testing.T) {
+	g := small(t)
+	es := g.Edges()
+	if len(es) != 3 || es[0].A != 1 || es[0].B != 2 {
+		t.Errorf("%+v", es)
+	}
+	c := g.Clone()
+	c.RemoveNode(1)
+	if !g.HasNode(1) || g.EdgeCount() != 3 {
+		t.Error("clone must be independent")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := small(t)
+	g.AddNode(5, "")
+	g.AddNode(6, "")
+	g.AddEdge(5, 6, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components: %d", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("%v", comps)
+	}
+}
+
+func TestGenerateCommunityShape(t *testing.T) {
+	cfg := CommunityConfig{Nodes: 500, Communities: 10, AvgDegree: 4, Seed: 1}
+	g := GenerateCommunity(cfg)
+	if g.NodeCount() != 500 {
+		t.Fatalf("nodes: %d", g.NodeCount())
+	}
+	target := 500 * 4 / 2
+	if g.EdgeCount() < target*8/10 {
+		t.Fatalf("edges: %d, want ≈%d", g.EdgeCount(), target)
+	}
+	// Deterministic per seed.
+	g2 := GenerateCommunity(cfg)
+	if g2.EdgeCount() != g.EdgeCount() {
+		t.Error("generator not deterministic")
+	}
+	// Different seeds differ.
+	cfg.Seed = 2
+	g3 := GenerateCommunity(cfg)
+	same := true
+	for _, e := range g.Edges() {
+		if !g3.HasEdge(e.A, e.B) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateRandom(t *testing.T) {
+	g := GenerateRandom(100, 200, 7)
+	if g.NodeCount() != 100 || g.EdgeCount() < 150 {
+		t.Fatalf("%d nodes %d edges", g.NodeCount(), g.EdgeCount())
+	}
+}
+
+// Property: edge count bookkeeping stays consistent under add/remove.
+func TestEdgeCountConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := New()
+		for i := 1; i <= 10; i++ {
+			g.AddNode(NodeID(i), "")
+		}
+		for _, op := range ops {
+			a := NodeID(op%10 + 1)
+			b := NodeID((op/10)%10 + 1)
+			if op%2 == 0 {
+				g.AddEdge(a, b, 1)
+			} else {
+				g.RemoveEdge(a, b)
+			}
+		}
+		// Recount from adjacency.
+		count := 0
+		for _, id := range g.Nodes() {
+			count += g.Degree(id)
+		}
+		return count == g.EdgeCount()*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

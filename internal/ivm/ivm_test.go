@@ -1,0 +1,212 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"ediflow/internal/engine"
+	"ediflow/internal/ivm"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/storage"
+	"ediflow/internal/types"
+)
+
+// newEval builds a real engine as the Evaluator (the intended wiring).
+func newEval(t *testing.T, ddl ...string) *engine.Engine {
+	t.Helper()
+	st, err := storage.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	for _, s := range ddl {
+		if _, err := e.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func parseSel(t *testing.T, q string) *sqltext.Select {
+	t.Helper()
+	st, err := sqltext.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*sqltext.Select)
+}
+
+func TestClassification(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)", "CREATE TABLE s (k STRING, w INT)")
+	cases := []struct {
+		q     string
+		class ivm.Class
+		err   bool
+	}{
+		{"SELECT k, v FROM t WHERE v > 1", ivm.ClassDeltaQuery, false},
+		{"SELECT t.k, s.w FROM t JOIN s ON t.k = s.k", ivm.ClassDeltaQuery, false},
+		{"SELECT k, COUNT(*) FROM t GROUP BY k", ivm.ClassAggregate, false},
+		{"SELECT COUNT(*) FROM t", ivm.ClassAggregate, false},
+		{"SELECT k FROM t ORDER BY k", 0, true},
+		{"SELECT k FROM t LIMIT 3", 0, true},
+		{"SELECT DISTINCT k FROM t", 0, true},
+		{"SELECT a.k FROM t a, t b", 0, true},                                     // self join
+		{"SELECT t.k, COUNT(*) FROM t JOIN s ON t.k = s.k GROUP BY t.k", 0, true}, // agg over join
+		{"SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k", 0, true},
+		{"SELECT v, COUNT(*) FROM t GROUP BY k", 0, true}, // output not grouped
+		{"SELECT x.k FROM (SELECT k FROM t) AS x", 0, true},
+		{"SELECT a.k FROM t a LEFT JOIN s b ON a.k = b.k", 0, true},
+	}
+	for _, c := range cases {
+		m, err := ivm.New("v", parseSel(t, c.q), e)
+		if c.err {
+			if err == nil {
+				t.Errorf("%q should be rejected, got class %v", c.q, m.Class())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.q, err)
+			continue
+		}
+		if m.Class() != c.class {
+			t.Errorf("%q: class %v, want %v", c.q, m.Class(), c.class)
+		}
+	}
+}
+
+func TestDependsOnAndTables(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)", "CREATE TABLE s (k STRING, w INT)")
+	m, err := ivm.New("v", parseSel(t, "SELECT t.k FROM t JOIN s ON t.k = s.k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.DependsOn("T") || !m.DependsOn("s") || m.DependsOn("other") {
+		t.Error("DependsOn")
+	}
+	if len(m.Tables()) != 2 {
+		t.Errorf("%v", m.Tables())
+	}
+}
+
+func TestDeltaQueryMaintainer(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	e.Exec("INSERT INTO t VALUES ('a', 5), ('b', 50)")
+	m, err := ivm.New("big", parseSel(t, "SELECT k, v FROM t WHERE v > 10"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := m.Init()
+	if err != nil || len(init) != 1 || init[0][0].Str() != "b" {
+		t.Fatalf("%v %v", init, err)
+	}
+	// Insert delta: only matching rows come back as adds.
+	adds, removes, err := m.Delta("t", []types.Row{
+		{types.NewString("c"), types.NewInt(99)},
+		{types.NewString("d"), types.NewInt(1)},
+	}, nil)
+	if err != nil || len(adds) != 1 || len(removes) != 0 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+	if adds[0][0].Str() != "c" {
+		t.Fatalf("%v", adds)
+	}
+	// Delete delta.
+	adds, removes, err = m.Delta("t", nil, []types.Row{{types.NewString("b"), types.NewInt(50)}})
+	if err != nil || len(adds) != 0 || len(removes) != 1 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+	// Unrelated table: no-op.
+	adds, removes, err = m.Delta("other", []types.Row{{types.NewInt(1)}}, nil)
+	if err != nil || adds != nil || removes != nil {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+}
+
+func TestAggregateMaintainerCounting(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	e.Exec("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 3)")
+	m, err := ivm.New("agg", parseSel(t, "SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo FROM t GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := m.Init()
+	if err != nil || len(init) != 2 {
+		t.Fatalf("%v %v", init, err)
+	}
+
+	// Insert into an existing group: emits remove(old)+add(new).
+	e.Exec("INSERT INTO t VALUES ('a', 0)") // keep base in sync for MIN recompute
+	adds, removes, err := m.Delta("t", []types.Row{{types.NewString("a"), types.NewInt(0)}}, nil)
+	if err != nil || len(adds) != 1 || len(removes) != 1 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+	if adds[0][1].Int() != 3 || adds[0][2].Int() != 3 || adds[0][3].Int() != 0 {
+		t.Fatalf("group a after insert: %v", adds[0])
+	}
+
+	// Delete the MIN: forces the recompute path against the base table.
+	e.Exec("DELETE FROM t WHERE k = 'a' AND v = 0")
+	adds, removes, err = m.Delta("t", nil, []types.Row{{types.NewString("a"), types.NewInt(0)}})
+	if err != nil || len(adds) != 1 || len(removes) != 1 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+	if adds[0][3].Int() != 1 {
+		t.Fatalf("MIN after extreme delete: %v", adds[0])
+	}
+
+	// Delete the whole group: emits a bare remove.
+	e.Exec("DELETE FROM t WHERE k = 'b'")
+	adds, removes, err = m.Delta("t", nil, []types.Row{{types.NewString("b"), types.NewInt(3)}})
+	if err != nil || len(adds) != 0 || len(removes) != 1 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+
+	// Deleting from an unknown group is a state error.
+	if _, _, err := m.Delta("t", nil, []types.Row{{types.NewString("ghost"), types.NewInt(1)}}); err == nil {
+		t.Error("unknown-group delete must error")
+	}
+}
+
+func TestAggregateWhereFilter(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	m, err := ivm.New("agg", parseSel(t, "SELECT k, COUNT(*) AS n FROM t WHERE v >= 10 GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	// A filtered-out row changes nothing.
+	adds, removes, err := m.Delta("t", []types.Row{{types.NewString("a"), types.NewInt(1)}}, nil)
+	if err != nil || len(adds) != 0 || len(removes) != 0 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+	adds, _, err = m.Delta("t", []types.Row{{types.NewString("a"), types.NewInt(15)}}, nil)
+	if err != nil || len(adds) != 1 || adds[0][1].Int() != 1 {
+		t.Fatalf("%v %v", adds, err)
+	}
+}
+
+func TestAggregateAvgAndNulls(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	m, err := ivm.New("agg", parseSel(t, "SELECT k, AVG(v) AS mean, COUNT(v) AS cnt FROM t GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Init()
+	adds, _, err := m.Delta("t", []types.Row{
+		{types.NewString("a"), types.NewInt(10)},
+		{types.NewString("a"), types.Null},
+		{types.NewString("a"), types.NewInt(20)},
+	}, nil)
+	if err != nil || len(adds) != 1 {
+		t.Fatalf("%v %v", adds, err)
+	}
+	if adds[0][1].Float() != 15.0 || adds[0][2].Int() != 2 {
+		t.Fatalf("AVG/COUNT with NULLs: %v", adds[0])
+	}
+}

@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+
+	"ediflow/internal/graph"
+)
+
+// FruchtermanReingold is the classical force-directed baseline the paper's
+// LinLog choice is compared against: spring attraction d²/k along edges,
+// k²/d repulsion between all pairs, linear cooling.
+func FruchtermanReingold(g *graph.Graph, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	nodes := g.Nodes()
+	n := len(nodes)
+	res := &Result{Positions: map[graph.NodeID]Point{}}
+	if n == 0 {
+		res.Converged = true
+		return res
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scale := math.Sqrt(float64(n)) + 1
+	area := scale * scale
+	k := math.Sqrt(area / float64(n))
+
+	idx := make(map[graph.NodeID]int, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, id := range nodes {
+		idx[id] = i
+		xs[i] = rng.Float64() * scale
+		ys[i] = rng.Float64() * scale
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for _, e := range g.Edges() {
+		edges = append(edges, edge{a: idx[e.A], b: idx[e.B]})
+	}
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	temp := scale / 10
+	const eps = 1e-9
+	converged := false
+	iter := 0
+	for iter = 1; iter <= cfg.MaxIter; iter++ {
+		for i := range fx {
+			fx[i], fy[i] = 0, 0
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := xs[i] - xs[j]
+				dy := ys[i] - ys[j]
+				d := math.Hypot(dx, dy)
+				if d < eps {
+					d = eps
+				}
+				f := k * k / d / d
+				fx[i] += f * dx
+				fy[i] += f * dy
+				fx[j] -= f * dx
+				fy[j] -= f * dy
+			}
+		}
+		for _, e := range edges {
+			dx := xs[e.a] - xs[e.b]
+			dy := ys[e.a] - ys[e.b]
+			d := math.Hypot(dx, dy)
+			if d < eps {
+				d = eps
+			}
+			f := d / k
+			fx[e.a] -= f * dx / d
+			fy[e.a] -= f * dy / d
+			fx[e.b] += f * dx / d
+			fy[e.b] += f * dy / d
+		}
+		var moved float64
+		for i := 0; i < n; i++ {
+			d := math.Hypot(fx[i], fy[i])
+			if d < eps {
+				continue
+			}
+			move := math.Min(d, temp)
+			xs[i] += fx[i] / d * move
+			ys[i] += fy[i] / d * move
+			moved += move
+		}
+		temp *= 0.95
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(iter, snapshotPositions(nodes, xs, ys))
+		}
+		if moved/float64(n) < cfg.Tolerance*scale {
+			converged = true
+			break
+		}
+	}
+	if iter > cfg.MaxIter {
+		iter = cfg.MaxIter
+	}
+	res.Positions = snapshotPositions(nodes, xs, ys)
+	res.Iterations = iter
+	res.Converged = converged
+	res.FinalEnergy = Energy(g, res.Positions)
+	return res
+}

@@ -1,0 +1,192 @@
+// Package module implements EdiFlow's procedure model (§V "Procedures",
+// §VI-D "EdiFlow tool implementation"). A procedure is a black-box
+// computation unit external to the database engine. The paper implements
+// procedures as OSGi modules exposing a four-method interface
+// (initialize, run, update, getName); this package reproduces that
+// interface as Go values registered in a Registry (the OSGi platform is
+// packaging, not semantics).
+//
+// Delta handlers: a procedure may react to updates of its input relations
+// while it is running (p_h,r) or after it has finished (p_h,f) — both are
+// served by Update, with Env.Phase distinguishing the two. Procedures
+// that declare themselves Distributive (they distribute over union in all
+// inputs, §V) need no handler: the engine re-runs them on the delta.
+package module
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ediflow/internal/database"
+	"ediflow/internal/engine"
+	"ediflow/internal/types"
+)
+
+// Phase tells an Update call whether the procedure instance is still
+// running or already finished (the paper's p_h,r vs p_h,f handlers).
+type Phase string
+
+// Handler phases.
+const (
+	PhaseRunning  Phase = "running"
+	PhaseFinished Phase = "finished"
+)
+
+// Delta describes a change to an input relation, delivered to delta
+// handlers by the update-propagation layer.
+type Delta struct {
+	Table   string
+	Op      engine.ChangeOp
+	Seq     int64
+	TIDs    []int64
+	Rows    []types.Row // new values (INSERT/UPDATE)
+	OldRows []types.Row // previous values (UPDATE/DELETE)
+}
+
+// Env is the procedure environment (the paper's ProcessEnv): everything a
+// procedure instance needs to interact with the platform.
+type Env struct {
+	DB *database.DB
+
+	// Inputs are relations the procedure reads but must not change
+	// (R_1..R_l); Outputs are relations it writes (S_1..S_n); InOuts are
+	// relations it may read and change (T^w_1..T^w_m).
+	Inputs  []string
+	Outputs []string
+	InOuts  []string
+
+	// Vars exposes the process instance's variables (constants included).
+	Vars map[string]types.Value
+
+	ProcessInstance  int64
+	ActivityInstance int64
+
+	// Delta and Phase are set only for Update calls.
+	Delta *Delta
+	Phase Phase
+
+	// Logf reports progress to the platform log.
+	Logf func(format string, args ...any)
+}
+
+// Procedure is the four-method interface of §VI-D. Implementations must
+// tolerate Update being called concurrently with Run (the paper's layout
+// handler does exactly that).
+type Procedure interface {
+	// Initialize prepares the instance before the first Run.
+	Initialize() error
+	// Run performs the main computation.
+	Run(env *Env) error
+	// Update is the delta handler, invoked per §V's p_h,r / p_h,f.
+	Update(env *Env) error
+	// Name returns the procedure's registered name.
+	Name() string
+}
+
+// Distributiver marks procedures that distribute over union in all their
+// inputs (§V): p(R ∪ ΔR, ...) = p(R, ...) ∪ p(ΔR, ...). For such
+// procedures the platform may use Run on the delta as the handler.
+type Distributiver interface {
+	Distributive() bool
+}
+
+// IsDistributive reports whether p declares itself distributive.
+func IsDistributive(p Procedure) bool {
+	d, ok := p.(Distributiver)
+	return ok && d.Distributive()
+}
+
+// Factory creates fresh procedure instances (one per activity instance).
+type Factory func() Procedure
+
+// Registry maps procedure class names to factories. It plays the role of
+// the paper's OSGi service platform: integrating a new processing
+// algorithm requires only registering one procedure class (§VI-D).
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: map[string]Factory{}}
+}
+
+// Register installs a factory under a class name. Re-registering a name
+// replaces the factory (convenient for tests).
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = f
+}
+
+// New instantiates a registered procedure and initializes it.
+func (r *Registry) New(name string) (Procedure, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("module: no procedure registered under %q", name)
+	}
+	p := f()
+	if err := p.Initialize(); err != nil {
+		return nil, fmt.Errorf("module: initializing %q: %w", name, err)
+	}
+	return p, nil
+}
+
+// Names lists registered procedure names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Func adapts plain functions into a Procedure: run is required, update
+// optional (nil update makes Update a no-op).
+type Func struct {
+	ProcName string
+	RunFn    func(env *Env) error
+	UpdateFn func(env *Env) error
+	InitFn   func() error
+	IsDistr  bool
+}
+
+// Initialize implements Procedure.
+func (f *Func) Initialize() error {
+	if f.InitFn != nil {
+		return f.InitFn()
+	}
+	return nil
+}
+
+// Run implements Procedure.
+func (f *Func) Run(env *Env) error {
+	if f.RunFn == nil {
+		return fmt.Errorf("module: procedure %q has no Run", f.ProcName)
+	}
+	return f.RunFn(env)
+}
+
+// Update implements Procedure.
+func (f *Func) Update(env *Env) error {
+	if f.UpdateFn != nil {
+		return f.UpdateFn(env)
+	}
+	if f.IsDistr {
+		return f.Run(env)
+	}
+	return nil
+}
+
+// Name implements Procedure.
+func (f *Func) Name() string { return f.ProcName }
+
+// Distributive implements Distributiver.
+func (f *Func) Distributive() bool { return f.IsDistr }

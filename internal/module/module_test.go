@@ -1,0 +1,95 @@
+package module
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.New("missing"); err == nil {
+		t.Error("unknown procedure must fail")
+	}
+	inits := 0
+	r.Register("p1", func() Procedure {
+		return &Func{ProcName: "p1", InitFn: func() error { inits++; return nil }}
+	})
+	r.Register("p2", func() Procedure { return &Func{ProcName: "p2"} })
+	p, err := r.New("p1")
+	if err != nil || p.Name() != "p1" || inits != 1 {
+		t.Fatalf("%v %v inits=%d", p, err, inits)
+	}
+	// Fresh instance per New.
+	r.New("p1")
+	if inits != 2 {
+		t.Error("factory must produce fresh instances")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "p1" || names[1] != "p2" {
+		t.Errorf("%v", names)
+	}
+	// Re-registering replaces.
+	r.Register("p1", func() Procedure { return &Func{ProcName: "p1-v2"} })
+	p, _ = r.New("p1")
+	if p.Name() != "p1-v2" {
+		t.Error("re-register must replace")
+	}
+}
+
+func TestInitializeFailure(t *testing.T) {
+	r := NewRegistry()
+	r.Register("bad", func() Procedure {
+		return &Func{ProcName: "bad", InitFn: func() error { return fmt.Errorf("nope") }}
+	})
+	if _, err := r.New("bad"); err == nil {
+		t.Error("Initialize failure must propagate")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	ran, updated := 0, 0
+	f := &Func{
+		ProcName: "f",
+		RunFn:    func(env *Env) error { ran++; return nil },
+		UpdateFn: func(env *Env) error { updated++; return nil },
+	}
+	if err := f.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(nil); err != nil || ran != 1 {
+		t.Fatal("run")
+	}
+	if err := f.Update(nil); err != nil || updated != 1 {
+		t.Fatal("update")
+	}
+	// No RunFn → error.
+	empty := &Func{ProcName: "e"}
+	if err := empty.Run(nil); err == nil {
+		t.Error("missing RunFn must fail")
+	}
+	// No UpdateFn and not distributive → no-op.
+	if err := empty.Update(nil); err != nil {
+		t.Error("Update without handler must be a no-op")
+	}
+}
+
+// Distributive procedures need no handler: the procedure itself serves as
+// handler (§V), so Update falls back to Run.
+func TestDistributiveFallback(t *testing.T) {
+	ran := 0
+	f := &Func{ProcName: "d", RunFn: func(env *Env) error { ran++; return nil }, IsDistr: true}
+	if !IsDistributive(f) {
+		t.Fatal("IsDistributive")
+	}
+	if err := f.Update(nil); err != nil || ran != 1 {
+		t.Fatal("distributive Update must re-run Run on the delta")
+	}
+	nd := &Func{ProcName: "n", RunFn: func(env *Env) error { ran++; return nil }}
+	if IsDistributive(nd) {
+		t.Error("non-distributive misreported")
+	}
+	nd.Update(nil)
+	if ran != 1 {
+		t.Error("non-distributive Update must not run")
+	}
+}

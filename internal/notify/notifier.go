@@ -1,0 +1,286 @@
+package notify
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/engine"
+	"ediflow/internal/types"
+)
+
+// Notifier is the DBMS side of the protocol. It observes every change
+// event, appends compact tuples to the Notification table, and pushes
+// NOTIFY lines to each ConnectedUser socket registered for the table.
+type Notifier struct {
+	db *database.DB
+
+	mu     sync.Mutex
+	conns  map[int64]*serverConn // ConnectedUser id → connection
+	closed bool
+}
+
+type serverConn struct {
+	id    int64
+	table string
+	c     net.Conn
+	w     *bufio.Writer
+	mu    sync.Mutex
+}
+
+// NewNotifier attaches a notifier to the database and dials back any
+// registrations already present in ConnectedUser (recovery after restart:
+// stale entries that refuse the connection are removed).
+func NewNotifier(db *database.DB) (*Notifier, error) {
+	n := &Notifier{db: db, conns: map[int64]*serverConn{}}
+	db.Observe(n.onChange)
+	if err := n.reconnectExisting(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *Notifier) reconnectExisting() error {
+	res, err := n.db.Query("SELECT id, host, port, tbl FROM " + database.TableConnectedUser)
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		id := r[0].Int()
+		host := r[1].Str()
+		port := r[2].Int()
+		table := r[3].Str()
+		if err := n.dial(id, host, port, table); err != nil {
+			// Stale registration from a previous run: drop it.
+			n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+		}
+	}
+	return nil
+}
+
+// skipTable reports whether changes to a table are invisible to the
+// protocol: bookkeeping system tables (notifying on ef_notification would
+// recurse) and view backing tables (their views get events under the view
+// name). The visualization tables are exempt — VisualAttributes changes
+// are precisely what drives the display refresh chain of Figure 8.
+func skipTable(name string) bool {
+	lower := strings.ToLower(name)
+	switch lower {
+	case "ef_visual_attributes", "ef_visualization", "ef_vis_component":
+		return false
+	}
+	return strings.HasPrefix(lower, "ef_") || strings.HasPrefix(lower, "__")
+}
+
+// onChange is the engine observer: the paper's statement-level trigger
+// body (§VI-B compiles UP statements into triggers; the notifier is the
+// always-on trigger feeding visualization clients).
+func (n *Notifier) onChange(ev engine.ChangeEvent) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+
+	// New registration: the DBMS connects back to the client (step 5 of
+	// the paper's protocol).
+	if strings.EqualFold(ev.Table, database.TableConnectedUser) {
+		if ev.Op == engine.OpInsert {
+			for _, row := range ev.Rows {
+				// Schema: id, username, host, port, tbl, last_seq.
+				id := row[0].Int()
+				host := row[2].Str()
+				port := row[3].Int()
+				table := row[4].Str()
+				if err := n.dial(id, host, port, table); err != nil {
+					n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+				}
+			}
+		}
+		return
+	}
+	if skipTable(ev.Table) {
+		return
+	}
+
+	// Record the compact notification tuple.
+	_, err := n.db.Exec(
+		"INSERT INTO "+database.TableNotification+" (seq_no, ts, tbl, op, tids) VALUES (?, ?, ?, ?, ?)",
+		types.NewInt(ev.Seq),
+		types.NewInt(time.Now().UnixNano()),
+		types.NewString(ev.Table),
+		types.NewString(string(ev.Op)),
+		types.NewString(EncodeTIDs(ev.TIDs)),
+	)
+	if err != nil {
+		return
+	}
+
+	// Push NOTIFY to each client watching this table.
+	msg := Message{Verb: MsgNotify, Table: ev.Table, Seq: ev.Seq, Op: string(ev.Op)}
+	line := msg.Format() + "\n"
+	n.mu.Lock()
+	targets := make([]*serverConn, 0, len(n.conns))
+	for _, sc := range n.conns {
+		if strings.EqualFold(sc.table, ev.Table) {
+			targets = append(targets, sc)
+		}
+	}
+	n.mu.Unlock()
+	for _, sc := range targets {
+		if err := sc.send(line); err != nil {
+			n.drop(sc.id)
+		}
+	}
+}
+
+func (sc *serverConn) send(line string) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := sc.w.WriteString(line); err != nil {
+		return err
+	}
+	return sc.w.Flush()
+}
+
+// dial connects back to a registered client and performs the
+// HELLO/REPLY handshake (protocol steps 5–6).
+func (n *Notifier) dial(id int64, host string, port int64, table string) error {
+	c, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", host, port), 2*time.Second)
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := r.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return err
+	}
+	msg, err := ParseMessage(line)
+	if err != nil || msg.Verb != MsgHello {
+		c.Close()
+		return fmt.Errorf("notify: expected HELLO, got %q", line)
+	}
+	w := bufio.NewWriter(c)
+	if _, err := w.WriteString(Message{Verb: MsgReply}.Format() + "\n"); err != nil {
+		c.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		c.Close()
+		return err
+	}
+	c.SetReadDeadline(time.Time{})
+	sc := &serverConn{id: id, table: table, c: c, w: w}
+	n.mu.Lock()
+	n.conns[id] = sc
+	n.mu.Unlock()
+	// Read loop: waits for DISCONNECT (protocol step 10) or EOF.
+	go func() {
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				n.drop(id)
+				return
+			}
+			msg, err := ParseMessage(line)
+			if err == nil && msg.Verb == MsgDisconnect {
+				n.drop(id)
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// drop closes a connection and removes its ConnectedUser entry.
+func (n *Notifier) drop(id int64) {
+	n.mu.Lock()
+	sc, ok := n.conns[id]
+	if ok {
+		delete(n.conns, id)
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	if ok {
+		sc.c.Close()
+	}
+	if ok && !closed {
+		n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+	}
+}
+
+// ConnectionCount returns the number of live client connections.
+func (n *Notifier) ConnectionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+// Purge removes Notification rows already consumed by every connected
+// client (protocol step 11). With no clients connected, nothing is purged
+// (a late joiner may still replay).
+func (n *Notifier) Purge() (int, error) {
+	res, err := n.db.Query("SELECT MIN(last_seq) FROM " + database.TableConnectedUser)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].IsNull() {
+		return 0, nil
+	}
+	min := res.Rows[0][0]
+	del, err := n.db.Exec("DELETE FROM "+database.TableNotification+" WHERE seq_no < ?", min)
+	if err != nil {
+		return 0, err
+	}
+	return del.Affected, nil
+}
+
+// AutoPurge starts a goroutine applying the purge rule (protocol step 11)
+// at the given interval until Close. It returns a stop function.
+func (n *Notifier) AutoPurge(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				n.mu.Lock()
+				closed := n.closed
+				n.mu.Unlock()
+				if closed {
+					return
+				}
+				n.Purge()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Close tears down every connection. ConnectedUser entries are left in
+// place so a restarted notifier can attempt reconnection.
+func (n *Notifier) Close() {
+	n.mu.Lock()
+	n.closed = true
+	conns := make([]*serverConn, 0, len(n.conns))
+	for _, sc := range n.conns {
+		conns = append(conns, sc)
+	}
+	n.conns = map[int64]*serverConn{}
+	n.mu.Unlock()
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+}

@@ -1,0 +1,306 @@
+package notify
+
+import (
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/types"
+)
+
+func TestMessageFormatParseRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Verb: MsgHello},
+		{Verb: MsgReply},
+		{Verb: MsgNotify, Table: "authors", Seq: 42, Op: "INSERT"},
+		{Verb: MsgNotify, Table: "va", Seq: 1, Op: "DELETE"},
+		{Verb: MsgDisconnect},
+	}
+	for _, m := range msgs {
+		got, err := ParseMessage(m.Format() + "\n")
+		if err != nil {
+			t.Fatalf("parse %q: %v", m.Format(), err)
+		}
+		if got != m {
+			t.Fatalf("round trip: %+v != %+v", got, m)
+		}
+	}
+}
+
+func TestParseMessageErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"BOGUS",
+		"HELLO EDIFLOW/99",
+		"NOTIFY t",
+		"NOTIFY t xx INSERT",
+		"NOTIFY t 1 TRUNCATE",
+	}
+	for _, s := range bad {
+		if _, err := ParseMessage(s); err == nil {
+			t.Errorf("ParseMessage(%q) should fail", s)
+		}
+	}
+}
+
+func TestTIDsCodec(t *testing.T) {
+	cases := [][]int64{nil, {1}, {1, 2, 3}, {9999999999}}
+	for _, tids := range cases {
+		got, err := DecodeTIDs(EncodeTIDs(tids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tids) {
+			t.Fatalf("%v != %v", got, tids)
+		}
+		for i := range got {
+			if got[i] != tids[i] {
+				t.Fatalf("%v != %v", got, tids)
+			}
+		}
+	}
+	if _, err := DecodeTIDs("1,x"); err == nil {
+		t.Error("bad tid must error")
+	}
+}
+
+func setup(t *testing.T) (*database.DB, *Notifier) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	n, err := NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Close()
+		db.Close()
+	})
+	if _, err := db.Exec("CREATE TABLE authors (id INT PRIMARY KEY, name STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	return db, n
+}
+
+func waitMsg(t *testing.T, cl *Client) Message {
+	t.Helper()
+	select {
+	case m := <-cl.C:
+		return m
+	case <-time.After(3 * time.Second):
+		t.Fatal("timed out waiting for NOTIFY")
+		return Message{}
+	}
+}
+
+func TestEndToEndNotification(t *testing.T) {
+	db, n := setup(t)
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if n.ConnectionCount() != 1 {
+		t.Fatalf("connections: %d", n.ConnectionCount())
+	}
+
+	if _, err := db.Exec("INSERT INTO authors VALUES (1, 'noack'), (2, 'fekete')"); err != nil {
+		t.Fatal(err)
+	}
+	m := waitMsg(t, cl)
+	if m.Table != "authors" || m.Op != "INSERT" {
+		t.Fatalf("%+v", m)
+	}
+
+	// The Notification table carries the tids of the changed rows.
+	msgs, tids, err := cl.PendingNotifications()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || len(tids[0]) != 2 {
+		t.Fatalf("pending: %v %v", msgs, tids)
+	}
+
+	// Updates and deletes notify too.
+	db.Exec("UPDATE authors SET name = 'x' WHERE id = 1")
+	if m := waitMsg(t, cl); m.Op != "UPDATE" {
+		t.Fatalf("%+v", m)
+	}
+	db.Exec("DELETE FROM authors WHERE id = 2")
+	if m := waitMsg(t, cl); m.Op != "DELETE" {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestNotificationFiltersByTable(t *testing.T) {
+	db, _ := setup(t)
+	db.Exec("CREATE TABLE other (a INT)")
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	db.Exec("INSERT INTO other VALUES (1)")
+	select {
+	case m := <-cl.C:
+		t.Fatalf("unexpected notification: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// But the change is recorded in the Notification table for other
+	// subscribers.
+	nrows, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableNotification + " WHERE tbl = 'other'")
+	if nrows != 1 {
+		t.Fatalf("notification rows for other: %d", nrows)
+	}
+}
+
+func TestSystemTablesDoNotNotify(t *testing.T) {
+	db, _ := setup(t)
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	before, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableNotification)
+	// Writing to a system table must not create notification rows
+	// (otherwise every notification insert would recurse).
+	db.EnsureUser("u", "p")
+	after, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableNotification)
+	if after != before {
+		t.Fatalf("system table writes created notifications: %d → %d", before, after)
+	}
+}
+
+func TestAckAndPurge(t *testing.T) {
+	db, n := setup(t)
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	db.Exec("INSERT INTO authors VALUES (1, 'a')")
+	db.Exec("INSERT INTO authors VALUES (2, 'b')")
+	m1 := waitMsg(t, cl)
+	m2 := waitMsg(t, cl)
+	if m2.Seq <= m1.Seq {
+		t.Fatalf("seqs not increasing: %d, %d", m1.Seq, m2.Seq)
+	}
+	if err := cl.Ack(m2.Seq); err != nil {
+		t.Fatal(err)
+	}
+	purged, err := n.Purge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purged != 1 { // the first notification (seq < last acked) goes away
+		t.Fatalf("purged %d", purged)
+	}
+	left, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableNotification)
+	if left != 1 {
+		t.Fatalf("remaining notifications: %d", left)
+	}
+}
+
+func TestClientDisconnectRemovesRegistration(t *testing.T) {
+	db, n := setup(t)
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		cnt, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableConnectedUser)
+		if cnt == 0 && n.ConnectionCount() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("ConnectedUser entry not removed after DISCONNECT")
+}
+
+func TestMultipleClientsFanout(t *testing.T) {
+	db, _ := setup(t)
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		cl, err := Connect(db, "viz", "authors")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		clients = append(clients, cl)
+	}
+	db.Exec("INSERT INTO authors VALUES (1, 'x')")
+	for i, cl := range clients {
+		m := waitMsg(t, cl)
+		if m.Op != "INSERT" {
+			t.Fatalf("client %d: %+v", i, m)
+		}
+	}
+}
+
+func TestViewChangesNotify(t *testing.T) {
+	db, _ := setup(t)
+	db.Exec("INSERT INTO authors VALUES (1, 'a')")
+	if _, err := db.Exec("CREATE MATERIALIZED VIEW author_count AS SELECT COUNT(*) AS n FROM authors"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Connect(db, "viz", "author_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	db.Exec("INSERT INTO authors VALUES (2, 'b')")
+	m := waitMsg(t, cl)
+	if m.Table != "author_count" {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestStaleRegistrationCleanedOnStart(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	// A registration pointing at a dead port.
+	db.Exec("INSERT INTO "+database.TableConnectedUser+" (id, username, host, port, tbl, last_seq) VALUES (1, 'ghost', '127.0.0.1', ?, 'authors', 0)",
+		types.NewInt(1)) // port 1: nothing listens
+	n, err := NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	cnt, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableConnectedUser)
+	if cnt != 0 {
+		t.Fatalf("stale registration not removed: %d", cnt)
+	}
+}
+
+func TestAutoPurge(t *testing.T) {
+	db, n := setup(t)
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stop := n.AutoPurge(20 * time.Millisecond)
+	defer stop()
+	db.Exec("INSERT INTO authors VALUES (1, 'a')")
+	db.Exec("INSERT INTO authors VALUES (2, 'b')")
+	m1 := waitMsg(t, cl)
+	m2 := waitMsg(t, cl)
+	_ = m1
+	if err := cl.Ack(m2.Seq); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		left, _ := db.QueryInt("SELECT COUNT(*) FROM " + database.TableNotification)
+		if left == 1 { // only the latest remains
+			stop()
+			stop() // idempotent
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("auto purge did not run")
+}

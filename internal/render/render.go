@@ -1,0 +1,223 @@
+// Package render draws display views to SVG files and ASCII grids. It is
+// the substitute for the paper's Swing-based InfoVis displays: the
+// table-centric pipeline (VisualAttributes → view → pixels) is identical,
+// the final device is a file instead of a window (see DESIGN.md).
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"ediflow/internal/vis"
+)
+
+// svgEscape escapes text content for XML.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// NodeLink renders a node-link diagram from visual attributes plus an
+// edge list (pairs of object ids). Nodes use x/y (data space, scaled to
+// fit), color and label.
+func NodeLink(w io.Writer, attrs map[int64]vis.Attr, edges [][2]int64, width, height int) error {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 600
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, a := range attrs {
+		minX = math.Min(minX, a.X)
+		maxX = math.Max(maxX, a.X)
+		minY = math.Min(minY, a.Y)
+		maxY = math.Max(maxY, a.Y)
+	}
+	if len(attrs) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const margin = 20.0
+	sx := (float64(width) - 2*margin) / (maxX - minX)
+	sy := (float64(height) - 2*margin) / (maxY - minY)
+	px := func(x float64) float64 { return margin + (x-minX)*sx }
+	py := func(y float64) float64 { return margin + (y-minY)*sy }
+
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		a, okA := attrs[e[0]]
+		b, okB := attrs[e[1]]
+		if !okA || !okB {
+			continue
+		}
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="0.5"/>`+"\n",
+			px(a.X), py(a.Y), px(b.X), py(b.Y))
+	}
+	for _, id := range sortedIDs(attrs) {
+		a := attrs[id]
+		color := a.Color
+		if color == "" {
+			color = "#3366cc"
+		}
+		r := 3.0
+		if a.Selected {
+			r = 5.0
+		}
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", px(a.X), py(a.Y), r, color)
+		if a.Label != "" && a.Selected {
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="9">%s</text>`+"\n", px(a.X)+5, py(a.Y)-5, svgEscape(a.Label))
+		}
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// Treemap renders rectangle attributes (x, y, width, height in data
+// space) as an SVG treemap.
+func Treemap(w io.Writer, attrs map[int64]vis.Attr, width, height int) error {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 600
+	}
+	maxX, maxY := 1.0, 1.0
+	for _, a := range attrs {
+		maxX = math.Max(maxX, a.X+a.Width)
+		maxY = math.Max(maxY, a.Y+a.Height)
+	}
+	sx := float64(width) / maxX
+	sy := float64(height) / maxY
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height); err != nil {
+		return err
+	}
+	for _, id := range sortedIDs(attrs) {
+		a := attrs[id]
+		color := a.Color
+		if color == "" {
+			color = "#cccccc"
+		}
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#fff"/>`+"\n",
+			a.X*sx, a.Y*sy, a.Width*sx, a.Height*sy, color)
+		if a.Label != "" && a.Width*sx > 30 && a.Height*sy > 12 {
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="10">%s</text>`+"\n",
+				a.X*sx+3, a.Y*sy+12, svgEscape(a.Label))
+		}
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// Scatter renders a scatter plot (x/y attributes, color, label).
+func Scatter(w io.Writer, attrs map[int64]vis.Attr, width, height int) error {
+	return NodeLink(w, attrs, nil, width, height)
+}
+
+// ASCII renders node positions onto a character grid — a terminal "view"
+// for the CLI tools.
+func ASCII(attrs map[int64]vis.Attr, cols, rows int) string {
+	if cols <= 0 {
+		cols = 60
+	}
+	if rows <= 0 {
+		rows = 20
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, a := range attrs {
+		minX = math.Min(minX, a.X)
+		maxX = math.Max(maxX, a.X)
+		minY = math.Min(minY, a.Y)
+		maxY = math.Max(maxY, a.Y)
+	}
+	if len(attrs) > 0 && maxX > minX && maxY > minY {
+		for _, a := range attrs {
+			c := int((a.X - minX) / (maxX - minX) * float64(cols-1))
+			r := int((a.Y - minY) / (maxY - minY) * float64(rows-1))
+			ch := byte('.')
+			if a.Selected {
+				ch = '@'
+			}
+			grid[r][c] = ch
+		}
+	}
+	var sb strings.Builder
+	for _, line := range grid {
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func sortedIDs(attrs map[int64]vis.Attr) []int64 {
+	ids := make([]int64, 0, len(attrs))
+	for id := range attrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ColorRamp maps a value in [0,1] to a blue→red hex color (the elections
+// “more votes, darker shade” ramp generalized).
+func ColorRamp(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	r := int(255 * v)
+	b := int(255 * (1 - v))
+	return fmt.Sprintf("#%02x40%02x", r, b)
+}
+
+// PartyShade returns the elections color: a party hue darkened by the
+// vote share (Figure 1: "the more the states vote for the respective
+// party, the darker the color").
+func PartyShade(party string, share float64) string {
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	// Base hues: democrats blue, republicans red, unknown gray.
+	var r, g, b float64
+	switch strings.ToLower(party) {
+	case "dem", "democrat", "blue":
+		r, g, b = 60, 90, 220
+	case "rep", "republican", "red":
+		r, g, b = 220, 60, 60
+	default:
+		r, g, b = 128, 128, 128
+	}
+	f := 1.2 - 0.8*share // darker with higher share
+	clamp := func(x float64) int {
+		n := int(x)
+		if n < 0 {
+			return 0
+		}
+		if n > 255 {
+			return 255
+		}
+		return n
+	}
+	return fmt.Sprintf("#%02x%02x%02x", clamp(r*f), clamp(g*f), clamp(b*f))
+}

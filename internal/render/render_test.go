@@ -1,0 +1,113 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"ediflow/internal/vis"
+)
+
+func sampleAttrs() map[int64]vis.Attr {
+	return map[int64]vis.Attr{
+		1: {X: 0, Y: 0, Color: "#ff0000", Label: "a", Selected: true},
+		2: {X: 10, Y: 5, Label: "b"},
+		3: {X: 5, Y: 10},
+	}
+}
+
+func TestNodeLinkSVG(t *testing.T) {
+	var sb strings.Builder
+	err := NodeLink(&sb, sampleAttrs(), [][2]int64{{1, 2}, {2, 3}, {9, 1}}, 400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatalf("not an svg: %q", svg[:40])
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Errorf("circles: %d", strings.Count(svg, "<circle"))
+	}
+	// Edge to missing node 9 skipped.
+	if strings.Count(svg, "<line") != 2 {
+		t.Errorf("lines: %d", strings.Count(svg, "<line"))
+	}
+	// Selected node is labeled.
+	if !strings.Contains(svg, ">a</text>") {
+		t.Error("selected label missing")
+	}
+}
+
+func TestNodeLinkEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NodeLink(&sb, nil, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("empty render must still be valid svg")
+	}
+}
+
+func TestTreemapSVG(t *testing.T) {
+	attrs := map[int64]vis.Attr{
+		1: {X: 0, Y: 0, Width: 50, Height: 100, Color: "#123456", Label: "big"},
+		2: {X: 50, Y: 0, Width: 50, Height: 100},
+	}
+	var sb strings.Builder
+	if err := Treemap(&sb, attrs, 200, 200); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	if strings.Count(svg, "<rect") != 2 {
+		t.Errorf("rects: %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "#123456") {
+		t.Error("color not used")
+	}
+	if !strings.Contains(svg, ">big</text>") {
+		t.Error("label missing")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	attrs := map[int64]vis.Attr{1: {Label: `<b>&"x"`, Selected: true}}
+	var sb strings.Builder
+	NodeLink(&sb, attrs, nil, 100, 100)
+	if strings.Contains(sb.String(), "<b>") {
+		t.Error("labels must be escaped")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := ASCII(sampleAttrs(), 40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 || len(lines[0]) != 40 {
+		t.Fatalf("grid shape: %d lines", len(lines))
+	}
+	if !strings.Contains(out, "@") || !strings.Contains(out, ".") {
+		t.Error("markers missing")
+	}
+	if ASCII(nil, 5, 2) != "     \n     \n" {
+		t.Error("empty grid")
+	}
+}
+
+func TestColorRampAndPartyShade(t *testing.T) {
+	if ColorRamp(0) == ColorRamp(1) {
+		t.Error("ramp endpoints must differ")
+	}
+	if ColorRamp(-5) != ColorRamp(0) || ColorRamp(7) != ColorRamp(1) {
+		t.Error("ramp must clamp")
+	}
+	low := PartyShade("dem", 0.1)
+	high := PartyShade("dem", 0.9)
+	if low == high {
+		t.Error("share must change shade")
+	}
+	if PartyShade("rep", 0.5) == PartyShade("dem", 0.5) {
+		t.Error("parties must have different hues")
+	}
+	if PartyShade("unknown", 0.5) == "" {
+		t.Error("unknown party needs a color")
+	}
+}

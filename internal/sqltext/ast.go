@@ -1,0 +1,338 @@
+package sqltext
+
+import (
+	"strings"
+
+	"ediflow/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// Expr is any scalar expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ---------------------------------------------------------------- statements
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       types.Kind
+	PrimaryKey bool
+	Unique     bool
+	NotNull    bool
+}
+
+// CreateTable is CREATE TABLE [IF NOT EXISTS] name (cols...).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// DropView is DROP VIEW [IF EXISTS] name.
+type DropView struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols...).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// CreateView is CREATE [MATERIALIZED] VIEW name AS select.
+// All views in this engine are materialized and incrementally maintained.
+type CreateView struct {
+	Name         string
+	Materialized bool
+	Query        *Select
+}
+
+// CreateTrigger is CREATE TRIGGER name AFTER op ON table CALL 'handler'.
+// The handler name refers to a Go callback registered with the database.
+type CreateTrigger struct {
+	Name    string
+	Event   string // INSERT, UPDATE or DELETE
+	Table   string
+	Handler string
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...) | INSERT INTO table SELECT ...
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Query   *Select // non-nil for INSERT ... SELECT
+}
+
+// Assignment is one column = expr in an UPDATE SET list.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE table SET assignments [WHERE cond].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Delete is DELETE FROM table [WHERE cond].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// SelectItem is one projected expression, possibly aliased; Star marks
+// `*` or `t.*`.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	Table string // qualifier for t.*
+}
+
+// TableRef is one entry of a FROM clause: a base table or a subquery, with
+// an optional alias, chained with JOINs.
+type TableRef struct {
+	Table    string
+	Subquery *Select
+	Alias    string
+}
+
+// JoinClause is one JOIN step after the first FROM entry.
+type JoinClause struct {
+	Kind  string // "INNER", "LEFT", "CROSS"
+	Right TableRef
+	On    Expr // nil for CROSS
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     *TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil = no limit
+	Offset   Expr
+}
+
+// Begin, Commit, Rollback control transactions.
+type Begin struct{}
+
+// Commit commits the current transaction.
+type Commit struct{}
+
+// Rollback aborts the current transaction.
+type Rollback struct{}
+
+func (*CreateTable) stmt()   {}
+func (*DropTable) stmt()     {}
+func (*DropView) stmt()      {}
+func (*CreateIndex) stmt()   {}
+func (*CreateView) stmt()    {}
+func (*CreateTrigger) stmt() {}
+func (*Insert) stmt()        {}
+func (*Update) stmt()        {}
+func (*Delete) stmt()        {}
+func (*Select) stmt()        {}
+func (*Begin) stmt()         {}
+func (*Commit) stmt()        {}
+func (*Rollback) stmt()      {}
+
+// --------------------------------------------------------------- expressions
+
+// Literal is a constant value.
+type Literal struct {
+	Value types.Value
+}
+
+// ColumnRef is a possibly table-qualified column reference.
+type ColumnRef struct {
+	Table  string // "" if unqualified
+	Column string
+}
+
+// Param is a positional `?` parameter; Index is assigned left-to-right
+// starting at 0 during parsing.
+type Param struct {
+	Index int
+}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+// Binary is a binary operation: + - * / % = != < <= > >= AND OR ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// FuncCall is a scalar or aggregate function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// InExpr is x [NOT] IN (list...) or x [NOT] IN (SELECT ...).
+type InExpr struct {
+	X     Expr
+	Not   bool
+	List  []Expr
+	Query *Select
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Like is x [NOT] LIKE pattern (SQL %/_ wildcards).
+type Like struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Subquery is a scalar subquery (SELECT ...) used as an expression.
+type Subquery struct {
+	Query *Select
+}
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	Not   bool
+	Query *Select
+}
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*Param) expr()     {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*FuncCall) expr()  {}
+func (*InExpr) expr()    {}
+func (*IsNull) expr()    {}
+func (*Like) expr()      {}
+func (*Between) expr()   {}
+func (*CaseExpr) expr()  {}
+func (*Subquery) expr()  {}
+func (*Exists) expr()    {}
+
+// WalkExpr visits e and all sub-expressions (pre-order). The visitor returns
+// false to prune the subtree.
+func WalkExpr(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Unary:
+		WalkExpr(x.X, visit)
+	case *Binary:
+		WalkExpr(x.L, visit)
+		WalkExpr(x.R, visit)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, visit)
+		}
+	case *InExpr:
+		WalkExpr(x.X, visit)
+		for _, a := range x.List {
+			WalkExpr(a, visit)
+		}
+	case *IsNull:
+		WalkExpr(x.X, visit)
+	case *Like:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Pattern, visit)
+	case *Between:
+		WalkExpr(x.X, visit)
+		WalkExpr(x.Lo, visit)
+		WalkExpr(x.Hi, visit)
+	case *CaseExpr:
+		WalkExpr(x.Operand, visit)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, visit)
+			WalkExpr(w.Result, visit)
+		}
+		WalkExpr(x.Else, visit)
+	case *Exists:
+		// The nested Select is not an Expr; callers that care about
+		// subqueries handle *Exists (and *Subquery, *InExpr) themselves.
+	}
+}
+
+// HasAggregate reports whether e contains an aggregate function call.
+func HasAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && IsAggregateName(f.Name) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// IsAggregateName reports whether name is an aggregate function.
+func IsAggregateName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,348 @@
+package sqltext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders statements back to parseable SQL. Printing is used by the
+// isolation query-rewriter (§VI-A), by debugging tools, and by the parser
+// round-trip property tests.
+
+func (s *CreateTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(s.Name)
+	sb.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Type.String())
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+		if c.Unique {
+			sb.WriteString(" UNIQUE")
+		}
+		if c.NotNull && !c.PrimaryKey {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func (s *DropTable) String() string {
+	if s.IfExists {
+		return "DROP TABLE IF EXISTS " + s.Name
+	}
+	return "DROP TABLE " + s.Name
+}
+
+func (s *DropView) String() string {
+	if s.IfExists {
+		return "DROP VIEW IF EXISTS " + s.Name
+	}
+	return "DROP VIEW " + s.Name
+}
+
+func (s *CreateIndex) String() string {
+	u := ""
+	if s.Unique {
+		u = "UNIQUE "
+	}
+	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", u, s.Name, s.Table, strings.Join(s.Columns, ", "))
+}
+
+func (s *CreateView) String() string {
+	m := ""
+	if s.Materialized {
+		m = "MATERIALIZED "
+	}
+	return fmt.Sprintf("CREATE %sVIEW %s AS %s", m, s.Name, s.Query.String())
+}
+
+func (s *CreateTrigger) String() string {
+	return fmt.Sprintf("CREATE TRIGGER %s AFTER %s ON %s CALL '%s'", s.Name, s.Event, s.Table, strings.ReplaceAll(s.Handler, "'", "''"))
+}
+
+func (s *Insert) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(s.Columns, ", "))
+		sb.WriteByte(')')
+	}
+	if s.Query != nil {
+		sb.WriteByte(' ')
+		sb.WriteString(s.Query.String())
+		return sb.String()
+	}
+	sb.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+func (s *Update) String() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(s.Table)
+	sb.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Column)
+		sb.WriteString(" = ")
+		sb.WriteString(a.Value.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	return sb.String()
+}
+
+func (s *Delete) String() string {
+	if s.Where != nil {
+		return fmt.Sprintf("DELETE FROM %s WHERE %s", s.Table, s.Where.String())
+	}
+	return "DELETE FROM " + s.Table
+}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			sb.WriteString(it.Table)
+			sb.WriteString(".*")
+		case it.Star:
+			sb.WriteByte('*')
+		default:
+			sb.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(it.Alias)
+			}
+		}
+	}
+	if s.From != nil {
+		sb.WriteString(" FROM ")
+		sb.WriteString(s.From.String())
+		for _, j := range s.Joins {
+			switch j.Kind {
+			case "CROSS":
+				sb.WriteString(", ")
+				sb.WriteString(j.Right.String())
+			case "LEFT":
+				sb.WriteString(" LEFT JOIN ")
+				sb.WriteString(j.Right.String())
+				sb.WriteString(" ON ")
+				sb.WriteString(j.On.String())
+			default:
+				sb.WriteString(" JOIN ")
+				sb.WriteString(j.Right.String())
+				sb.WriteString(" ON ")
+				sb.WriteString(j.On.String())
+			}
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(s.Limit.String())
+	}
+	if s.Offset != nil {
+		sb.WriteString(" OFFSET ")
+		sb.WriteString(s.Offset.String())
+	}
+	return sb.String()
+}
+
+func (t *TableRef) String() string {
+	var base string
+	if t.Subquery != nil {
+		base = "(" + t.Subquery.String() + ")"
+	} else {
+		base = t.Table
+	}
+	if t.Alias != "" {
+		return base + " AS " + t.Alias
+	}
+	return base
+}
+
+func (*Begin) String() string    { return "BEGIN" }
+func (*Commit) String() string   { return "COMMIT" }
+func (*Rollback) String() string { return "ROLLBACK" }
+
+// ------------------------------------------------------------ expressions
+
+func (e *Literal) String() string { return e.Value.SQLLiteral() }
+
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+
+func (e *Param) String() string { return "?" }
+
+func (e *Unary) String() string {
+	// The whole unary expression is parenthesized so that reparsing cannot
+	// rebind it (e.g. `NOT a = b` binds NOT over the comparison).
+	if e.Op == "NOT" {
+		return "(NOT " + e.X.String() + ")"
+	}
+	return "(-" + e.X.String() + ")"
+}
+
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+func (e *InExpr) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(e.X.String())
+	if e.Not {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	if e.Query != nil {
+		sb.WriteString(e.Query.String())
+	} else {
+		for i, x := range e.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(x.String())
+		}
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+func (e *IsNull) String() string {
+	if e.Not {
+		return "(" + e.X.String() + " IS NOT NULL)"
+	}
+	return "(" + e.X.String() + " IS NULL)"
+}
+
+func (e *Like) String() string {
+	if e.Not {
+		return "(" + e.X.String() + " NOT LIKE " + e.Pattern.String() + ")"
+	}
+	return "(" + e.X.String() + " LIKE " + e.Pattern.String() + ")"
+}
+
+func (e *Between) String() string {
+	n := ""
+	if e.Not {
+		n = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", e.X.String(), n, e.Lo.String(), e.Hi.String())
+}
+
+func (e *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if e.Operand != nil {
+		sb.WriteByte(' ')
+		sb.WriteString(e.Operand.String())
+	}
+	for _, w := range e.Whens {
+		sb.WriteString(" WHEN ")
+		sb.WriteString(w.Cond.String())
+		sb.WriteString(" THEN ")
+		sb.WriteString(w.Result.String())
+	}
+	if e.Else != nil {
+		sb.WriteString(" ELSE ")
+		sb.WriteString(e.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (e *Subquery) String() string { return "(" + e.Query.String() + ")" }
+
+func (e *Exists) String() string {
+	if e.Not {
+		return "(NOT EXISTS (" + e.Query.String() + "))"
+	}
+	return "EXISTS (" + e.Query.String() + ")"
+}

@@ -1,0 +1,310 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/types"
+)
+
+func userSchema() *catalog.TableSchema {
+	return &catalog.TableSchema{
+		Name: "users",
+		Columns: []catalog.Column{
+			{Name: "id", Type: types.KindInt, PrimaryKey: true, NotNull: true},
+			{Name: "name", Type: types.KindString, NotNull: true},
+			{Name: "email", Type: types.KindString, Unique: true},
+		},
+	}
+}
+
+func TestTableInsertGetDelete(t *testing.T) {
+	tbl := NewTable(userSchema())
+	row := types.Row{types.NewInt(1), types.NewString("ana"), types.NewString("a@x")}
+	if err := tbl.Insert(10, 100, row); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Get(10)
+	if !ok || !types.RowsEqual(got.Values, row) || got.Created != 100 {
+		t.Fatalf("Get: %+v ok=%v", got, ok)
+	}
+	if tid, ok := tbl.LookupPK(types.NewInt(1)); !ok || tid != 10 {
+		t.Fatalf("LookupPK: %d, %v", tid, ok)
+	}
+	old, err := tbl.Delete(10)
+	if err != nil || !types.RowsEqual(old, row) {
+		t.Fatalf("Delete: %v, %v", old, err)
+	}
+	if _, ok := tbl.Get(10); ok {
+		t.Fatal("row still present after delete")
+	}
+	if _, ok := tbl.LookupPK(types.NewInt(1)); ok {
+		t.Fatal("pk entry still present after delete")
+	}
+}
+
+func TestTableConstraints(t *testing.T) {
+	tbl := NewTable(userSchema())
+	ok := types.Row{types.NewInt(1), types.NewString("ana"), types.NewString("a@x")}
+	if err := tbl.Insert(1, 1, ok); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		row  types.Row
+	}{
+		{"dup pk", types.Row{types.NewInt(1), types.NewString("bob"), types.NewString("b@x")}},
+		{"dup unique", types.Row{types.NewInt(2), types.NewString("bob"), types.NewString("a@x")}},
+		{"null pk", types.Row{types.Null, types.NewString("bob"), types.NewString("c@x")}},
+		{"null not-null", types.Row{types.NewInt(3), types.Null, types.NewString("d@x")}},
+		{"bad arity", types.Row{types.NewInt(4)}},
+	}
+	for _, c := range cases {
+		if err := tbl.Insert(99, 99, c.row); err == nil {
+			t.Errorf("%s: expected constraint violation", c.name)
+			tbl.Delete(99)
+		}
+	}
+	// NULL in a UNIQUE column is always allowed (no uniqueness of NULLs).
+	if err := tbl.Insert(5, 5, types.Row{types.NewInt(5), types.NewString("e"), types.Null}); err != nil {
+		t.Errorf("null unique: %v", err)
+	}
+	if err := tbl.Insert(6, 6, types.Row{types.NewInt(6), types.NewString("f"), types.Null}); err != nil {
+		t.Errorf("second null unique: %v", err)
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	tbl := NewTable(userSchema())
+	tbl.Insert(1, 1, types.Row{types.NewInt(1), types.NewString("ana"), types.NewString("a@x")})
+	tbl.Insert(2, 2, types.Row{types.NewInt(2), types.NewString("bob"), types.NewString("b@x")})
+	// Moving pk 1 → 3 must update the index.
+	old, err := tbl.Update(1, types.Row{types.NewInt(3), types.NewString("ana"), types.NewString("a@x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0].Int() != 1 {
+		t.Fatalf("old row: %v", old)
+	}
+	if _, ok := tbl.LookupPK(types.NewInt(1)); ok {
+		t.Error("stale pk entry")
+	}
+	if tid, ok := tbl.LookupPK(types.NewInt(3)); !ok || tid != 1 {
+		t.Error("new pk entry missing")
+	}
+	// Updating to a conflicting pk must fail and leave state intact.
+	if _, err := tbl.Update(1, types.Row{types.NewInt(2), types.NewString("x"), types.Null}); err == nil {
+		t.Error("pk conflict not detected")
+	}
+	// Self-update (same pk) is fine.
+	if _, err := tbl.Update(1, types.Row{types.NewInt(3), types.NewString("ana2"), types.NewString("a@x")}); err != nil {
+		t.Errorf("self update: %v", err)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	tbl := NewTable(userSchema())
+	for i := int64(1); i <= 10; i++ {
+		name := "even"
+		if i%2 == 1 {
+			name = "odd"
+		}
+		if err := tbl.Insert(i, i, types.Row{types.NewInt(i), types.NewString(name), types.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.AddIndex("by_name", []string{"name"}, false); err != nil {
+		t.Fatal(err)
+	}
+	tids, ok := tbl.LookupIndex("by_name", types.Row{types.NewString("odd")})
+	if !ok || len(tids) != 5 {
+		t.Fatalf("odd lookup: %v, %v", tids, ok)
+	}
+	// Index stays correct across delete and update.
+	tbl.Delete(1)
+	tids, _ = tbl.LookupIndex("by_name", types.Row{types.NewString("odd")})
+	if len(tids) != 4 {
+		t.Fatalf("after delete: %v", tids)
+	}
+	tbl.Update(2, types.Row{types.NewInt(2), types.NewString("odd"), types.Null})
+	tids, _ = tbl.LookupIndex("by_name", types.Row{types.NewString("odd")})
+	if len(tids) != 5 {
+		t.Fatalf("after update: %v", tids)
+	}
+	if name, ok := tbl.IndexOn(tbl.Schema.ColIndex("name")); !ok || name != "by_name" {
+		t.Errorf("IndexOn: %q, %v", name, ok)
+	}
+	// Unique secondary index over existing duplicate data must fail.
+	if err := tbl.AddIndex("uniq_name", []string{"name"}, true); err == nil {
+		t.Error("unique index over duplicates must fail")
+	}
+}
+
+func TestStoreInMemoryBasics(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Durable() {
+		t.Error("in-memory store must not be durable")
+	}
+	if err := s.CreateTable(userSchema()); err != nil {
+		t.Fatal(err)
+	}
+	tid, created, err := s.Insert("users", types.Row{types.NewInt(1), types.NewString("ana"), types.Null})
+	if err != nil || tid == 0 || created == 0 {
+		t.Fatalf("insert: %d, %d, %v", tid, created, err)
+	}
+	if s.CurrentStamp() != created {
+		t.Errorf("CurrentStamp: %d, want %d", s.CurrentStamp(), created)
+	}
+	if _, _, err := s.Insert("nope", nil); err == nil {
+		t.Error("insert into missing table must fail")
+	}
+	if err := s.DropTable("users"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table("users") != nil {
+		t.Error("table present after drop")
+	}
+}
+
+func TestStoreDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(userSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var lastTID int64
+	for i := int64(1); i <= 50; i++ {
+		tid, _, err := s.Insert("users", types.Row{types.NewInt(i), types.NewString("u"), types.Null})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastTID = tid
+	}
+	if _, err := s.Update("users", lastTID, types.Row{types.NewInt(50), types.NewString("updated"), types.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("users", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex("by_name", "users", []string{"name"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMeta("view", "v1", "CREATE VIEW v1 AS SELECT id FROM users"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open: WAL replay must restore everything.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s2.Table("users")
+	if tbl == nil || tbl.Len() != 49 {
+		t.Fatalf("after replay: %v rows", tbl.Len())
+	}
+	got, ok := tbl.Get(lastTID)
+	if !ok || got.Values[1].Str() != "updated" {
+		t.Fatalf("updated row lost: %+v, %v", got, ok)
+	}
+	if _, ok := tbl.LookupIndex("by_name", types.Row{types.NewString("updated")}); !ok {
+		t.Error("index lost after replay")
+	}
+	metas := s2.Metas()
+	if len(metas) != 1 || metas[0].Name != "v1" {
+		t.Fatalf("metas lost: %+v", metas)
+	}
+	// New tids must not collide with replayed ones.
+	tid, _, err := s2.Insert("users", types.Row{types.NewInt(1000), types.NewString("new"), types.Null})
+	if err != nil || tid <= lastTID {
+		t.Fatalf("tid reuse after replay: %d vs %d (%v)", tid, lastTID, err)
+	}
+	s2.Close()
+}
+
+func TestStoreCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTable(userSchema())
+	for i := int64(1); i <= 20; i++ {
+		s.Insert("users", types.Row{types.NewInt(i), types.NewString("u"), types.Null})
+	}
+	s.PutMeta("trigger", "t1", "CREATE TRIGGER t1 AFTER INSERT ON users CALL 'h'")
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL must be empty after checkpoint.
+	fi, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not truncated: %v, %v", fi, err)
+	}
+	// Post-checkpoint writes land in the new WAL.
+	s.Insert("users", types.Row{types.NewInt(21), types.NewString("after"), types.Null})
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Table("users").Len() != 21 {
+		t.Fatalf("rows after snapshot+wal: %d", s2.Table("users").Len())
+	}
+	if len(s2.Metas()) != 1 {
+		t.Fatalf("metas: %+v", s2.Metas())
+	}
+	s2.Close()
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.CreateTable(userSchema())
+	s.Insert("users", types.Row{types.NewInt(1), types.NewString("a"), types.Null})
+	s.Close()
+	// Append garbage to simulate a torn write.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 99, 1, 2, 3})
+	f.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail must not prevent open: %v", err)
+	}
+	if s2.Table("users").Len() != 1 {
+		t.Fatalf("rows: %d", s2.Table("users").Len())
+	}
+	s2.Close()
+}
+
+func TestDeleteMeta(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	s.PutMeta("view", "a", "x")
+	s.PutMeta("view", "b", "y")
+	s.DeleteMeta("view", "a")
+	m := s.Metas()
+	if len(m) != 1 || m[0].Name != "b" {
+		t.Fatalf("%+v", m)
+	}
+	// Upsert replaces text.
+	s.PutMeta("view", "b", "z")
+	if m := s.Metas(); len(m) != 1 || m[0].Text != "z" {
+		t.Fatalf("%+v", m)
+	}
+}

@@ -1,0 +1,692 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/types"
+)
+
+// MetaEntry is a piece of DDL (view or trigger definition) that the
+// database layer re-registers when re-opening a store.
+type MetaEntry struct {
+	Kind string // "view" or "trigger"
+	Name string
+	Text string // the original DDL statement
+}
+
+type indexDef struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// Store is the physical database: a set of tables plus durability. A Store
+// with an empty directory is purely in-memory (used by most tests); with a
+// directory it persists through a snapshot file and a WAL.
+type Store struct {
+	dir     string
+	durable bool
+	wal     *walWriter
+
+	tables  map[string]*Table // lower-cased name → table
+	indexes []indexDef
+	metas   []MetaEntry
+
+	nextTID     atomic.Int64
+	nextCreated atomic.Int64
+}
+
+const (
+	snapshotFile  = "ediflow.snapshot"
+	walFile       = "ediflow.wal"
+	snapshotMagic = "EDSNAP1\n"
+)
+
+// Open opens (or creates) a store. dir == "" yields an in-memory store.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		durable: dir != "",
+		tables:  map[string]*Table{},
+	}
+	s.nextTID.Store(1)
+	s.nextCreated.Store(1)
+	if !s.durable {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := s.loadSnapshot(filepath.Join(dir, snapshotFile)); err != nil {
+		return nil, err
+	}
+	if err := replayWAL(filepath.Join(dir, walFile), s.applyWAL); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}
+
+// Durable reports whether the store persists to disk.
+func (s *Store) Durable() bool { return s.durable }
+
+func (s *Store) log(payload []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.append(payload)
+}
+
+// Flush pushes buffered WAL records to the OS (called at statement/commit
+// boundaries by the engine).
+func (s *Store) Flush() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+func tkey(name string) string { return strings.ToLower(name) }
+
+// AllocTID returns a fresh tuple id. Counters are atomic: the engine's
+// write lock guards table mutation, but stamps are also read lock-free by
+// the workflow layer (snapshots) on other goroutines.
+func (s *Store) AllocTID() int64 {
+	return s.nextTID.Add(1) - 1
+}
+
+// AllocCreated returns a fresh creation timestamp (monotonic sequence).
+func (s *Store) AllocCreated() int64 {
+	return s.nextCreated.Add(1) - 1
+}
+
+// CurrentStamp returns the most recently allocated creation timestamp.
+// A process instance starting now sees exactly the tuples with
+// `_created <= CurrentStamp()` (§VI-A time-based isolation).
+func (s *Store) CurrentStamp() int64 { return s.nextCreated.Load() - 1 }
+
+// bumpCounters raises the counters to cover an explicitly supplied tuple
+// (replay / rollback re-insertion paths).
+func (s *Store) bumpCounters(tid, created int64) {
+	for {
+		cur := s.nextTID.Load()
+		if tid < cur || s.nextTID.CompareAndSwap(cur, tid+1) {
+			break
+		}
+	}
+	for {
+		cur := s.nextCreated.Load()
+		if created < cur || s.nextCreated.CompareAndSwap(cur, created+1) {
+			break
+		}
+	}
+}
+
+// CreateTable allocates storage for a new table and logs it.
+func (s *Store) CreateTable(schema *catalog.TableSchema) error {
+	k := tkey(schema.Name)
+	if _, ok := s.tables[k]; ok {
+		return fmt.Errorf("storage: table %q already exists", schema.Name)
+	}
+	s.tables[k] = NewTable(schema)
+	return s.log(encodeCreateTable(schema))
+}
+
+// DropTable removes a table and logs it.
+func (s *Store) DropTable(name string) error {
+	k := tkey(name)
+	if _, ok := s.tables[k]; !ok {
+		return fmt.Errorf("storage: no such table %q", name)
+	}
+	delete(s.tables, k)
+	kept := s.indexes[:0]
+	for _, ix := range s.indexes {
+		if tkey(ix.Table) != k {
+			kept = append(kept, ix)
+		}
+	}
+	s.indexes = kept
+	out := []byte{opDropTable}
+	out = appendString(out, name)
+	return s.log(out)
+}
+
+// Table returns the physical table, or nil.
+func (s *Store) Table(name string) *Table { return s.tables[tkey(name)] }
+
+// TableNames lists stored tables (sorted).
+func (s *Store) TableNames() []string {
+	var out []string
+	for _, t := range s.tables {
+		out = append(out, t.Schema.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends a row to a table, allocating system columns, and logs it.
+func (s *Store) Insert(table string, row types.Row) (tid, created int64, err error) {
+	t := s.tables[tkey(table)]
+	if t == nil {
+		return 0, 0, fmt.Errorf("storage: no such table %q", table)
+	}
+	tid = s.AllocTID()
+	created = s.AllocCreated()
+	if err := t.Insert(tid, created, row); err != nil {
+		return 0, 0, err
+	}
+	return tid, created, s.log(encodeInsert(table, tid, created, row))
+}
+
+// InsertAt re-inserts a row with explicit system columns (transaction
+// rollback and replay path).
+func (s *Store) InsertAt(table string, tid, created int64, row types.Row) error {
+	t := s.tables[tkey(table)]
+	if t == nil {
+		return fmt.Errorf("storage: no such table %q", table)
+	}
+	if err := t.Insert(tid, created, row); err != nil {
+		return err
+	}
+	s.bumpCounters(tid, created)
+	return s.log(encodeInsert(table, tid, created, row))
+}
+
+// Update replaces a row's values and logs it.
+func (s *Store) Update(table string, tid int64, row types.Row) (types.Row, error) {
+	t := s.tables[tkey(table)]
+	if t == nil {
+		return nil, fmt.Errorf("storage: no such table %q", table)
+	}
+	old, err := t.Update(tid, row)
+	if err != nil {
+		return nil, err
+	}
+	return old, s.log(encodeUpdate(table, tid, row))
+}
+
+// Delete removes a row and logs it.
+func (s *Store) Delete(table string, tid int64) (types.Row, error) {
+	t := s.tables[tkey(table)]
+	if t == nil {
+		return nil, fmt.Errorf("storage: no such table %q", table)
+	}
+	old, err := t.Delete(tid)
+	if err != nil {
+		return nil, err
+	}
+	return old, s.log(encodeDelete(table, tid))
+}
+
+// AddIndex builds a secondary index and logs it.
+func (s *Store) AddIndex(name, table string, cols []string, unique bool) error {
+	t := s.tables[tkey(table)]
+	if t == nil {
+		return fmt.Errorf("storage: no such table %q", table)
+	}
+	if err := t.AddIndex(name, cols, unique); err != nil {
+		return err
+	}
+	s.indexes = append(s.indexes, indexDef{Name: name, Table: table, Columns: cols, Unique: unique})
+	return s.log(encodeCreateIndex(name, table, unique, cols))
+}
+
+// PutMeta stores a DDL meta entry (view/trigger) and logs it.
+func (s *Store) PutMeta(kind, name, text string) error {
+	s.upsertMeta(kind, name, text)
+	return s.log(encodePutMeta(kind, name, text))
+}
+
+// DeleteMeta removes a DDL meta entry and logs it.
+func (s *Store) DeleteMeta(kind, name string) error {
+	kept := s.metas[:0]
+	for _, m := range s.metas {
+		if !(m.Kind == kind && strings.EqualFold(m.Name, name)) {
+			kept = append(kept, m)
+		}
+	}
+	s.metas = kept
+	return s.log(encodeDelMeta(kind, name))
+}
+
+func (s *Store) upsertMeta(kind, name, text string) {
+	for i, m := range s.metas {
+		if m.Kind == kind && strings.EqualFold(m.Name, name) {
+			s.metas[i].Text = text
+			return
+		}
+	}
+	s.metas = append(s.metas, MetaEntry{Kind: kind, Name: name, Text: text})
+}
+
+// Metas returns the stored DDL meta entries in insertion order.
+func (s *Store) Metas() []MetaEntry {
+	out := make([]MetaEntry, len(s.metas))
+	copy(out, s.metas)
+	return out
+}
+
+// ------------------------------------------------------------ WAL replay
+
+func (s *Store) applyWAL(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	op, body := payload[0], payload[1:]
+	switch op {
+	case opCreateTable:
+		schema, err := decodeCreateTable(body)
+		if err != nil {
+			return err
+		}
+		s.tables[tkey(schema.Name)] = NewTable(schema)
+		return nil
+	case opDropTable:
+		name, _, err := readString(body)
+		if err != nil {
+			return err
+		}
+		delete(s.tables, tkey(name))
+		kept := s.indexes[:0]
+		for _, ix := range s.indexes {
+			if tkey(ix.Table) != tkey(name) {
+				kept = append(kept, ix)
+			}
+		}
+		s.indexes = kept
+		return nil
+	case opInsert:
+		name, off, err := readString(body)
+		if err != nil {
+			return err
+		}
+		if len(body) < off+16 {
+			return fmt.Errorf("short insert record")
+		}
+		tid := int64(binary.BigEndian.Uint64(body[off:]))
+		created := int64(binary.BigEndian.Uint64(body[off+8:]))
+		row, _, err := types.DecodeRow(body[off+16:])
+		if err != nil {
+			return err
+		}
+		t := s.tables[tkey(name)]
+		if t == nil {
+			return fmt.Errorf("insert into unknown table %q", name)
+		}
+		if err := t.Insert(tid, created, row); err != nil {
+			return err
+		}
+		s.bumpCounters(tid, created)
+		return nil
+	case opUpdate:
+		name, off, err := readString(body)
+		if err != nil {
+			return err
+		}
+		if len(body) < off+8 {
+			return fmt.Errorf("short update record")
+		}
+		tid := int64(binary.BigEndian.Uint64(body[off:]))
+		row, _, err := types.DecodeRow(body[off+8:])
+		if err != nil {
+			return err
+		}
+		t := s.tables[tkey(name)]
+		if t == nil {
+			return fmt.Errorf("update of unknown table %q", name)
+		}
+		_, err = t.Update(tid, row)
+		return err
+	case opDelete:
+		name, off, err := readString(body)
+		if err != nil {
+			return err
+		}
+		if len(body) < off+8 {
+			return fmt.Errorf("short delete record")
+		}
+		tid := int64(binary.BigEndian.Uint64(body[off:]))
+		t := s.tables[tkey(name)]
+		if t == nil {
+			return fmt.Errorf("delete from unknown table %q", name)
+		}
+		_, err = t.Delete(tid)
+		return err
+	case opCreateIndex:
+		name, off, err := readString(body)
+		if err != nil {
+			return err
+		}
+		table, used, err := readString(body[off:])
+		if err != nil {
+			return err
+		}
+		off += used
+		if off >= len(body) {
+			return fmt.Errorf("short index record")
+		}
+		unique := body[off] == 1
+		off++
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return fmt.Errorf("short index record")
+		}
+		off += w
+		cols := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			c, used, err := readString(body[off:])
+			if err != nil {
+				return err
+			}
+			cols = append(cols, c)
+			off += used
+		}
+		t := s.tables[tkey(table)]
+		if t == nil {
+			return fmt.Errorf("index on unknown table %q", table)
+		}
+		if err := t.AddIndex(name, cols, unique); err != nil {
+			return err
+		}
+		s.indexes = append(s.indexes, indexDef{Name: name, Table: table, Columns: cols, Unique: unique})
+		return nil
+	case opPutMeta:
+		kind, off, err := readString(body)
+		if err != nil {
+			return err
+		}
+		name, used, err := readString(body[off:])
+		if err != nil {
+			return err
+		}
+		off += used
+		text, _, err := readString(body[off:])
+		if err != nil {
+			return err
+		}
+		s.upsertMeta(kind, name, text)
+		return nil
+	case opDelMeta:
+		kind, off, err := readString(body)
+		if err != nil {
+			return err
+		}
+		name, _, err := readString(body[off:])
+		if err != nil {
+			return err
+		}
+		kept := s.metas[:0]
+		for _, m := range s.metas {
+			if !(m.Kind == kind && strings.EqualFold(m.Name, name)) {
+				kept = append(kept, m)
+			}
+		}
+		s.metas = kept
+		return nil
+	}
+	return fmt.Errorf("unknown WAL opcode %d", op)
+}
+
+// ------------------------------------------------------------- snapshots
+
+// Checkpoint writes a full snapshot and truncates the WAL, bounding
+// recovery time.
+func (s *Store) Checkpoint() error {
+	if !s.durable {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := s.writeSnapshot(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// Truncate the WAL: everything is in the snapshot now.
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Truncate(filepath.Join(s.dir, walFile), 0); err != nil {
+		return err
+	}
+	nw, err := openWAL(filepath.Join(s.dir, walFile))
+	if err != nil {
+		return err
+	}
+	s.wal = nw
+	return nil
+}
+
+func (s *Store) writeSnapshot(w io.Writer) error {
+	buf := []byte(snapshotMagic)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.nextTID.Load()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.nextCreated.Load()))
+	// Metas.
+	buf = binary.AppendUvarint(buf, uint64(len(s.metas)))
+	for _, m := range s.metas {
+		buf = appendString(buf, m.Kind)
+		buf = appendString(buf, m.Name)
+		buf = appendString(buf, m.Text)
+	}
+	// Index defs.
+	buf = binary.AppendUvarint(buf, uint64(len(s.indexes)))
+	for _, ix := range s.indexes {
+		buf = appendString(buf, ix.Name)
+		buf = appendString(buf, ix.Table)
+		if ix.Unique {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(ix.Columns)))
+		for _, c := range ix.Columns {
+			buf = appendString(buf, c)
+		}
+	}
+	// Tables: names sorted for deterministic files.
+	names := s.TableNames()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t := s.tables[tkey(name)]
+		chunk := encodeCreateTable(t.Schema)[1:] // reuse encoding, minus opcode
+		hdr := binary.AppendUvarint(nil, uint64(len(chunk)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		cnt := binary.AppendUvarint(nil, uint64(t.Len()))
+		if _, err := w.Write(cnt); err != nil {
+			return err
+		}
+		for _, r := range t.Rows() {
+			rb := binary.BigEndian.AppendUint64(nil, uint64(r.TID))
+			rb = binary.BigEndian.AppendUint64(rb, uint64(r.Created))
+			rb = types.AppendRow(rb, r.Values)
+			if _, err := w.Write(rb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("storage: bad snapshot magic")
+	}
+	buf := data[len(snapshotMagic):]
+	if len(buf) < 16 {
+		return fmt.Errorf("storage: short snapshot header")
+	}
+	s.nextTID.Store(int64(binary.BigEndian.Uint64(buf)))
+	s.nextCreated.Store(int64(binary.BigEndian.Uint64(buf[8:])))
+	buf = buf[16:]
+	// Metas.
+	nm, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return fmt.Errorf("storage: bad snapshot metas")
+	}
+	buf = buf[w:]
+	for i := uint64(0); i < nm; i++ {
+		kind, used, err := readString(buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[used:]
+		name, used, err := readString(buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[used:]
+		text, used, err := readString(buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[used:]
+		s.metas = append(s.metas, MetaEntry{Kind: kind, Name: name, Text: text})
+	}
+	// Index defs (applied after tables are loaded).
+	ni, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return fmt.Errorf("storage: bad snapshot indexes")
+	}
+	buf = buf[w:]
+	var pending []indexDef
+	for i := uint64(0); i < ni; i++ {
+		name, used, err := readString(buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[used:]
+		table, used, err := readString(buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[used:]
+		if len(buf) < 1 {
+			return fmt.Errorf("storage: short snapshot index")
+		}
+		unique := buf[0] == 1
+		buf = buf[1:]
+		nc, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return fmt.Errorf("storage: bad snapshot index columns")
+		}
+		buf = buf[w:]
+		cols := make([]string, 0, nc)
+		for j := uint64(0); j < nc; j++ {
+			c, used, err := readString(buf)
+			if err != nil {
+				return err
+			}
+			cols = append(cols, c)
+			buf = buf[used:]
+		}
+		pending = append(pending, indexDef{Name: name, Table: table, Columns: cols, Unique: unique})
+	}
+	// Tables.
+	nt, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return fmt.Errorf("storage: bad snapshot table count")
+	}
+	buf = buf[w:]
+	for i := uint64(0); i < nt; i++ {
+		clen, w := binary.Uvarint(buf)
+		if w <= 0 || uint64(len(buf)-w) < clen {
+			return fmt.Errorf("storage: short snapshot schema")
+		}
+		buf = buf[w:]
+		schema, err := decodeCreateTable(buf[:clen])
+		if err != nil {
+			return err
+		}
+		buf = buf[clen:]
+		t := NewTable(schema)
+		s.tables[tkey(schema.Name)] = t
+		nr, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return fmt.Errorf("storage: bad snapshot row count")
+		}
+		buf = buf[w:]
+		for j := uint64(0); j < nr; j++ {
+			if len(buf) < 16 {
+				return fmt.Errorf("storage: short snapshot row")
+			}
+			tid := int64(binary.BigEndian.Uint64(buf))
+			created := int64(binary.BigEndian.Uint64(buf[8:]))
+			buf = buf[16:]
+			row, used, err := types.DecodeRow(buf)
+			if err != nil {
+				return err
+			}
+			buf = buf[used:]
+			if err := t.Insert(tid, created, row); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ix := range pending {
+		t := s.tables[tkey(ix.Table)]
+		if t == nil {
+			return fmt.Errorf("storage: snapshot index on unknown table %q", ix.Table)
+		}
+		if err := t.AddIndex(ix.Name, ix.Columns, ix.Unique); err != nil {
+			return err
+		}
+		s.indexes = append(s.indexes, ix)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package storage implements the physical layer of the embedded database:
+// in-memory row storage with system columns, primary/unique/secondary hash
+// indexes, and durability through a write-ahead log with snapshot
+// checkpoints (see wal.go).
+package storage
+
+import (
+	"fmt"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/types"
+)
+
+// StoredRow is one physical tuple: user values plus the system columns
+// `_tid` (unique tuple id) and `_created` (monotonic creation sequence)
+// that implement the paper's creation timestamps (§VI-A).
+type StoredRow struct {
+	TID     int64
+	Created int64
+	Values  types.Row
+}
+
+// Table is the physical storage of one base table.
+type Table struct {
+	Schema *catalog.TableSchema
+
+	rows  []StoredRow
+	byTID map[int64]int // tid → index in rows
+
+	// pk maps primary-key value → tid (single-column PK only).
+	pkCol int
+	pk    map[string]int64
+
+	// unique indexes: column position → value key → tid.
+	unique map[int]map[string]int64
+
+	// secondary (non-unique) hash indexes: index name → column positions
+	// and value key → tids.
+	secondary map[string]*hashIndex
+}
+
+type hashIndex struct {
+	cols    []int
+	unique  bool
+	entries map[string][]int64
+}
+
+// NewTable creates empty storage for the given schema.
+func NewTable(schema *catalog.TableSchema) *Table {
+	t := &Table{
+		Schema:    schema,
+		byTID:     map[int64]int{},
+		pkCol:     schema.PKIndex(),
+		unique:    map[int]map[string]int64{},
+		secondary: map[string]*hashIndex{},
+	}
+	if t.pkCol >= 0 {
+		t.pk = map[string]int64{}
+	}
+	for i, c := range schema.Columns {
+		if c.Unique && !c.PrimaryKey {
+			t.unique[i] = map[string]int64{}
+		}
+	}
+	return t
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the underlying row slice. Callers must treat it as
+// read-only; the engine copies values out before releasing its lock.
+func (t *Table) Rows() []StoredRow { return t.rows }
+
+// Get returns the row with the given tid.
+func (t *Table) Get(tid int64) (StoredRow, bool) {
+	i, ok := t.byTID[tid]
+	if !ok {
+		return StoredRow{}, false
+	}
+	return t.rows[i], true
+}
+
+// LookupPK returns the tid of the row whose primary key equals v.
+func (t *Table) LookupPK(v types.Value) (int64, bool) {
+	if t.pk == nil {
+		return 0, false
+	}
+	tid, ok := t.pk[v.HashKey()]
+	return tid, ok
+}
+
+// HasPK reports whether the table has a single-column primary key.
+func (t *Table) HasPK() bool { return t.pkCol >= 0 }
+
+// PKCol returns the primary key column position, or -1.
+func (t *Table) PKCol() int { return t.pkCol }
+
+// checkConstraints validates NOT NULL, PK and UNIQUE for a candidate row.
+// excludeTID skips one tid during uniqueness checks (for updates).
+func (t *Table) checkConstraints(row types.Row, excludeTID int64) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("storage: %s: arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
+	}
+	for i, c := range t.Schema.Columns {
+		if c.NotNull && row[i].IsNull() {
+			return fmt.Errorf("storage: %s.%s: NOT NULL violated", t.Schema.Name, c.Name)
+		}
+	}
+	if t.pkCol >= 0 {
+		if row[t.pkCol].IsNull() {
+			return fmt.Errorf("storage: %s: primary key is NULL", t.Schema.Name)
+		}
+		if tid, ok := t.pk[row[t.pkCol].HashKey()]; ok && tid != excludeTID {
+			return fmt.Errorf("storage: %s: duplicate primary key %s", t.Schema.Name, row[t.pkCol])
+		}
+	}
+	for col, idx := range t.unique {
+		if row[col].IsNull() {
+			continue
+		}
+		if tid, ok := idx[row[col].HashKey()]; ok && tid != excludeTID {
+			return fmt.Errorf("storage: %s.%s: duplicate unique value %s", t.Schema.Name, t.Schema.Columns[col].Name, row[col])
+		}
+	}
+	for name, ix := range t.secondary {
+		if !ix.unique {
+			continue
+		}
+		k := ix.key(row)
+		for _, tid := range ix.entries[k] {
+			if tid != excludeTID {
+				return fmt.Errorf("storage: %s: unique index %s violated", t.Schema.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Insert adds a row with explicit system columns (used by WAL replay and
+// the engine, which allocates tids/timestamps).
+func (t *Table) Insert(tid, created int64, row types.Row) error {
+	if err := t.checkConstraints(row, -1); err != nil {
+		return err
+	}
+	if _, dup := t.byTID[tid]; dup {
+		return fmt.Errorf("storage: %s: duplicate tid %d", t.Schema.Name, tid)
+	}
+	t.byTID[tid] = len(t.rows)
+	t.rows = append(t.rows, StoredRow{TID: tid, Created: created, Values: row})
+	if t.pkCol >= 0 {
+		t.pk[row[t.pkCol].HashKey()] = tid
+	}
+	for col, idx := range t.unique {
+		if !row[col].IsNull() {
+			idx[row[col].HashKey()] = tid
+		}
+	}
+	for _, ix := range t.secondary {
+		k := ix.key(row)
+		ix.entries[k] = append(ix.entries[k], tid)
+	}
+	return nil
+}
+
+// Update replaces the values of the row with the given tid; `_created` is
+// preserved (the tuple identity does not change).
+func (t *Table) Update(tid int64, row types.Row) (old types.Row, err error) {
+	i, ok := t.byTID[tid]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no tid %d", t.Schema.Name, tid)
+	}
+	if err := t.checkConstraints(row, tid); err != nil {
+		return nil, err
+	}
+	old = t.rows[i].Values
+	t.unindexRow(tid, old)
+	t.rows[i].Values = row
+	t.indexRow(tid, row)
+	return old, nil
+}
+
+// Delete removes the row with the given tid, returning its values.
+func (t *Table) Delete(tid int64) (types.Row, error) {
+	i, ok := t.byTID[tid]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no tid %d", t.Schema.Name, tid)
+	}
+	old := t.rows[i].Values
+	t.unindexRow(tid, old)
+	last := len(t.rows) - 1
+	if i != last {
+		t.rows[i] = t.rows[last]
+		t.byTID[t.rows[i].TID] = i
+	}
+	t.rows = t.rows[:last]
+	delete(t.byTID, tid)
+	return old, nil
+}
+
+func (t *Table) indexRow(tid int64, row types.Row) {
+	if t.pkCol >= 0 {
+		t.pk[row[t.pkCol].HashKey()] = tid
+	}
+	for col, idx := range t.unique {
+		if !row[col].IsNull() {
+			idx[row[col].HashKey()] = tid
+		}
+	}
+	for _, ix := range t.secondary {
+		k := ix.key(row)
+		ix.entries[k] = append(ix.entries[k], tid)
+	}
+}
+
+func (t *Table) unindexRow(tid int64, row types.Row) {
+	if t.pkCol >= 0 {
+		delete(t.pk, row[t.pkCol].HashKey())
+	}
+	for col, idx := range t.unique {
+		if !row[col].IsNull() {
+			delete(idx, row[col].HashKey())
+		}
+	}
+	for _, ix := range t.secondary {
+		k := ix.key(row)
+		tids := ix.entries[k]
+		for j, id := range tids {
+			if id == tid {
+				ix.entries[k] = append(tids[:j], tids[j+1:]...)
+				break
+			}
+		}
+		if len(ix.entries[k]) == 0 {
+			delete(ix.entries, k)
+		}
+	}
+}
+
+func (ix *hashIndex) key(row types.Row) string {
+	sub := make(types.Row, len(ix.cols))
+	for i, c := range ix.cols {
+		sub[i] = row[c]
+	}
+	return types.RowKey(sub)
+}
+
+// AddIndex builds a secondary hash index over the given columns.
+func (t *Table) AddIndex(name string, cols []string, unique bool) error {
+	if _, ok := t.secondary[name]; ok {
+		return fmt.Errorf("storage: index %q already exists on %s", name, t.Schema.Name)
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.Schema.ColIndex(c)
+		if p < 0 {
+			return fmt.Errorf("storage: no column %q in %s", c, t.Schema.Name)
+		}
+		positions[i] = p
+	}
+	ix := &hashIndex{cols: positions, unique: unique, entries: map[string][]int64{}}
+	for _, r := range t.rows {
+		k := ix.key(r.Values)
+		if unique && len(ix.entries[k]) > 0 {
+			return fmt.Errorf("storage: existing data violates unique index %q", name)
+		}
+		ix.entries[k] = append(ix.entries[k], r.TID)
+	}
+	t.secondary[name] = ix
+	return nil
+}
+
+// LookupIndex returns the tids matching the given key values on a
+// secondary index.
+func (t *Table) LookupIndex(name string, key types.Row) ([]int64, bool) {
+	ix, ok := t.secondary[name]
+	if !ok || len(key) != len(ix.cols) {
+		return nil, false
+	}
+	return ix.entries[types.RowKey(key)], true
+}
+
+// IndexOn returns the name of a secondary index whose first column is the
+// given column position, if any.
+func (t *Table) IndexOn(col int) (string, bool) {
+	for name, ix := range t.secondary {
+		if len(ix.cols) == 1 && ix.cols[0] == col {
+			return name, true
+		}
+	}
+	return "", false
+}

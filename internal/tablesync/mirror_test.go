@@ -1,0 +1,253 @@
+package tablesync
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/notify"
+	"ediflow/internal/types"
+)
+
+func setup(t *testing.T) (*database.DB, *notify.Notifier) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	n, err := notify.NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Close()
+		db.Close()
+	})
+	if _, err := db.Exec("CREATE TABLE nodes (id INT PRIMARY KEY, x FLOAT, y FLOAT, label STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	return db, n
+}
+
+func newMirror(t *testing.T, db *database.DB) *Mirror {
+	t.Helper()
+	m, err := NewMirror(db, "viz", "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// refreshUntil refreshes the mirror until cond holds or times out (the
+// notification write happens asynchronously after the statement, so tests
+// poll).
+func refreshUntil(t *testing.T, m *Mirror, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := m.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestInitialLoad(t *testing.T) {
+	db, _ := setup(t)
+	db.Exec("INSERT INTO nodes VALUES (1, 0.5, 0.5, 'a'), (2, 1.0, 2.0, 'b')")
+	m := newMirror(t, db)
+	if m.Len() != 2 {
+		t.Fatalf("len: %d", m.Len())
+	}
+	cols := m.Columns()
+	if len(cols) != 4 || cols[0] != "id" {
+		t.Fatalf("columns: %v", cols)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Values[3].Str() != "a" {
+		t.Fatalf("%+v", snap)
+	}
+}
+
+func TestIncrementalInsertUpdateDelete(t *testing.T) {
+	db, _ := setup(t)
+	m := newMirror(t, db)
+	db.Exec("INSERT INTO nodes VALUES (1, 0.0, 0.0, 'a')")
+	refreshUntil(t, m, func() bool { return m.Len() == 1 })
+
+	db.Exec("UPDATE nodes SET x = 9.5 WHERE id = 1")
+	refreshUntil(t, m, func() bool {
+		snap := m.Snapshot()
+		return len(snap) == 1 && snap[0].Values[1].Float() == 9.5
+	})
+
+	db.Exec("DELETE FROM nodes WHERE id = 1")
+	refreshUntil(t, m, func() bool { return m.Len() == 0 })
+}
+
+func TestRefreshCoalescesBatch(t *testing.T) {
+	db, _ := setup(t)
+	m := newMirror(t, db)
+	for i := 0; i < 20; i++ {
+		db.Exec(fmt.Sprintf("INSERT INTO nodes VALUES (%d, 0.0, 0.0, 'n')", i))
+	}
+	// All 20 notifications processed by (possibly) few Refresh calls.
+	refreshUntil(t, m, func() bool { return m.Len() == 20 })
+	// Updated then deleted row must end up absent.
+	db.Exec("UPDATE nodes SET label = 'x' WHERE id = 3")
+	db.Exec("DELETE FROM nodes WHERE id = 3")
+	refreshUntil(t, m, func() bool { return m.Len() == 19 })
+}
+
+func TestVersionBumpsAndOnChange(t *testing.T) {
+	db, _ := setup(t)
+	m := newMirror(t, db)
+	v0 := m.Version()
+	changed := make(chan struct{}, 16)
+	m.OnChange(func() { changed <- struct{}{} })
+	db.Exec("INSERT INTO nodes VALUES (1, 0.0, 0.0, 'a')")
+	refreshUntil(t, m, func() bool { return m.Len() == 1 })
+	if m.Version() <= v0 {
+		t.Fatal("version did not advance")
+	}
+	select {
+	case <-changed:
+	default:
+		t.Fatal("OnChange not invoked")
+	}
+}
+
+func TestAutoRefresh(t *testing.T) {
+	db, _ := setup(t)
+	m := newMirror(t, db)
+	m.AutoRefresh(10 * time.Millisecond)
+	db.Exec("INSERT INTO nodes VALUES (1, 1.0, 1.0, 'auto')")
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Len() == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("auto refresh did not apply the insert")
+}
+
+func TestWriteBack(t *testing.T) {
+	db, _ := setup(t)
+	db.Exec("INSERT INTO nodes VALUES (1, 0.0, 0.0, 'a')")
+	m := newMirror(t, db)
+	snap := m.Snapshot()
+	tid := snap[0].TID
+
+	// Two-way propagation: a visual interaction updates the DB.
+	if err := m.UpdateRow(tid, map[string]types.Value{
+		"x": types.NewFloat(3.5), "label": types.NewString("moved"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Local image reflects it immediately.
+	r, _ := m.Get(tid)
+	if r[1].Float() != 3.5 || r[3].Str() != "moved" {
+		t.Fatalf("%v", r)
+	}
+	// And the database holds it too.
+	x, err := db.QueryValue("SELECT x FROM nodes WHERE id = 1")
+	if err != nil || x.Float() != 3.5 {
+		t.Fatalf("%v %v", x, err)
+	}
+
+	// Insert and delete through the mirror.
+	if _, err := m.InsertRow(map[string]types.Value{
+		"id": types.NewInt(2), "x": types.NewFloat(0), "y": types.NewFloat(0), "label": types.NewString("new"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	refreshUntil(t, m, func() bool { return m.Len() == 2 })
+	if err := m.DeleteRow(tid); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM nodes")
+	if n != 1 {
+		t.Fatalf("rows in db: %d", n)
+	}
+	if err := m.UpdateRow(999, nil); err == nil {
+		t.Fatal("updating unknown tid must fail")
+	}
+	if err := m.DeleteRow(999); err == nil {
+		t.Fatal("deleting unknown tid must fail")
+	}
+}
+
+func TestMirrorOfView(t *testing.T) {
+	db, _ := setup(t)
+	db.Exec("INSERT INTO nodes VALUES (1, 0.0, 0.0, 'a'), (2, 0.0, 0.0, 'a'), (3, 0.0, 0.0, 'b')")
+	if _, err := db.Exec("CREATE MATERIALIZED VIEW bylabel AS SELECT label, COUNT(*) AS n FROM nodes GROUP BY label"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMirror(db, "viz", "bylabel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 2 {
+		t.Fatalf("view mirror len: %d", m.Len())
+	}
+	db.Exec("INSERT INTO nodes VALUES (4, 0.0, 0.0, 'c')")
+	refreshUntil(t, m, func() bool { return m.Len() == 3 })
+}
+
+// Property: after a random stream of operations and refreshes, the mirror
+// equals the table exactly.
+func TestMirrorConvergesToTable(t *testing.T) {
+	db, _ := setup(t)
+	m := newMirror(t, db)
+	rng := rand.New(rand.NewSource(99))
+	live := map[int64]bool{}
+	next := int64(0)
+	for step := 0; step < 200; step++ {
+		op := rng.Intn(3)
+		if len(live) == 0 {
+			op = 0
+		}
+		switch op {
+		case 0:
+			next++
+			db.Exec(fmt.Sprintf("INSERT INTO nodes VALUES (%d, %f, %f, 'n%d')", next, rng.Float64(), rng.Float64(), next))
+			live[next] = true
+		case 1:
+			id := anyKey(rng, live)
+			db.Exec(fmt.Sprintf("UPDATE nodes SET x = %f WHERE id = %d", rng.Float64(), id))
+		case 2:
+			id := anyKey(rng, live)
+			db.Exec(fmt.Sprintf("DELETE FROM nodes WHERE id = %d", id))
+			delete(live, id)
+		}
+	}
+	refreshUntil(t, m, func() bool { return m.Len() == len(live) })
+	// Deep equality of every row.
+	res, _ := db.Query("SELECT _tid, id, x, y, label FROM nodes")
+	for _, r := range res.Rows {
+		mr, ok := m.Get(r[0].Int())
+		if !ok {
+			t.Fatalf("mirror missing tid %d", r[0].Int())
+		}
+		if !types.RowsEqual(mr, r[1:]) {
+			t.Fatalf("mirror row %v != table row %v", mr, r[1:])
+		}
+	}
+}
+
+func anyKey(rng *rand.Rand, m map[int64]bool) int64 {
+	n := rng.Intn(len(m))
+	for k := range m {
+		if n == 0 {
+			return k
+		}
+		n--
+	}
+	return 0
+}

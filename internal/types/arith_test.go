@@ -1,0 +1,153 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSemantics(t *testing.T) {
+	v, err := Add(NewInt(2), NewInt(3))
+	if err != nil || v.Int() != 5 {
+		t.Errorf("2+3 = %v, %v", v, err)
+	}
+	v, err = Add(NewInt(2), NewFloat(0.5))
+	if err != nil || v.Kind() != KindFloat || v.Float() != 2.5 {
+		t.Errorf("2+0.5 = %v, %v", v, err)
+	}
+	v, err = Add(NewString("foo"), NewString("bar"))
+	if err != nil || v.Str() != "foobar" {
+		t.Errorf("string concat = %v, %v", v, err)
+	}
+	v, err = Add(Null, NewInt(1))
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL+1 = %v, %v; want NULL", v, err)
+	}
+	if _, err = Add(NewBool(true), NewInt(1)); err == nil {
+		t.Error("BOOL+INT should error")
+	}
+}
+
+func TestSubMulDiv(t *testing.T) {
+	if v, _ := Sub(NewInt(7), NewInt(9)); v.Int() != -2 {
+		t.Error("7-9")
+	}
+	if v, _ := Mul(NewFloat(1.5), NewInt(4)); v.Float() != 6.0 {
+		t.Error("1.5*4")
+	}
+	if v, _ := Div(NewInt(7), NewInt(2)); v.Int() != 3 {
+		t.Error("integer division 7/2 must be 3")
+	}
+	if v, _ := Div(NewFloat(7), NewInt(2)); v.Float() != 3.5 {
+		t.Error("7.0/2 must be 3.5")
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("division by zero must error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+}
+
+func TestMod(t *testing.T) {
+	if v, err := Mod(NewInt(10), NewInt(3)); err != nil || v.Int() != 1 {
+		t.Errorf("10%%3 = %v, %v", v, err)
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("mod by zero must error")
+	}
+	if v, err := Mod(Null, NewInt(3)); err != nil || !v.IsNull() {
+		t.Errorf("NULL%%3 = %v, %v", v, err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(NewInt(5)); v.Int() != -5 {
+		t.Error("neg int")
+	}
+	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 {
+		t.Error("neg float")
+	}
+	if v, _ := Neg(Null); !v.IsNull() {
+		t.Error("neg null")
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("neg string must error")
+	}
+}
+
+// Property: integer Add/Sub round-trips.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b int64) bool {
+		s, err := Add(NewInt(a), NewInt(b))
+		if err != nil {
+			return false
+		}
+		d, err := Sub(s, NewInt(b))
+		return err == nil && d.Int() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encode/decode round-trips for every kind.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null,
+		NewBool(true), NewBool(false),
+		NewInt(0), NewInt(-1), NewInt(1 << 60),
+		NewFloat(3.14159), NewFloat(-0.0),
+		NewString(""), NewString("héllo wörld"),
+		NewBytes(nil), NewBytes([]byte{0, 255, 3}),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil || n != len(buf) || !Equal(got, v) {
+			t.Errorf("round-trip %v: got %v (n=%d len=%d err=%v)", v, got, n, len(buf), err)
+		}
+	}
+}
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	r := Row{NewInt(1), NewString("x"), Null, NewFloat(2.5)}
+	buf := AppendRow(nil, r)
+	got, n, err := DecodeRow(buf)
+	if err != nil || n != len(buf) || !RowsEqual(got, r) {
+		t.Fatalf("row round-trip: %v, n=%d, err=%v", got, n, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer must error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("short INT must error")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("bad tag must error")
+	}
+	if _, _, err := DecodeRow([]byte{}); err == nil {
+		t.Error("empty row must error")
+	}
+}
+
+// Property: encoding of random int rows decodes to equal rows.
+func TestQuickRowRoundTrip(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		var r Row
+		for _, i := range ints {
+			r = append(r, NewInt(i))
+		}
+		for _, s := range strs {
+			r = append(r, NewString(s))
+		}
+		buf := AppendRow(nil, r)
+		got, n, err := DecodeRow(buf)
+		return err == nil && n == len(buf) && RowsEqual(got, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

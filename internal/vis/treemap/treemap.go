@@ -1,0 +1,139 @@
+// Package treemap implements the squarified treemap layout used by the
+// US-elections application (Figure 1): each item gets a rectangle whose
+// area is proportional to its value, with aspect ratios kept close to 1.
+package treemap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one rectangle to lay out.
+type Item struct {
+	ID    int64
+	Value float64
+	Label string
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Squarify lays the items out inside bounds using Bruls/Huizing/van Wijk
+// squarified treemaps. Items with non-positive values are skipped. The
+// result maps item id → rectangle.
+func Squarify(items []Item, bounds Rect) (map[int64]Rect, error) {
+	if bounds.W <= 0 || bounds.H <= 0 {
+		return nil, fmt.Errorf("treemap: empty bounds")
+	}
+	var live []Item
+	total := 0.0
+	for _, it := range items {
+		if it.Value > 0 {
+			live = append(live, it)
+			total += it.Value
+		}
+	}
+	out := map[int64]Rect{}
+	if len(live) == 0 {
+		return out, nil
+	}
+	// Sort by decreasing value (squarify requirement).
+	sort.Slice(live, func(i, j int) bool { return live[i].Value > live[j].Value })
+	// Normalize values to areas.
+	scale := bounds.Area() / total
+	areas := make([]float64, len(live))
+	for i, it := range live {
+		areas[i] = it.Value * scale
+	}
+
+	free := bounds
+	row := []int{}
+	rowArea := 0.0
+	i := 0
+	flushRow := func() {
+		if len(row) == 0 {
+			return
+		}
+		horizontal := free.W >= free.H // lay the row along the shorter side
+		if horizontal {
+			// Row is a vertical strip on the left of free.
+			stripW := rowArea / free.H
+			y := free.Y
+			for _, idx := range row {
+				h := areas[idx] / stripW
+				out[live[idx].ID] = Rect{X: free.X, Y: y, W: stripW, H: h}
+				y += h
+			}
+			free.X += stripW
+			free.W -= stripW
+		} else {
+			stripH := rowArea / free.W
+			x := free.X
+			for _, idx := range row {
+				w := areas[idx] / stripH
+				out[live[idx].ID] = Rect{X: x, Y: free.Y, W: w, H: stripH}
+				x += w
+			}
+			free.Y += stripH
+			free.H -= stripH
+		}
+		row = row[:0]
+		rowArea = 0
+	}
+
+	for i < len(live) {
+		side := free.H
+		if free.W < free.H {
+			side = free.W
+		}
+		if side <= 0 {
+			// Degenerate leftover: give remaining items zero-area slots at
+			// the free origin rather than dropping them.
+			for ; i < len(live); i++ {
+				out[live[i].ID] = Rect{X: free.X, Y: free.Y}
+			}
+			break
+		}
+		if len(row) == 0 {
+			row = append(row, i)
+			rowArea = areas[i]
+			i++
+			continue
+		}
+		if worst(row, areas, rowArea, side) >= worst(append(row, i), areas, rowArea+areas[i], side) {
+			row = append(row, i)
+			rowArea += areas[i]
+			i++
+		} else {
+			flushRow()
+		}
+	}
+	flushRow()
+	return out, nil
+}
+
+// worst returns the worst (largest) aspect ratio of the row laid along a
+// side of the given length.
+func worst(row []int, areas []float64, rowArea, side float64) float64 {
+	if len(row) == 0 || rowArea <= 0 {
+		return 0
+	}
+	strip := rowArea / side
+	w := 0.0
+	for _, idx := range row {
+		other := areas[idx] / strip
+		ratio := strip / other
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > w {
+			w = ratio
+		}
+	}
+	return w
+}

@@ -1,0 +1,121 @@
+package treemap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquarifyBasics(t *testing.T) {
+	items := []Item{
+		{ID: 1, Value: 6}, {ID: 2, Value: 6}, {ID: 3, Value: 4},
+		{ID: 4, Value: 3}, {ID: 5, Value: 2}, {ID: 6, Value: 2}, {ID: 7, Value: 1},
+	}
+	bounds := Rect{X: 0, Y: 0, W: 600, H: 400}
+	rects, err := Squarify(items, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 7 {
+		t.Fatalf("%d rects", len(rects))
+	}
+	// Areas proportional to values.
+	total := 24.0
+	for _, it := range items {
+		r := rects[it.ID]
+		want := it.Value / total * bounds.Area()
+		if math.Abs(r.Area()-want) > 1e-6 {
+			t.Errorf("item %d: area %f want %f", it.ID, r.Area(), want)
+		}
+	}
+	// All inside bounds.
+	for id, r := range rects {
+		if r.X < -1e-9 || r.Y < -1e-9 || r.X+r.W > bounds.W+1e-6 || r.Y+r.H > bounds.H+1e-6 {
+			t.Errorf("item %d out of bounds: %+v", id, r)
+		}
+	}
+}
+
+func TestSquarifySkipsNonPositive(t *testing.T) {
+	rects, err := Squarify([]Item{{ID: 1, Value: 0}, {ID: 2, Value: -3}, {ID: 3, Value: 5}}, Rect{W: 100, H: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 1 {
+		t.Fatalf("%v", rects)
+	}
+	if math.Abs(rects[3].Area()-10000) > 1e-6 {
+		t.Fatalf("single item must fill bounds: %+v", rects[3])
+	}
+}
+
+func TestSquarifyEmptyAndBadBounds(t *testing.T) {
+	if _, err := Squarify(nil, Rect{}); err == nil {
+		t.Fatal("empty bounds must error")
+	}
+	rects, err := Squarify(nil, Rect{W: 10, H: 10})
+	if err != nil || len(rects) != 0 {
+		t.Fatalf("%v %v", rects, err)
+	}
+}
+
+// Property: total area is preserved and rectangles never overlap.
+func TestSquarifyAreaAndOverlap(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]Item, count)
+		for i := range items {
+			items[i] = Item{ID: int64(i + 1), Value: rng.Float64()*100 + 1}
+		}
+		bounds := Rect{W: 400, H: 300}
+		rects, err := Squarify(items, bounds)
+		if err != nil || len(rects) != count {
+			return false
+		}
+		var sum float64
+		for _, r := range rects {
+			sum += r.Area()
+		}
+		if math.Abs(sum-bounds.Area()) > 1e-3 {
+			return false
+		}
+		// Pairwise overlap check.
+		ids := make([]int64, 0, count)
+		for id := range rects {
+			ids = append(ids, id)
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := rects[ids[i]], rects[ids[j]]
+				ox := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+				oy := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+				if ox > 1e-6 && oy > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquarifyAspectRatiosReasonable(t *testing.T) {
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: int64(i + 1), Value: float64(20 - i)}
+	}
+	rects, _ := Squarify(items, Rect{W: 500, H: 500})
+	for id, r := range rects {
+		ratio := r.W / r.H
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > 8 {
+			t.Errorf("item %d aspect ratio %f too skewed (%+v)", id, ratio, r)
+		}
+	}
+}

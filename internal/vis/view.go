@@ -1,0 +1,109 @@
+package vis
+
+import (
+	"sync/atomic"
+
+	"ediflow/internal/database"
+	"ediflow/internal/tablesync"
+)
+
+// View is one display over the shared VisualAttributes table — the
+// right-hand side of Figure 6. Each view holds its own in-memory mirror
+// (R_M) of the table, refreshed through the notification protocol, and
+// may show only a fraction of the data (iPhone 10%, laptop 30%, wall
+// 100%). Many views can run for one component; the attributes are
+// computed once.
+type View struct {
+	Name     string
+	CompID   int64
+	Fraction float64 // 0 < f <= 1: deterministic sample of objects shown
+
+	mirror   *tablesync.Mirror
+	repaints atomic.Int64
+
+	colObj, colX, colY, colW, colH, colColor, colLabel, colSel int
+}
+
+// OpenView connects a display view: it creates the mirror of the
+// VisualAttributes table and counts repaints as change batches arrive.
+func OpenView(db *database.DB, name string, compID int64, fraction float64) (*View, error) {
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	m, err := tablesync.NewMirror(db, name, database.TableVisualAttributes)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Name: name, CompID: compID, Fraction: fraction, mirror: m}
+	v.colObj = m.ColIndex("obj_id")
+	v.colX = m.ColIndex("x")
+	v.colY = m.ColIndex("y")
+	v.colW = m.ColIndex("width")
+	v.colH = m.ColIndex("height")
+	v.colColor = m.ColIndex("color")
+	v.colLabel = m.ColIndex("label")
+	v.colSel = m.ColIndex("selected")
+	m.OnChange(func() { v.repaints.Add(1) })
+	return v, nil
+}
+
+// Refresh pulls pending changes into the view's mirror (the display
+// decides when to refresh, §VI-C step 8). Returns the number of
+// notifications applied.
+func (v *View) Refresh() (int, error) { return v.mirror.Refresh() }
+
+// Mirror exposes the underlying table mirror.
+func (v *View) Mirror() *tablesync.Mirror { return v.mirror }
+
+// Repaints counts applied change batches (one repaint per batch).
+func (v *View) Repaints() int64 { return v.repaints.Load() }
+
+// visible reports whether this view displays the given object under its
+// fraction (deterministic by object id, so the same subset is stable
+// across refreshes).
+func (v *View) visible(objID int64) bool {
+	if v.Fraction >= 1 {
+		return true
+	}
+	// Knuth multiplicative hash onto [0,1).
+	h := uint64(objID) * 2654435761
+	return float64(h%1000)/1000.0 < v.Fraction
+}
+
+// Visible returns the attributes of the objects this view displays.
+func (v *View) Visible() map[int64]Attr {
+	out := map[int64]Attr{}
+	for _, row := range v.mirror.Snapshot() {
+		comp := row.Values[v.colObj+1] // comp_id follows obj_id in schema
+		if comp.IsNull() || comp.Int() != v.CompID {
+			continue
+		}
+		objID := row.Values[v.colObj].Int()
+		if !v.visible(objID) {
+			continue
+		}
+		a := Attr{}
+		if x := row.Values[v.colX]; !x.IsNull() {
+			a.X = x.Float()
+		}
+		if y := row.Values[v.colY]; !y.IsNull() {
+			a.Y = y.Float()
+		}
+		if w := row.Values[v.colW]; !w.IsNull() {
+			a.Width = w.Float()
+		}
+		if h := row.Values[v.colH]; !h.IsNull() {
+			a.Height = h.Float()
+		}
+		a.Color = row.Values[v.colColor].AsString()
+		a.Label = row.Values[v.colLabel].AsString()
+		if s := row.Values[v.colSel]; !s.IsNull() {
+			a.Selected = s.Bool()
+		}
+		out[objID] = a
+	}
+	return out
+}
+
+// Close disconnects the view's mirror.
+func (v *View) Close() error { return v.mirror.Close() }

@@ -1,0 +1,235 @@
+package vis
+
+import (
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/notify"
+)
+
+func setup(t *testing.T) *database.DB {
+	t.Helper()
+	db := database.MustOpenMemory()
+	n, err := notify.NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Close()
+		db.Close()
+	})
+	return db
+}
+
+func TestVisualizationAndComponents(t *testing.T) {
+	db := setup(t)
+	v, err := NewVisualization(db, "copubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := v.AddComponent("graph", "node-link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := v.AddComponent("by-year", "scatter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := v.Components()
+	if err != nil || len(comps) != 2 {
+		t.Fatalf("%v %v", comps, err)
+	}
+	if comps[0].ID != c1.ID || comps[1].Kind != c2.Kind {
+		t.Fatalf("%+v", comps)
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	db := setup(t)
+	v, _ := NewVisualization(db, "test")
+	c, _ := v.AddComponent("main", "node-link")
+	attrs := map[int64]Attr{
+		1: {X: 1.5, Y: 2.5, Color: "#ff0000", Label: "a"},
+		2: {X: 3.0, Y: 4.0, Width: 10, Height: 5, Label: "b", Selected: true},
+	}
+	if err := c.InsertAttributes(attrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Attributes()
+	if err != nil || len(got) != 2 {
+		t.Fatalf("%v %v", got, err)
+	}
+	if got[1].Color != "#ff0000" || got[2].Width != 10 || !got[2].Selected {
+		t.Fatalf("%+v", got)
+	}
+	// Upsert path: update existing + insert new.
+	if err := c.SetAttributes(map[int64]Attr{
+		1: {X: 9, Y: 9, Label: "moved"},
+		3: {X: 0, Y: 0, Label: "new"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Attributes()
+	if len(got) != 3 || got[1].X != 9 || got[3].Label != "new" {
+		t.Fatalf("%+v", got)
+	}
+	// Position-only streaming.
+	if err := c.SetPositions(map[int64][2]float64{2: {7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Attributes()
+	if got[2].X != 7 || got[2].Y != 8 || got[2].Label != "b" {
+		t.Fatalf("%+v", got[2])
+	}
+	// Deletion.
+	if err := c.DeleteAttributes([]int64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Attributes()
+	if len(got) != 1 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestSelection(t *testing.T) {
+	db := setup(t)
+	v, _ := NewVisualization(db, "test")
+	c, _ := v.AddComponent("main", "scatter")
+	c.InsertAttributes(map[int64]Attr{1: {}, 2: {}})
+	if err := c.Select(1, true); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := c.SelectedObjects()
+	if err != nil || len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("%v %v", sel, err)
+	}
+	c.Select(1, false)
+	sel, _ = c.SelectedObjects()
+	if len(sel) != 0 {
+		t.Fatalf("%v", sel)
+	}
+	if err := c.Select(99, true); err == nil {
+		t.Fatal("selecting unknown object must fail")
+	}
+}
+
+func TestComponentsShareAttributeTable(t *testing.T) {
+	db := setup(t)
+	v, _ := NewVisualization(db, "shared")
+	c1, _ := v.AddComponent("a", "node-link")
+	c2, _ := v.AddComponent("b", "scatter")
+	c1.InsertAttributes(map[int64]Attr{1: {X: 1}})
+	c2.InsertAttributes(map[int64]Attr{1: {X: 2}})
+	a1, _ := c1.Attributes()
+	a2, _ := c2.Attributes()
+	if a1[1].X != 1 || a2[1].X != 2 {
+		t.Fatalf("component attribute isolation broken: %v %v", a1, a2)
+	}
+}
+
+func TestMultiViewFanout(t *testing.T) {
+	db := setup(t)
+	v, _ := NewVisualization(db, "wild")
+	c, _ := v.AddComponent("wall", "node-link")
+	// Compute attributes once.
+	attrs := map[int64]Attr{}
+	for i := int64(1); i <= 100; i++ {
+		attrs[i] = Attr{X: float64(i), Y: float64(i % 10)}
+	}
+	if err := c.InsertAttributes(attrs); err != nil {
+		t.Fatal(err)
+	}
+	// Three views: phone 10%, laptop 30%, wall 100% (Figure 6 scenario).
+	phone, err := OpenView(db, "phone", c.ID, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+	laptop, err := OpenView(db, "laptop", c.ID, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer laptop.Close()
+	wall, err := OpenView(db, "wall", c.ID, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wall.Close()
+
+	if n := len(wall.Visible()); n != 100 {
+		t.Fatalf("wall sees %d objects", n)
+	}
+	np, nl := len(phone.Visible()), len(laptop.Visible())
+	if np == 0 || np >= nl || nl >= 100 {
+		t.Fatalf("fractions wrong: phone=%d laptop=%d", np, nl)
+	}
+
+	// An update propagates to every view through notifications.
+	if err := c.SetPositions(map[int64][2]float64{1: {999, 999}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		wall.Refresh()
+		if a, ok := wall.Visible()[1]; ok && a.X == 999 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("update did not reach the wall view")
+}
+
+// Figure 3 selection semantics: selecting an object in one component
+// propagates to the sibling components of the same visualization.
+func TestSelectionLinking(t *testing.T) {
+	db := setup(t)
+	linker := NewSelectionLinker(db)
+	v, _ := NewVisualization(db, "linked")
+	scatter, _ := v.AddComponent("scatter", "scatter")
+	graphC, _ := v.AddComponent("graph", "node-link")
+	other, _ := NewVisualization(db, "separate")
+	foreign, _ := other.AddComponent("foreign", "scatter")
+
+	for _, c := range []*Component{scatter, graphC, foreign} {
+		if err := c.InsertAttributes(map[int64]Attr{1: {}, 2: {}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := linker.Link(v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Select in the scatter: the graph component follows; the unrelated
+	// visualization does not.
+	if err := scatter.Select(1, true); err != nil {
+		t.Fatal(err)
+	}
+	waitSel := func(c *Component, want int) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			sel, _ := c.SelectedObjects()
+			if len(sel) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		sel, _ := c.SelectedObjects()
+		t.Fatalf("selection: %v, want %d objects", sel, want)
+	}
+	waitSel(graphC, 1)
+	waitSel(foreign, 0)
+
+	// Deselect propagates too.
+	if err := scatter.Select(1, false); err != nil {
+		t.Fatal(err)
+	}
+	waitSel(graphC, 0)
+
+	// And the reverse direction (graph → scatter).
+	if err := graphC.Select(2, true); err != nil {
+		t.Fatal(err)
+	}
+	waitSel(scatter, 1)
+}

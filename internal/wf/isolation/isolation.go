@@ -1,0 +1,349 @@
+// Package isolation implements §VI-A of the paper: time-based isolation
+// of process instances through creation timestamps and deferred deletion
+// through per-relation deletion tables (R∆) plus query rewriting.
+//
+// Every stored tuple carries `_created` (a monotonic stamp). A process
+// instance takes a snapshot stamp when it starts; its queries are
+// rewritten to see only tuples with `_created <= snapshot` — the paper's
+// default behavior ("each process operates on exactly the data which was
+// available when the process started").
+//
+// Deletions performed by a process instance p go to the deletion table
+// R∆(tid, t_del, pid, process_end) instead of physically removing rows.
+// Queries of p are rewritten with
+//
+//	_tid NOT IN (SELECT tid FROM R∆ WHERE pid = p)
+//
+// so p sees its own deletes, while concurrently running instances keep
+// seeing the rows. Instances started after a deleting process ended are
+// rewritten with
+//
+//	_tid NOT IN (SELECT tid FROM R∆ WHERE process_end <= t0)
+//
+// Physical deletion happens when the wait-set drains: once no running
+// instance started before the deleting instance's end, the tuples and
+// their R∆ rows are removed.
+package isolation
+
+import (
+	"fmt"
+	"strings"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/database"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/types"
+)
+
+// DeletionTablePrefix prefixes per-relation deletion tables.
+const DeletionTablePrefix = "ef_del_"
+
+// DeletionTable names the R∆ table of a relation.
+func DeletionTable(rel string) string { return DeletionTablePrefix + strings.ToLower(rel) }
+
+// Manager owns deletion tables and query rewriting for one database.
+type Manager struct {
+	db *database.DB
+}
+
+// New returns a manager over db.
+func New(db *database.DB) *Manager { return &Manager{db: db} }
+
+// EnsureDeletionTable creates R∆ for a relation if missing.
+func (m *Manager) EnsureDeletionTable(rel string) error {
+	_, err := m.db.Exec(fmt.Sprintf(
+		"CREATE TABLE IF NOT EXISTS %s (tid INT NOT NULL, t_del INT NOT NULL, pid INT NOT NULL, process_end INT)",
+		DeletionTable(rel)))
+	return err
+}
+
+// LogicalDelete records the deletion of all rel tuples matching whereSQL
+// (may be empty for all rows) by process instance pid, without physically
+// removing them. It returns the number of tuples logically deleted.
+func (m *Manager) LogicalDelete(rel string, pid int64, whereSQL string, args ...types.Value) (int, error) {
+	if err := m.EnsureDeletionTable(rel); err != nil {
+		return 0, err
+	}
+	del := DeletionTable(rel)
+	q := fmt.Sprintf("SELECT %s FROM %s", catalog.SysTID, rel)
+	if strings.TrimSpace(whereSQL) != "" {
+		q += " WHERE " + whereSQL
+	}
+	res, err := m.db.Query(q, args...)
+	if err != nil {
+		return 0, err
+	}
+	stamp := m.db.Store().CurrentStamp()
+	n := 0
+	for _, r := range res.Rows {
+		tid := r[0].Int()
+		// Skip tuples this process already logically deleted.
+		dup, err := m.db.QueryInt(
+			fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE tid = ? AND pid = ?", del),
+			types.NewInt(tid), types.NewInt(pid))
+		if err != nil {
+			return n, err
+		}
+		if dup > 0 {
+			continue
+		}
+		if _, err := m.db.Exec(
+			fmt.Sprintf("INSERT INTO %s (tid, t_del, pid, process_end) VALUES (?, ?, ?, NULL)", del),
+			types.NewInt(tid), types.NewInt(stamp), types.NewInt(pid)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// hasDeletionTable reports whether rel has an R∆ table.
+func (m *Manager) hasDeletionTable(rel string) bool {
+	_, ok := m.db.Catalog().Table(DeletionTable(rel))
+	return ok
+}
+
+// RewriteSelect returns a copy of sel whose base-table scans are
+// restricted per §VI-A for a process instance with the given id and
+// snapshot stamp. managed lists the application relations subject to
+// isolation (lower-cased). Subqueries are rewritten recursively.
+func (m *Manager) RewriteSelect(sel *sqltext.Select, pid, snapshot int64, managed map[string]bool) *sqltext.Select {
+	out := *sel
+	var conjuncts []sqltext.Expr
+
+	rewriteRef := func(tr sqltext.TableRef) sqltext.TableRef {
+		if tr.Subquery != nil {
+			tr.Subquery = m.RewriteSelect(tr.Subquery, pid, snapshot, managed)
+			return tr
+		}
+		rel := strings.ToLower(tr.Table)
+		if !managed[rel] {
+			return tr
+		}
+		qual := tr.Alias
+		if qual == "" {
+			qual = tr.Table
+		}
+		// Time-based visibility: _created <= snapshot.
+		conjuncts = append(conjuncts, &sqltext.Binary{
+			Op: "<=",
+			L:  &sqltext.ColumnRef{Table: qual, Column: catalog.SysCreated},
+			R:  &sqltext.Literal{Value: types.NewInt(snapshot)},
+		})
+		// Deletion-table rewrite, exactly the shape of §VI-A.
+		if m.hasDeletionTable(rel) {
+			sub := &sqltext.Select{
+				Items: []sqltext.SelectItem{{Expr: &sqltext.ColumnRef{Column: "tid"}}},
+				From:  &sqltext.TableRef{Table: DeletionTable(rel)},
+				Where: &sqltext.Binary{
+					Op: "OR",
+					L: &sqltext.Binary{
+						Op: "=",
+						L:  &sqltext.ColumnRef{Column: "pid"},
+						R:  &sqltext.Literal{Value: types.NewInt(pid)},
+					},
+					R: &sqltext.Binary{
+						Op: "AND",
+						L:  &sqltext.IsNull{X: &sqltext.ColumnRef{Column: "process_end"}, Not: true},
+						R: &sqltext.Binary{
+							Op: "<=",
+							L:  &sqltext.ColumnRef{Column: "process_end"},
+							R:  &sqltext.Literal{Value: types.NewInt(snapshot)},
+						},
+					},
+				},
+			}
+			conjuncts = append(conjuncts, &sqltext.InExpr{
+				X:     &sqltext.ColumnRef{Table: qual, Column: catalog.SysTID},
+				Not:   true,
+				Query: sub,
+			})
+		}
+		return tr
+	}
+
+	if out.From != nil {
+		ref := rewriteRef(*out.From)
+		out.From = &ref
+	}
+	if len(out.Joins) > 0 {
+		joins := make([]sqltext.JoinClause, len(out.Joins))
+		copy(joins, out.Joins)
+		for i := range joins {
+			joins[i].Right = rewriteRef(joins[i].Right)
+		}
+		out.Joins = joins
+	}
+	// Rewrite subqueries wherever expressions appear.
+	if len(out.Items) > 0 {
+		items := make([]sqltext.SelectItem, len(out.Items))
+		copy(items, out.Items)
+		for i := range items {
+			if items[i].Expr != nil {
+				items[i].Expr = m.rewriteExpr(items[i].Expr, pid, snapshot, managed)
+			}
+		}
+		out.Items = items
+	}
+	if out.Where != nil {
+		out.Where = m.rewriteExpr(out.Where, pid, snapshot, managed)
+	}
+	if len(out.GroupBy) > 0 {
+		gb := make([]sqltext.Expr, len(out.GroupBy))
+		for i, g := range out.GroupBy {
+			gb[i] = m.rewriteExpr(g, pid, snapshot, managed)
+		}
+		out.GroupBy = gb
+	}
+	if out.Having != nil {
+		out.Having = m.rewriteExpr(out.Having, pid, snapshot, managed)
+	}
+	if len(out.OrderBy) > 0 {
+		ob := make([]sqltext.OrderItem, len(out.OrderBy))
+		copy(ob, out.OrderBy)
+		for i := range ob {
+			ob[i].Expr = m.rewriteExpr(ob[i].Expr, pid, snapshot, managed)
+		}
+		out.OrderBy = ob
+	}
+	for _, c := range conjuncts {
+		if out.Where == nil {
+			out.Where = c
+		} else {
+			out.Where = &sqltext.Binary{Op: "AND", L: out.Where, R: c}
+		}
+	}
+	return &out
+}
+
+// rewriteExpr recursively rewrites subqueries inside an expression.
+func (m *Manager) rewriteExpr(e sqltext.Expr, pid, snapshot int64, managed map[string]bool) sqltext.Expr {
+	switch x := e.(type) {
+	case *sqltext.Binary:
+		return &sqltext.Binary{Op: x.Op, L: m.rewriteExpr(x.L, pid, snapshot, managed), R: m.rewriteExpr(x.R, pid, snapshot, managed)}
+	case *sqltext.Unary:
+		return &sqltext.Unary{Op: x.Op, X: m.rewriteExpr(x.X, pid, snapshot, managed)}
+	case *sqltext.InExpr:
+		out := *x
+		out.X = m.rewriteExpr(x.X, pid, snapshot, managed)
+		if x.Query != nil {
+			out.Query = m.RewriteSelect(x.Query, pid, snapshot, managed)
+		}
+		return &out
+	case *sqltext.Subquery:
+		return &sqltext.Subquery{Query: m.RewriteSelect(x.Query, pid, snapshot, managed)}
+	case *sqltext.Exists:
+		return &sqltext.Exists{Not: x.Not, Query: m.RewriteSelect(x.Query, pid, snapshot, managed)}
+	case *sqltext.IsNull:
+		return &sqltext.IsNull{X: m.rewriteExpr(x.X, pid, snapshot, managed), Not: x.Not}
+	case *sqltext.FuncCall:
+		out := *x
+		if len(x.Args) > 0 {
+			out.Args = make([]sqltext.Expr, len(x.Args))
+			for i, a := range x.Args {
+				out.Args[i] = m.rewriteExpr(a, pid, snapshot, managed)
+			}
+		}
+		return &out
+	case *sqltext.Like:
+		return &sqltext.Like{X: m.rewriteExpr(x.X, pid, snapshot, managed), Not: x.Not, Pattern: m.rewriteExpr(x.Pattern, pid, snapshot, managed)}
+	case *sqltext.Between:
+		return &sqltext.Between{
+			X:   m.rewriteExpr(x.X, pid, snapshot, managed),
+			Not: x.Not,
+			Lo:  m.rewriteExpr(x.Lo, pid, snapshot, managed),
+			Hi:  m.rewriteExpr(x.Hi, pid, snapshot, managed),
+		}
+	case *sqltext.CaseExpr:
+		out := &sqltext.CaseExpr{}
+		if x.Operand != nil {
+			out.Operand = m.rewriteExpr(x.Operand, pid, snapshot, managed)
+		}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqltext.WhenClause{
+				Cond:   m.rewriteExpr(w.Cond, pid, snapshot, managed),
+				Result: m.rewriteExpr(w.Result, pid, snapshot, managed),
+			})
+		}
+		if x.Else != nil {
+			out.Else = m.rewriteExpr(x.Else, pid, snapshot, managed)
+		}
+		return out
+	}
+	return e
+}
+
+// FinishProcess stamps process_end on the instance's pending deletions and
+// garbage-collects whatever became safe.
+func (m *Manager) FinishProcess(pid int64) error {
+	end := m.db.Store().CurrentStamp()
+	for _, tbl := range m.deletionTables() {
+		if _, err := m.db.Exec(
+			fmt.Sprintf("UPDATE %s SET process_end = ? WHERE pid = ? AND process_end IS NULL", tbl),
+			types.NewInt(end), types.NewInt(pid)); err != nil {
+			return err
+		}
+	}
+	return m.GC()
+}
+
+func (m *Manager) deletionTables() []string {
+	var out []string
+	for _, name := range m.db.Catalog().TableNames() {
+		if strings.HasPrefix(strings.ToLower(name), DeletionTablePrefix) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// GC physically deletes tuples whose wait-set has drained: a logical
+// deletion with process_end = E is applied once no running process
+// instance has snapshot < E (those are exactly the instances started
+// before the deleting process ended).
+func (m *Manager) GC() error {
+	for _, del := range m.deletionTables() {
+		rel := strings.TrimPrefix(strings.ToLower(del), DeletionTablePrefix)
+		res, err := m.db.Query(fmt.Sprintf(
+			"SELECT %s, tid, process_end FROM %s WHERE process_end IS NOT NULL", catalog.SysTID, del))
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			delTID := r[0].Int()
+			tid := r[1].Int()
+			end := r[2].Int()
+			// start_ts is the immutable start stamp (the snapshot may
+			// advance as the instance writes); the wait-set is "running
+			// instances started before the deleting process ended".
+			waiting, err := m.db.QueryInt(
+				"SELECT COUNT(*) FROM "+database.TableProcessInstance+
+					" WHERE status = ? AND start_ts < ?",
+				types.NewString(database.StatusRunning), types.NewInt(end))
+			if err != nil {
+				return err
+			}
+			if waiting > 0 {
+				continue // wait-set not drained yet
+			}
+			if _, err := m.db.Exec(fmt.Sprintf("DELETE FROM %s WHERE %s = %d", rel, catalog.SysTID, tid)); err != nil {
+				// The tuple may already be gone (row physically deleted by
+				// other means); remove the bookkeeping row regardless.
+				_ = err
+			}
+			if _, err := m.db.Exec(fmt.Sprintf("DELETE FROM %s WHERE %s = %d", del, catalog.SysTID, delTID)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PendingDeletions counts logical deletions of a relation not yet
+// physically applied.
+func (m *Manager) PendingDeletions(rel string) (int64, error) {
+	if !m.hasDeletionTable(rel) {
+		return 0, nil
+	}
+	return m.db.QueryInt("SELECT COUNT(*) FROM " + DeletionTable(rel))
+}

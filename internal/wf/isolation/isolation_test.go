@@ -1,0 +1,195 @@
+package isolation
+
+import (
+	"testing"
+
+	"ediflow/internal/database"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/types"
+)
+
+func setup(t *testing.T) (*database.DB, *Manager) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	t.Cleanup(func() { db.Close() })
+	m := New(db)
+	if _, err := db.Exec("CREATE TABLE r (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		db.Exec("INSERT INTO r (id, v) VALUES (?, ?)", types.NewInt(int64(i)), types.NewInt(int64(i*10)))
+	}
+	if err := m.EnsureDeletionTable("r"); err != nil {
+		t.Fatal(err)
+	}
+	return db, m
+}
+
+// registerInstance records a process instance row so GC's wait-set logic
+// can see it.
+func registerInstance(t *testing.T, db *database.DB, id int64, status string) {
+	t.Helper()
+	start := db.Store().CurrentStamp()
+	_, err := db.Exec("INSERT INTO "+database.TableProcessInstance+
+		" (id, process, status, start_ts, end_ts, snapshot) VALUES (?, 'p', ?, ?, NULL, ?)",
+		types.NewInt(id), types.NewString(status), types.NewInt(start), types.NewInt(start))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func finishInstance(t *testing.T, db *database.DB, id int64) {
+	t.Helper()
+	db.Exec("UPDATE "+database.TableProcessInstance+" SET status = 'completed', end_ts = ? WHERE id = ?",
+		types.NewInt(db.Store().CurrentStamp()), types.NewInt(id))
+}
+
+func rewriteCount(t *testing.T, db *database.DB, m *Manager, query string, pid, snapshot int64) int64 {
+	t.Helper()
+	st, err := sqltext.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*sqltext.Select)
+	rw := m.RewriteSelect(sel, pid, snapshot, map[string]bool{"r": true})
+	res, err := db.ExecStmt(rw)
+	if err != nil {
+		t.Fatalf("rewritten query %q: %v", rw.String(), err)
+	}
+	v, err := res.Rows[0][0].AsInt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSnapshotVisibility(t *testing.T) {
+	db, m := setup(t)
+	snap := db.Store().CurrentStamp()
+	db.Exec("INSERT INTO r (id, v) VALUES (6, 60)") // after the snapshot
+	got := rewriteCount(t, db, m, "SELECT COUNT(*) FROM r", 1, snap)
+	if got != 5 {
+		t.Fatalf("snapshot query saw %d rows, want 5", got)
+	}
+	// A later snapshot sees everything.
+	got = rewriteCount(t, db, m, "SELECT COUNT(*) FROM r", 1, db.Store().CurrentStamp())
+	if got != 6 {
+		t.Fatalf("fresh snapshot saw %d rows, want 6", got)
+	}
+}
+
+func TestLogicalDeleteVisibility(t *testing.T) {
+	db, m := setup(t)
+	registerInstance(t, db, 3, database.StatusRunning) // the deleter
+	registerInstance(t, db, 4, database.StatusRunning) // a concurrent reader
+
+	n, err := m.LogicalDelete("r", 3, "v >= 40")
+	if err != nil || n != 2 {
+		t.Fatalf("LogicalDelete: %d, %v", n, err)
+	}
+	// Idempotent per process.
+	n, err = m.LogicalDelete("r", 3, "v >= 40")
+	if err != nil || n != 0 {
+		t.Fatalf("second LogicalDelete: %d, %v", n, err)
+	}
+	// Physically nothing removed yet.
+	total, _ := db.QueryInt("SELECT COUNT(*) FROM r")
+	if total != 5 {
+		t.Fatalf("physical rows: %d", total)
+	}
+	snap := db.Store().CurrentStamp()
+	// The deleter (pid 3) no longer sees the deleted tuples.
+	if got := rewriteCount(t, db, m, "SELECT COUNT(*) FROM r", 3, snap); got != 3 {
+		t.Fatalf("deleter sees %d rows, want 3", got)
+	}
+	// The concurrent instance (pid 4, started before the delete ended)
+	// still sees all 5: "prevent the deleted tuples from suddenly
+	// disappearing from the view of another running process instance".
+	if got := rewriteCount(t, db, m, "SELECT COUNT(*) FROM r", 4, snap); got != 5 {
+		t.Fatalf("concurrent instance sees %d rows, want 5", got)
+	}
+}
+
+func TestDeletionAppliedAfterWaitSetDrains(t *testing.T) {
+	db, m := setup(t)
+	registerInstance(t, db, 3, database.StatusRunning)
+	registerInstance(t, db, 4, database.StatusRunning)
+
+	if _, err := m.LogicalDelete("r", 3, "id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// Deleter finishes: deletion stamped, but pid 4 is still running and
+	// started before — so the tuple stays.
+	finishInstance(t, db, 3)
+	if err := m.FinishProcess(3); err != nil {
+		t.Fatal(err)
+	}
+	total, _ := db.QueryInt("SELECT COUNT(*) FROM r")
+	if total != 5 {
+		t.Fatalf("tuple deleted while wait-set non-empty: %d rows", total)
+	}
+	pend, _ := m.PendingDeletions("r")
+	if pend != 1 {
+		t.Fatalf("pending: %d", pend)
+	}
+
+	// A process started *after* the deleter ended must not see the tuple.
+	registerInstance(t, db, 5, database.StatusRunning)
+	snap5 := db.Store().CurrentStamp()
+	if got := rewriteCount(t, db, m, "SELECT COUNT(*) FROM r", 5, snap5); got != 4 {
+		t.Fatalf("late instance sees %d rows, want 4", got)
+	}
+
+	// pid 4 finishes: wait set (instances started before deleter end)
+	// drains — but pid 5 is still running; it started after, so it is not
+	// in the wait set and GC may proceed.
+	finishInstance(t, db, 4)
+	if err := m.FinishProcess(4); err != nil {
+		t.Fatal(err)
+	}
+	total, _ = db.QueryInt("SELECT COUNT(*) FROM r")
+	if total != 4 {
+		t.Fatalf("tuple not physically deleted after wait-set drain: %d rows", total)
+	}
+	pend, _ = m.PendingDeletions("r")
+	if pend != 0 {
+		t.Fatalf("deletion bookkeeping not cleaned: %d", pend)
+	}
+}
+
+func TestRewritePreservesJoinsAndSubqueries(t *testing.T) {
+	db, m := setup(t)
+	db.Exec("CREATE TABLE s (id INT PRIMARY KEY, rid INT)")
+	db.Exec("INSERT INTO s VALUES (1, 1), (2, 2)")
+	snap := db.Store().CurrentStamp()
+	st, _ := sqltext.Parse("SELECT COUNT(*) FROM r JOIN s ON r.id = s.rid WHERE r.id IN (SELECT rid FROM s)")
+	rw := m.RewriteSelect(st.(*sqltext.Select), 9, snap, map[string]bool{"r": true, "s": true})
+	res, err := db.ExecStmt(rw)
+	if err != nil {
+		t.Fatalf("%q: %v", rw.String(), err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("join count: %v", res.Rows[0][0])
+	}
+	// Unmanaged tables are untouched.
+	st2, _ := sqltext.Parse("SELECT COUNT(*) FROM s")
+	rw2 := m.RewriteSelect(st2.(*sqltext.Select), 9, 0, map[string]bool{"r": true})
+	if rw2.Where != nil {
+		t.Fatalf("unmanaged table got predicates: %s", rw2.String())
+	}
+}
+
+func TestRewriteAliasedTable(t *testing.T) {
+	db, m := setup(t)
+	snap := db.Store().CurrentStamp()
+	db.Exec("INSERT INTO r (id, v) VALUES (7, 70)")
+	st, _ := sqltext.Parse("SELECT COUNT(*) FROM r AS x WHERE x.v > 0")
+	rw := m.RewriteSelect(st.(*sqltext.Select), 1, snap, map[string]bool{"r": true})
+	res, err := db.ExecStmt(rw)
+	if err != nil {
+		t.Fatalf("%q: %v", rw.String(), err)
+	}
+	if res.Rows[0][0].Int() != 5 {
+		t.Fatalf("aliased rewrite saw %v rows", res.Rows[0][0])
+	}
+}

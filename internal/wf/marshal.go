@@ -1,0 +1,150 @@
+package wf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// MarshalXML renders a process back to the XML syntax ParseXML accepts,
+// so programmatically built processes can be persisted in the Process
+// table exactly like hand-written ones.
+func MarshalXML(p *Process) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<process name=%q>\n", p.Name)
+	if p.Config != (Config{}) {
+		fmt.Fprintf(&sb, "  <configuration driver=%q uri=%q user=%q/>\n",
+			p.Config.Driver, p.Config.URI, p.Config.User)
+	}
+	for _, c := range p.Constants {
+		fmt.Fprintf(&sb, "  <constant name=%q value=%q/>\n", c.Name, c.Value)
+	}
+	for _, v := range p.Variables {
+		fmt.Fprintf(&sb, "  <variable name=%q type=%q/>\n", v.Name, strings.ToLower(v.Type.String()))
+	}
+	for _, r := range p.Relations {
+		fmt.Fprintf(&sb, "  <relation name=%q", r.Name)
+		if r.PrimaryKey != "" {
+			fmt.Fprintf(&sb, " primaryKey=%q", r.PrimaryKey)
+		}
+		if r.Temporary {
+			sb.WriteString(` temporary="true"`)
+		}
+		sb.WriteString(">\n")
+		for _, a := range r.Attributes {
+			fmt.Fprintf(&sb, "    <attribute name=%q type=%q/>\n", a.Name, strings.ToLower(a.Type.String()))
+		}
+		sb.WriteString("  </relation>\n")
+	}
+	for _, f := range p.Functions {
+		fmt.Fprintf(&sb, "  <function name=%q class=%q/>\n", f.Name, f.Class)
+	}
+	sb.WriteString("  <body>\n")
+	if err := marshalNode(&sb, p.Body, 4); err != nil {
+		return "", err
+	}
+	sb.WriteString("  </body>\n")
+	for _, up := range p.UPs {
+		fmt.Fprintf(&sb, "  <updatePropagation relation=%q activity=%q scope=%q/>\n",
+			up.Relation, up.Activity, up.Scope)
+	}
+	sb.WriteString("</process>\n")
+	return sb.String(), nil
+}
+
+func marshalNode(sb *strings.Builder, n Node, indent int) error {
+	pad := strings.Repeat(" ", indent)
+	switch x := n.(type) {
+	case *Sequence:
+		sb.WriteString(pad + "<sequence>\n")
+		for _, c := range x.Children {
+			if err := marshalNode(sb, c, indent+2); err != nil {
+				return err
+			}
+		}
+		sb.WriteString(pad + "</sequence>\n")
+	case *AndSplit:
+		sb.WriteString(pad + "<andSplit>\n")
+		for _, b := range x.Branches {
+			sb.WriteString(pad + "  <branch>\n")
+			if err := marshalNode(sb, b, indent+4); err != nil {
+				return err
+			}
+			sb.WriteString(pad + "  </branch>\n")
+		}
+		sb.WriteString(pad + "</andSplit>\n")
+	case *OrSplit:
+		sb.WriteString(pad + "<orSplit>\n")
+		for i, b := range x.Branches {
+			if cond := x.Conditions[i]; cond != "" {
+				fmt.Fprintf(sb, "%s  <branch condition=%q>\n", pad, cond)
+			} else {
+				sb.WriteString(pad + "  <branch>\n")
+			}
+			if err := marshalNode(sb, b, indent+4); err != nil {
+				return err
+			}
+			sb.WriteString(pad + "  </branch>\n")
+		}
+		sb.WriteString(pad + "</orSplit>\n")
+	case *If:
+		fmt.Fprintf(sb, "%s<if condition=%q>\n", pad, x.Condition)
+		if err := marshalNode(sb, x.Then, indent+2); err != nil {
+			return err
+		}
+		sb.WriteString(pad + "</if>\n")
+	case *Activity:
+		return marshalActivity(sb, x, indent)
+	default:
+		return fmt.Errorf("wf: cannot marshal node %T", n)
+	}
+	return nil
+}
+
+func marshalActivity(sb *strings.Builder, a *Activity, indent int) error {
+	pad := strings.Repeat(" ", indent)
+	fmt.Fprintf(sb, "%s<activity name=%q", pad, a.Name)
+	if a.Group != "" {
+		fmt.Fprintf(sb, " group=%q", a.Group)
+	}
+	sb.WriteString(">")
+	switch a.Kind {
+	case KindAssign:
+		fmt.Fprintf(sb, "<assign variable=%q value=%q/>", a.Variable, a.Expr)
+	case KindUpdate:
+		fmt.Fprintf(sb, "<update>%s</update>", xmlEscape(a.SQL))
+	case KindRunQuery:
+		fmt.Fprintf(sb, "<runQuery>%s</runQuery>", xmlEscape(a.SQL))
+	case KindCall:
+		fmt.Fprintf(sb, "<callFunction name=%q", a.Function)
+		if len(a.Inputs) > 0 {
+			fmt.Fprintf(sb, " inputs=%q", strings.Join(a.Inputs, ","))
+		}
+		if len(a.Outputs) > 0 {
+			fmt.Fprintf(sb, " outputs=%q", strings.Join(a.Outputs, ","))
+		}
+		if len(a.InOuts) > 0 {
+			fmt.Fprintf(sb, " inouts=%q", strings.Join(a.InOuts, ","))
+		}
+		sb.WriteString("/>")
+	case KindAskUser:
+		fmt.Fprintf(sb, "<askUser prompt=%q", a.Prompt)
+		if a.BindTo != "" {
+			fmt.Fprintf(sb, " bindTo=%q", a.BindTo)
+		}
+		sb.WriteString("/>")
+	default:
+		return fmt.Errorf("wf: cannot marshal activity kind %q", a.Kind)
+	}
+	sb.WriteString("</activity>\n")
+	return nil
+}
+
+func xmlEscape(s string) string {
+	var buf strings.Builder
+	xml.EscapeText(&buf, []byte(s))
+	return buf.String()
+}

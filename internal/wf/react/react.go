@@ -1,0 +1,165 @@
+// Package react compiles the process model's update-propagation (UP)
+// actions into DBMS statement-level triggers, exactly as §VI-B describes:
+// "EdiFlow compiles the UP statements into statement-level triggers which
+// it installs in the underlying DBMS. The trigger calls EdiFlow routines
+// implementing the desired behavior."
+//
+// The Router owns the trigger side; the enactment engine implements
+// Target and performs the per-scope routing (invoking running-handlers,
+// finished-handlers, or extending future instances' snapshots).
+package react
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ediflow/internal/database"
+	"ediflow/internal/engine"
+	"ediflow/internal/module"
+	"ediflow/internal/wf"
+)
+
+// Target receives deltas routed by UP actions, tagged with the owning
+// process name.
+type Target interface {
+	RouteDelta(process string, up wf.UP, d module.Delta)
+}
+
+// Router installs triggers for UP actions and forwards fired events. One
+// trigger set (INSERT/UPDATE/DELETE) is installed per watched relation;
+// its handler fans the delta out to every UP subscription on that
+// relation.
+type Router struct {
+	db *database.DB
+
+	mu        sync.Mutex
+	subs      map[string][]subscription // lower-cased relation → subscriptions
+	triggered map[string]bool           // relations whose triggers are installed
+}
+
+type subscription struct {
+	process string
+	up      wf.UP
+	target  Target
+}
+
+// NewRouter returns a router over db.
+func NewRouter(db *database.DB) *Router {
+	return &Router{db: db, subs: map[string][]subscription{}, triggered: map[string]bool{}}
+}
+
+// handlerName derives the Go-handler name for a relation's UP triggers.
+// Relation names may contain characters invalid in SQL identifiers
+// (e.g. '-'), so everything is sanitized.
+func handlerName(relation string) string {
+	return sanitizeIdent("ef_up_" + strings.ToLower(relation))
+}
+
+// sanitizeIdent maps every non-identifier byte to '_'.
+func sanitizeIdent(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		ok := b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Register installs the UP action for a deployed process: one trigger per
+// DML event on the watched relation, each calling a named Go handler that
+// routes the delta to the target. Registration is idempotent per
+// (process, UP) pair.
+func (r *Router) Register(process string, up wf.UP, target Target) error {
+	rel := strings.ToLower(up.Relation)
+	r.mu.Lock()
+	for i := range r.subs[rel] {
+		if r.subs[rel][i].process == process && r.subs[rel][i].up == up {
+			// Already registered: refresh the target (redeploy).
+			r.subs[rel][i].target = target
+			r.mu.Unlock()
+			return nil
+		}
+	}
+	r.subs[rel] = append(r.subs[rel], subscription{process: process, up: up, target: target})
+	installed := r.triggered[rel]
+	r.triggered[rel] = true
+	r.mu.Unlock()
+
+	hname := handlerName(up.Relation)
+	r.db.RegisterHandler(hname, func(ev engine.ChangeEvent) {
+		r.fire(rel, ev)
+	})
+	if installed {
+		return nil
+	}
+	// Install the statement-level triggers once per relation (skip those
+	// that survived a restart in the catalog).
+	existing := map[string]bool{}
+	for _, t := range r.db.Catalog().AllTriggers() {
+		existing[strings.ToLower(t.Name)] = true
+	}
+	for _, op := range []string{"INSERT", "UPDATE", "DELETE"} {
+		tname := hname + "_" + strings.ToLower(op)
+		if existing[strings.ToLower(tname)] {
+			continue
+		}
+		stmt := fmt.Sprintf("CREATE TRIGGER %s AFTER %s ON %s CALL '%s'", tname, op, up.Relation, hname)
+		if _, err := r.db.Exec(stmt); err != nil {
+			return fmt.Errorf("react: installing trigger: %w", err)
+		}
+	}
+	return nil
+}
+
+// fire forwards one change event to every subscription on the relation.
+// Multiple UP actions on the same relation each receive the delta (the
+// paper allows several compensation actions per ⟨ΔR, a⟩).
+func (r *Router) fire(rel string, ev engine.ChangeEvent) {
+	r.mu.Lock()
+	subs := append([]subscription(nil), r.subs[rel]...)
+	r.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	d := module.Delta{
+		Table:   ev.Table,
+		Op:      ev.Op,
+		Seq:     ev.Seq,
+		TIDs:    ev.TIDs,
+		Rows:    ev.Rows,
+		OldRows: ev.OldRows,
+	}
+	for _, s := range subs {
+		s.target.RouteDelta(s.process, s.up, d)
+	}
+}
+
+// Unregister drops the subscriptions of one process (triggers stay
+// installed but become inert since the handler finds no subscription).
+func (r *Router) Unregister(process string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for rel, subs := range r.subs {
+		kept := subs[:0]
+		for _, s := range subs {
+			if s.process != process {
+				kept = append(kept, s)
+			}
+		}
+		r.subs[rel] = kept
+	}
+}
+
+// Subscriptions returns the number of active subscriptions (testing aid).
+func (r *Router) Subscriptions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, subs := range r.subs {
+		n += len(subs)
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package react
+
+import (
+	"sync"
+	"testing"
+
+	"ediflow/internal/database"
+	"ediflow/internal/module"
+	"ediflow/internal/wf"
+)
+
+type recorder struct {
+	mu     sync.Mutex
+	deltas []module.Delta
+	procs  []string
+	ups    []wf.UP
+}
+
+func (r *recorder) RouteDelta(process string, up wf.UP, d module.Delta) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs = append(r.procs, process)
+	r.ups = append(r.ups, up)
+	r.deltas = append(r.deltas, d)
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.deltas)
+}
+
+func setup(t *testing.T) (*database.DB, *Router, *recorder) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	t.Cleanup(func() { db.Close() })
+	db.Exec("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
+	r := NewRouter(db)
+	rec := &recorder{}
+	return db, r, rec
+}
+
+func TestRegisterInstallsTriggers(t *testing.T) {
+	db, r, rec := setup(t)
+	up := wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}
+	if err := r.Register("proc", up, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Three statement-level triggers (insert/update/delete) in the catalog
+	// — the paper's "EdiFlow compiles the UP statements into
+	// statement-level triggers which it installs in the underlying DBMS".
+	trigs := db.Catalog().AllTriggers()
+	if len(trigs) != 3 {
+		t.Fatalf("triggers: %d", len(trigs))
+	}
+	if r.Subscriptions() != 1 {
+		t.Fatalf("subscriptions: %d", r.Subscriptions())
+	}
+	// Idempotent re-registration.
+	if err := r.Register("proc", up, rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Catalog().AllTriggers()) != 3 || r.Subscriptions() != 1 {
+		t.Fatal("re-register must be idempotent")
+	}
+}
+
+func TestDeltaRouting(t *testing.T) {
+	db, r, rec := setup(t)
+	up := wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}
+	if err := r.Register("proc", up, rec); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec("INSERT INTO src (id, v) VALUES (1, 10), (2, 20)")
+	if rec.count() != 1 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+	d := rec.deltas[0]
+	if d.Table != "src" || d.Op != "INSERT" || len(d.Rows) != 2 {
+		t.Fatalf("%+v", d)
+	}
+	if rec.procs[0] != "proc" || rec.ups[0] != up {
+		t.Fatalf("%v %v", rec.procs, rec.ups)
+	}
+	db.Exec("UPDATE src SET v = 11 WHERE id = 1")
+	db.Exec("DELETE FROM src WHERE id = 2")
+	if rec.count() != 3 {
+		t.Fatalf("deltas after update+delete: %d", rec.count())
+	}
+	if rec.deltas[1].Op != "UPDATE" || len(rec.deltas[1].OldRows) != 1 {
+		t.Fatalf("%+v", rec.deltas[1])
+	}
+	if rec.deltas[2].Op != "DELETE" {
+		t.Fatalf("%+v", rec.deltas[2])
+	}
+}
+
+// Multiple UP actions on the same relation each receive the delta ("it is
+// possible to specify more than one compensation action for a given ΔR
+// and a given activity a").
+func TestMultipleUPActionsSameRelation(t *testing.T) {
+	db, r, rec := setup(t)
+	r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}, rec)
+	r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeFutureRunning}, rec)
+	db.Exec("INSERT INTO src (id, v) VALUES (1, 1)")
+	if rec.count() != 2 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+}
+
+func TestUnregisterSilences(t *testing.T) {
+	db, r, rec := setup(t)
+	r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}, rec)
+	r.Unregister("proc")
+	if r.Subscriptions() != 0 {
+		t.Fatal("subscription survived unregister")
+	}
+	db.Exec("INSERT INTO src (id, v) VALUES (1, 1)")
+	if rec.count() != 0 {
+		t.Fatal("delta routed after unregister")
+	}
+}
+
+func TestSanitizedIdentifiers(t *testing.T) {
+	db, r, rec := setup(t)
+	// Process and activity names with characters invalid in SQL idents.
+	up := wf.UP{Relation: "src", Activity: "lay-out.2", Scope: wf.ScopeTerminatedRunning}
+	if err := r.Register("my-proc", up, rec); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec("INSERT INTO src (id, v) VALUES (9, 9)")
+	if rec.count() != 1 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+}

@@ -1,0 +1,416 @@
+// Package wf defines EdiFlow's process model (§V, Fig. 4): a process is a
+// configuration, constants, variables, relations, functions, a structured
+// body (sequence, AND/OR split-join, conditional) whose leaves are
+// activities (variable assignment, declarative update, procedure call,
+// user interaction), plus a set of update-propagation actions describing
+// how data changes reach running/terminated/future activity instances.
+//
+// Processes are specified in a simple XML syntax closely resembling the
+// WfMC XPDL shape the paper mentions (§VI-D); see xml.go.
+package wf
+
+import (
+	"fmt"
+	"strings"
+
+	"ediflow/internal/types"
+)
+
+// Scope is one of the paper's update-propagation targets (§V):
+//
+//	ta-rp  terminated activity instances of running processes
+//	ta-tp  terminated activity instances of terminated processes
+//	ra     running activity instances
+//	fa-rp  future activity instances of running processes
+type Scope string
+
+// Update-propagation scopes.
+const (
+	ScopeTerminatedRunning    Scope = "ta-rp"
+	ScopeTerminatedTerminated Scope = "ta-tp"
+	ScopeRunning              Scope = "ra"
+	ScopeFutureRunning        Scope = "fa-rp"
+)
+
+// ParseScope validates a scope string.
+func ParseScope(s string) (Scope, error) {
+	switch Scope(strings.ToLower(strings.TrimSpace(s))) {
+	case ScopeTerminatedRunning:
+		return ScopeTerminatedRunning, nil
+	case ScopeTerminatedTerminated:
+		return ScopeTerminatedTerminated, nil
+	case ScopeRunning:
+		return ScopeRunning, nil
+	case ScopeFutureRunning:
+		return ScopeFutureRunning, nil
+	}
+	return "", fmt.Errorf("wf: unknown update-propagation scope %q (want ta-rp, ta-tp, ra or fa-rp)", s)
+}
+
+// Config is the DB connection block of Fig. 4. In this embedded
+// reproduction Driver selects "edidb" and URI the storage directory
+// ("" = in-memory).
+type Config struct {
+	Driver string
+	URI    string
+	User   string
+}
+
+// Constant is a named constant value (Fig. 4: name × value).
+type Constant struct {
+	Name  string
+	Value string
+}
+
+// Variable is a typed process variable (Fig. 4: name × type).
+type Variable struct {
+	Name string
+	Type types.Kind
+}
+
+// Attribute is one column of a process relation.
+type Attribute struct {
+	Name string
+	Type types.Kind
+}
+
+// Relation declares a relation the process is built on. Persistent
+// relations live in the DBMS and survive the process; temporary relations
+// are instantiated per process instance and dropped when it ends (§IV-B).
+type Relation struct {
+	Name       string
+	PrimaryKey string
+	Temporary  bool
+	Attributes []Attribute
+}
+
+// Function binds a name to a procedure class in the module registry.
+type Function struct {
+	Name  string
+	Class string
+}
+
+// UP is one update-propagation action (§V): when ΔR arrives for Relation,
+// propagate it to the instances of Activity selected by Scope. Several UP
+// actions may target the same relation and activity.
+type UP struct {
+	Relation string
+	Activity string
+	Scope    Scope
+}
+
+// Node is a node of the structured process body.
+type Node interface {
+	node()
+	// Activities appends all activities under this node.
+	Activities(dst []*Activity) []*Activity
+}
+
+// Sequence runs children in order.
+type Sequence struct {
+	Children []Node
+}
+
+// AndSplit runs branches in parallel and joins on all of them.
+type AndSplit struct {
+	Branches []Node
+}
+
+// OrSplit triggers exactly one branch; the others are invalidated (§V).
+// A branch may carry a condition; the first branch whose condition holds
+// (or the first unconditional branch) is triggered.
+type OrSplit struct {
+	Branches   []Node
+	Conditions []string // "" = unconditional; parallel to Branches
+}
+
+// If runs Then when the condition expression evaluates true.
+type If struct {
+	Condition string
+	Then      Node
+}
+
+func (*Sequence) node() {}
+func (*AndSplit) node() {}
+func (*OrSplit) node()  {}
+func (*If) node()       {}
+func (*Activity) node() {}
+
+// Activities implements Node.
+func (s *Sequence) Activities(dst []*Activity) []*Activity {
+	for _, c := range s.Children {
+		dst = c.Activities(dst)
+	}
+	return dst
+}
+
+// Activities implements Node.
+func (s *AndSplit) Activities(dst []*Activity) []*Activity {
+	for _, c := range s.Branches {
+		dst = c.Activities(dst)
+	}
+	return dst
+}
+
+// Activities implements Node.
+func (s *OrSplit) Activities(dst []*Activity) []*Activity {
+	for _, c := range s.Branches {
+		dst = c.Activities(dst)
+	}
+	return dst
+}
+
+// Activities implements Node.
+func (s *If) Activities(dst []*Activity) []*Activity {
+	return s.Then.Activities(dst)
+}
+
+// Activities implements Node.
+func (a *Activity) Activities(dst []*Activity) []*Activity {
+	return append(dst, a)
+}
+
+// ActivityKind discriminates the four activity expressions of Fig. 4.
+type ActivityKind string
+
+// Activity kinds.
+const (
+	KindAssign   ActivityKind = "assign"   // v ← α
+	KindUpdate   ActivityKind = "update"   // upd(R): declarative SQL
+	KindCall     ActivityKind = "call"     // procedure invocation
+	KindAskUser  ActivityKind = "askUser"  // human interaction
+	KindRunQuery ActivityKind = "runQuery" // evaluate a query, bind count
+)
+
+// Activity is one leaf task. Exactly the fields of its Kind are set.
+type Activity struct {
+	Name  string
+	Group string // role that must perform it ("" = system)
+	Kind  ActivityKind
+
+	// KindAssign: Variable ← Expr (a scalar SQL expression over constants,
+	// variables and subqueries).
+	Variable string
+	Expr     string
+
+	// KindUpdate / KindRunQuery: a SQL statement; $name references
+	// substitute variables/constants.
+	SQL string
+
+	// KindCall.
+	Function string
+	Inputs   []string
+	Outputs  []string
+	InOuts   []string
+
+	// KindAskUser.
+	Prompt string
+	// BindTo optionally names a variable receiving the user's answer.
+	BindTo string
+}
+
+// Process is a full process definition (Fig. 4's 5-tuple plus the reactive
+// UP set: RP ::= ⟨R, v, p, P, UP⟩).
+type Process struct {
+	Name      string
+	Config    Config
+	Constants []Constant
+	Variables []Variable
+	Relations []Relation
+	Functions []Function
+	Body      Node
+	UPs       []UP
+}
+
+// AllActivities returns every activity of the body, in declaration order.
+func (p *Process) AllActivities() []*Activity {
+	if p.Body == nil {
+		return nil
+	}
+	return p.Body.Activities(nil)
+}
+
+// ActivityByName finds an activity.
+func (p *Process) ActivityByName(name string) (*Activity, bool) {
+	for _, a := range p.AllActivities() {
+		if strings.EqualFold(a.Name, name) {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// FunctionByName finds a function declaration.
+func (p *Process) FunctionByName(name string) (*Function, bool) {
+	for i := range p.Functions {
+		if strings.EqualFold(p.Functions[i].Name, name) {
+			return &p.Functions[i], true
+		}
+	}
+	return nil, false
+}
+
+// RelationByName finds a relation declaration.
+func (p *Process) RelationByName(name string) (*Relation, bool) {
+	for i := range p.Relations {
+		if strings.EqualFold(p.Relations[i].Name, name) {
+			return &p.Relations[i], true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks internal consistency: unique activity names, resolvable
+// function and relation references, well-formed UP actions, variables
+// distinct from constants.
+func (p *Process) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("wf: process has no name")
+	}
+	if p.Body == nil {
+		return fmt.Errorf("wf: process %q has no body", p.Name)
+	}
+	seenAct := map[string]bool{}
+	for _, a := range p.AllActivities() {
+		if a.Name == "" {
+			return fmt.Errorf("wf: process %q has an unnamed activity", p.Name)
+		}
+		k := strings.ToLower(a.Name)
+		if seenAct[k] {
+			return fmt.Errorf("wf: duplicate activity name %q", a.Name)
+		}
+		seenAct[k] = true
+		switch a.Kind {
+		case KindAssign:
+			if a.Variable == "" || a.Expr == "" {
+				return fmt.Errorf("wf: activity %q: assign needs variable and value", a.Name)
+			}
+			if !p.hasVariable(a.Variable) {
+				return fmt.Errorf("wf: activity %q assigns undeclared variable %q", a.Name, a.Variable)
+			}
+		case KindUpdate, KindRunQuery:
+			if a.SQL == "" {
+				return fmt.Errorf("wf: activity %q: missing SQL", a.Name)
+			}
+		case KindCall:
+			if _, ok := p.FunctionByName(a.Function); !ok {
+				return fmt.Errorf("wf: activity %q calls undeclared function %q", a.Name, a.Function)
+			}
+			for _, rels := range [][]string{a.Inputs, a.Outputs, a.InOuts} {
+				for _, r := range rels {
+					if _, ok := p.RelationByName(r); !ok {
+						return fmt.Errorf("wf: activity %q references undeclared relation %q", a.Name, r)
+					}
+				}
+			}
+		case KindAskUser:
+			if a.Prompt == "" {
+				return fmt.Errorf("wf: activity %q: askUser needs a prompt", a.Name)
+			}
+			if a.BindTo != "" && !p.hasVariable(a.BindTo) {
+				return fmt.Errorf("wf: activity %q binds undeclared variable %q", a.Name, a.BindTo)
+			}
+		default:
+			return fmt.Errorf("wf: activity %q has unknown kind %q", a.Name, a.Kind)
+		}
+	}
+	seenVar := map[string]bool{}
+	for _, v := range p.Variables {
+		k := strings.ToLower(v.Name)
+		if seenVar[k] {
+			return fmt.Errorf("wf: duplicate variable %q", v.Name)
+		}
+		seenVar[k] = true
+	}
+	for _, c := range p.Constants {
+		if seenVar[strings.ToLower(c.Name)] {
+			return fmt.Errorf("wf: constant %q collides with a variable", c.Name)
+		}
+	}
+	seenRel := map[string]bool{}
+	for _, r := range p.Relations {
+		k := strings.ToLower(r.Name)
+		if seenRel[k] {
+			return fmt.Errorf("wf: duplicate relation %q", r.Name)
+		}
+		seenRel[k] = true
+		if len(r.Attributes) == 0 {
+			return fmt.Errorf("wf: relation %q has no attributes", r.Name)
+		}
+		if r.PrimaryKey != "" {
+			found := false
+			for _, at := range r.Attributes {
+				if strings.EqualFold(at.Name, r.PrimaryKey) {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("wf: relation %q: primary key %q is not an attribute", r.Name, r.PrimaryKey)
+			}
+		}
+	}
+	for _, up := range p.UPs {
+		if _, err := ParseScope(string(up.Scope)); err != nil {
+			return err
+		}
+		// "*" is the macro form (§V option 3): the enactment engine expands
+		// it to every activity of the process.
+		if _, ok := p.ActivityByName(up.Activity); !ok && up.Activity != "*" {
+			return fmt.Errorf("wf: update propagation targets unknown activity %q", up.Activity)
+		}
+		if _, ok := p.RelationByName(up.Relation); !ok {
+			return fmt.Errorf("wf: update propagation watches undeclared relation %q", up.Relation)
+		}
+	}
+	if err := p.validateOrSplits(p.Body); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *Process) validateOrSplits(n Node) error {
+	switch x := n.(type) {
+	case *Sequence:
+		for _, c := range x.Children {
+			if err := p.validateOrSplits(c); err != nil {
+				return err
+			}
+		}
+	case *AndSplit:
+		if len(x.Branches) < 2 {
+			return fmt.Errorf("wf: andSplit needs at least two branches")
+		}
+		for _, c := range x.Branches {
+			if err := p.validateOrSplits(c); err != nil {
+				return err
+			}
+		}
+	case *OrSplit:
+		if len(x.Branches) < 2 {
+			return fmt.Errorf("wf: orSplit needs at least two branches")
+		}
+		if len(x.Conditions) != len(x.Branches) {
+			return fmt.Errorf("wf: orSplit conditions/branches mismatch")
+		}
+		for _, c := range x.Branches {
+			if err := p.validateOrSplits(c); err != nil {
+				return err
+			}
+		}
+	case *If:
+		if x.Condition == "" {
+			return fmt.Errorf("wf: if node without condition")
+		}
+		return p.validateOrSplits(x.Then)
+	}
+	return nil
+}
+
+func (p *Process) hasVariable(name string) bool {
+	for _, v := range p.Variables {
+		if strings.EqualFold(v.Name, name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,272 @@
+package wf
+
+import (
+	"strings"
+	"testing"
+
+	"ediflow/internal/types"
+)
+
+const sampleXML = `
+<process name="copubs">
+  <configuration driver="edidb" uri="" user="ana"/>
+  <constant name="threshold" value="0.05"/>
+  <variable name="n" type="int"/>
+  <variable name="answer" type="string"/>
+  <relation name="authors" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="name" type="string"/>
+  </relation>
+  <relation name="scratch" temporary="true">
+    <attribute name="k" type="string"/>
+  </relation>
+  <function name="layout" class="layout.EdgeLinLog"/>
+  <body>
+    <sequence>
+      <activity name="load" group="engineers">
+        <runQuery>INSERT INTO authors (id, name) VALUES (1, 'noack')</runQuery>
+      </activity>
+      <activity name="count"><assign variable="n" value="(SELECT COUNT(*) FROM authors)"/></activity>
+      <if condition="n &gt; 0">
+        <activity name="mark"><update>UPDATE authors SET name = UPPER(name)</update></activity>
+      </if>
+      <andSplit>
+        <branch>
+          <activity name="left"><runQuery>SELECT * FROM authors</runQuery></activity>
+        </branch>
+        <branch>
+          <activity name="right"><runQuery>SELECT * FROM authors</runQuery></activity>
+        </branch>
+      </andSplit>
+      <orSplit>
+        <branch condition="n &gt; 100">
+          <activity name="big"><runQuery>SELECT * FROM authors</runQuery></activity>
+        </branch>
+        <branch>
+          <activity name="small"><runQuery>SELECT * FROM authors</runQuery></activity>
+        </branch>
+      </orSplit>
+      <activity name="vis">
+        <callFunction name="layout" inputs="authors" outputs="scratch"/>
+      </activity>
+      <activity name="confirm" group="analysts">
+        <askUser prompt="Accept the layout?" bindTo="answer"/>
+      </activity>
+    </sequence>
+  </body>
+  <updatePropagation relation="authors" activity="vis" scope="ra"/>
+  <updatePropagation relation="authors" activity="vis" scope="ta-rp"/>
+</process>`
+
+func TestParseXMLFull(t *testing.T) {
+	p, err := ParseXMLString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "copubs" || p.Config.User != "ana" {
+		t.Fatalf("%+v", p)
+	}
+	if len(p.Constants) != 1 || p.Constants[0].Value != "0.05" {
+		t.Fatalf("%+v", p.Constants)
+	}
+	if len(p.Variables) != 2 || p.Variables[0].Type != types.KindInt {
+		t.Fatalf("%+v", p.Variables)
+	}
+	if len(p.Relations) != 2 || !p.Relations[1].Temporary || p.Relations[0].PrimaryKey != "id" {
+		t.Fatalf("%+v", p.Relations)
+	}
+	acts := p.AllActivities()
+	names := make([]string, len(acts))
+	for i, a := range acts {
+		names[i] = a.Name
+	}
+	if strings.Join(names, " ") != "load count mark left right big small vis confirm" {
+		t.Fatalf("order: %v", names)
+	}
+	if len(p.UPs) != 2 || p.UPs[0].Scope != ScopeRunning || p.UPs[1].Scope != ScopeTerminatedRunning {
+		t.Fatalf("%+v", p.UPs)
+	}
+	// Structured body shape.
+	seq := p.Body.(*Sequence)
+	if len(seq.Children) != 7 {
+		t.Fatalf("sequence children: %d", len(seq.Children))
+	}
+	if _, ok := seq.Children[2].(*If); !ok {
+		t.Fatalf("child 2: %T", seq.Children[2])
+	}
+	and := seq.Children[3].(*AndSplit)
+	if len(and.Branches) != 2 {
+		t.Fatalf("and branches: %d", len(and.Branches))
+	}
+	or := seq.Children[4].(*OrSplit)
+	if or.Conditions[0] != "n > 100" || or.Conditions[1] != "" {
+		t.Fatalf("or conditions: %v", or.Conditions)
+	}
+	vis, _ := p.ActivityByName("vis")
+	if vis.Kind != KindCall || vis.Function != "layout" || vis.Inputs[0] != "authors" {
+		t.Fatalf("%+v", vis)
+	}
+	confirm, _ := p.ActivityByName("confirm")
+	if confirm.Kind != KindAskUser || confirm.Group != "analysts" || confirm.BindTo != "answer" {
+		t.Fatalf("%+v", confirm)
+	}
+}
+
+func TestParseScope(t *testing.T) {
+	good := map[string]Scope{
+		"ra": ScopeRunning, "TA-RP": ScopeTerminatedRunning,
+		"ta-tp": ScopeTerminatedTerminated, " fa-rp ": ScopeFutureRunning,
+	}
+	for s, want := range good {
+		got, err := ParseScope(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScope(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScope("everything"); err == nil {
+		t.Error("bad scope must fail")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"no body", `<process name="p"><body></body></process>`},
+		{"empty sequence", `<process name="p"><body><sequence></sequence></body></process>`},
+		{"unnamed process", `<process><body><activity name="a"><runQuery>SELECT 1</runQuery></activity></body></process>`},
+		{"duplicate activities", `<process name="p"><body><sequence>
+			<activity name="a"><runQuery>SELECT 1</runQuery></activity>
+			<activity name="a"><runQuery>SELECT 1</runQuery></activity>
+		</sequence></body></process>`},
+		{"undeclared function", `<process name="p"><body>
+			<activity name="a"><callFunction name="nope"/></activity></body></process>`},
+		{"undeclared variable", `<process name="p"><body>
+			<activity name="a"><assign variable="v" value="1"/></activity></body></process>`},
+		{"bad UP scope", `<process name="p"><body>
+			<activity name="a"><runQuery>SELECT 1</runQuery></activity></body>
+			<updatePropagation relation="r" activity="a" scope="xx"/></process>`},
+		{"UP unknown activity", `<process name="p">
+			<relation name="r"><attribute name="x" type="int"/></relation>
+			<body><activity name="a"><runQuery>SELECT 1</runQuery></activity></body>
+			<updatePropagation relation="r" activity="zz" scope="ra"/></process>`},
+		{"single-branch andSplit", `<process name="p"><body><andSplit>
+			<branch><activity name="a"><runQuery>SELECT 1</runQuery></activity></branch>
+		</andSplit></body></process>`},
+		{"activity with two expressions", `<process name="p"><body>
+			<activity name="a"><runQuery>SELECT 1</runQuery><askUser prompt="x"/></activity></body></process>`},
+		{"bad variable type", `<process name="p"><variable name="v" type="frob"/>
+			<body><activity name="a"><runQuery>SELECT 1</runQuery></activity></body></process>`},
+		{"if without condition", `<process name="p"><body><if>
+			<activity name="a"><runQuery>SELECT 1</runQuery></activity></if></body></process>`},
+	}
+	for _, c := range cases {
+		if _, err := ParseXMLString(c.xml); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestBranchWrapping(t *testing.T) {
+	p, err := ParseXMLString(`<process name="p"><body><andSplit>
+		<branch>
+			<activity name="a1"><runQuery>SELECT 1</runQuery></activity>
+			<activity name="a2"><runQuery>SELECT 1</runQuery></activity>
+		</branch>
+		<branch><activity name="b"><runQuery>SELECT 1</runQuery></activity></branch>
+	</andSplit></body></process>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := p.Body.(*AndSplit)
+	if _, ok := and.Branches[0].(*Sequence); !ok {
+		t.Fatalf("multi-child branch should wrap in Sequence: %T", and.Branches[0])
+	}
+	if _, ok := and.Branches[1].(*Activity); !ok {
+		t.Fatalf("single-child branch should stay bare: %T", and.Branches[1])
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	p, err := ParseXMLString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.ActivityByName("VIS"); !ok {
+		t.Error("case-insensitive activity lookup")
+	}
+	if _, ok := p.FunctionByName("layout"); !ok {
+		t.Error("function lookup")
+	}
+	if _, ok := p.RelationByName("authors"); !ok {
+		t.Error("relation lookup")
+	}
+	if _, ok := p.RelationByName("nope"); ok {
+		t.Error("unknown relation must not resolve")
+	}
+}
+
+// Marshal → parse round-trip: the serialized form reconstructs an
+// equivalent process.
+func TestMarshalXMLRoundTrip(t *testing.T) {
+	p, err := ParseXMLString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MarshalXML(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXMLString(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, out)
+	}
+	if back.Name != p.Name || len(back.AllActivities()) != len(p.AllActivities()) {
+		t.Fatalf("structure lost: %s", out)
+	}
+	if len(back.UPs) != len(p.UPs) || back.UPs[0] != p.UPs[0] {
+		t.Fatalf("UPs lost: %+v", back.UPs)
+	}
+	if len(back.Relations) != 2 || !back.Relations[1].Temporary {
+		t.Fatalf("relations lost: %+v", back.Relations)
+	}
+	// Fixed point: marshal(parse(marshal(p))) == marshal(p).
+	out2, err := MarshalXML(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != out {
+		t.Fatalf("marshal not a fixed point:\n%s\n---\n%s", out, out2)
+	}
+	// SQL with XML-special characters survives.
+	mark, _ := back.ActivityByName("mark")
+	if mark.SQL != "UPDATE authors SET name = UPPER(name)" {
+		t.Fatalf("SQL mangled: %q", mark.SQL)
+	}
+}
+
+func TestMarshalXMLEscaping(t *testing.T) {
+	p := &Process{
+		Name: "esc",
+		Body: &Activity{Name: "q", Kind: KindRunQuery, SQL: "SELECT * FROM t WHERE a < 3 AND b > 1"},
+	}
+	out, err := MarshalXML(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXMLString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := back.ActivityByName("q")
+	if a.SQL != p.Body.(*Activity).SQL {
+		t.Fatalf("escaping broke SQL: %q", a.SQL)
+	}
+}
+
+func TestMarshalXMLRejectsInvalid(t *testing.T) {
+	if _, err := MarshalXML(&Process{Name: ""}); err == nil {
+		t.Fatal("invalid process must not marshal")
+	}
+}

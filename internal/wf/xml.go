@@ -1,0 +1,421 @@
+package wf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"ediflow/internal/types"
+)
+
+// XML process syntax (§VI-D: "EdiFlow processes are specified in a simple
+// XML syntax, closely resembling the XML WfMC syntax XPDL"):
+//
+//	<process name="copubs">
+//	  <configuration driver="edidb" uri="/data/db" user="ana"/>
+//	  <constant name="threshold" value="0.05"/>
+//	  <variable name="n" type="int"/>
+//	  <relation name="authors" primaryKey="id">
+//	    <attribute name="id" type="int"/>
+//	    <attribute name="name" type="string"/>
+//	  </relation>
+//	  <relation name="scratch" temporary="true"> ... </relation>
+//	  <function name="layout" class="layout.EdgeLinLog"/>
+//	  <body>
+//	    <sequence>
+//	      <activity name="load" group="engineers">
+//	        <runQuery>INSERT INTO authors ...</runQuery>
+//	      </activity>
+//	      <activity name="count"><assign variable="n" value="(SELECT COUNT(*) FROM authors)"/></activity>
+//	      <if condition="n &gt; 0">
+//	        <sequence> ... </sequence>
+//	      </if>
+//	      <andSplit>
+//	        <branch> ... </branch>
+//	        <branch> ... </branch>
+//	      </andSplit>
+//	      <orSplit>
+//	        <branch condition="n &gt; 100"> ... </branch>
+//	        <branch> ... </branch>
+//	      </orSplit>
+//	      <activity name="vis">
+//	        <callFunction name="layout" inputs="authors" outputs="va"/>
+//	      </activity>
+//	      <activity name="confirm" group="analysts">
+//	        <askUser prompt="Accept the layout?" bindTo="answer"/>
+//	      </activity>
+//	    </sequence>
+//	  </body>
+//	  <updatePropagation relation="authors" activity="vis" scope="ra"/>
+//	</process>
+
+// ParseXML reads a process definition.
+func ParseXML(r io.Reader) (*Process, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("wf: no <process> element: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if se.Name.Local != "process" {
+				return nil, fmt.Errorf("wf: expected <process>, got <%s>", se.Name.Local)
+			}
+			p, err := parseProcess(dec, se)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+	}
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string) (*Process, error) {
+	return ParseXML(strings.NewReader(s))
+}
+
+func attr(se xml.StartElement, name string) string {
+	for _, a := range se.Attr {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func parseProcess(dec *xml.Decoder, se xml.StartElement) (*Process, error) {
+	p := &Process{Name: attr(se, "name")}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "configuration":
+				p.Config = Config{Driver: attr(t, "driver"), URI: attr(t, "uri"), User: attr(t, "user")}
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "constant":
+				p.Constants = append(p.Constants, Constant{Name: attr(t, "name"), Value: attr(t, "value")})
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "variable":
+				kind, err := types.KindFromName(attr(t, "type"))
+				if err != nil {
+					return nil, fmt.Errorf("wf: variable %q: %w", attr(t, "name"), err)
+				}
+				p.Variables = append(p.Variables, Variable{Name: attr(t, "name"), Type: kind})
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "relation":
+				rel, err := parseRelation(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				p.Relations = append(p.Relations, *rel)
+			case "function":
+				p.Functions = append(p.Functions, Function{Name: attr(t, "name"), Class: attr(t, "class")})
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "body":
+				body, err := parseBody(dec)
+				if err != nil {
+					return nil, err
+				}
+				p.Body = body
+			case "updatePropagation":
+				scope, err := ParseScope(attr(t, "scope"))
+				if err != nil {
+					return nil, err
+				}
+				p.UPs = append(p.UPs, UP{
+					Relation: attr(t, "relation"),
+					Activity: attr(t, "activity"),
+					Scope:    scope,
+				})
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("wf: unexpected element <%s> in <process>", t.Name.Local)
+			}
+		case xml.EndElement:
+			return p, nil
+		}
+	}
+}
+
+func parseRelation(dec *xml.Decoder, se xml.StartElement) (*Relation, error) {
+	rel := &Relation{
+		Name:       attr(se, "name"),
+		PrimaryKey: attr(se, "primaryKey"),
+		Temporary:  strings.EqualFold(attr(se, "temporary"), "true"),
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "attribute" {
+				return nil, fmt.Errorf("wf: unexpected <%s> in <relation>", t.Name.Local)
+			}
+			kind, err := types.KindFromName(attr(t, "type"))
+			if err != nil {
+				return nil, fmt.Errorf("wf: relation %q attribute %q: %w", rel.Name, attr(t, "name"), err)
+			}
+			rel.Attributes = append(rel.Attributes, Attribute{Name: attr(t, "name"), Type: kind})
+			if err := dec.Skip(); err != nil {
+				return nil, err
+			}
+		case xml.EndElement:
+			return rel, nil
+		}
+	}
+}
+
+// parseBody expects exactly one structural child inside <body>.
+func parseBody(dec *xml.Decoder) (Node, error) {
+	var body Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if body != nil {
+				return nil, fmt.Errorf("wf: <body> must have exactly one child")
+			}
+			n, err := parseNode(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			body = n
+		case xml.EndElement:
+			if body == nil {
+				return nil, fmt.Errorf("wf: empty <body>")
+			}
+			return body, nil
+		}
+	}
+}
+
+func parseNode(dec *xml.Decoder, se xml.StartElement) (Node, error) {
+	switch se.Name.Local {
+	case "sequence":
+		seq := &Sequence{}
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, err
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				n, err := parseNode(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				seq.Children = append(seq.Children, n)
+			case xml.EndElement:
+				if len(seq.Children) == 0 {
+					return nil, fmt.Errorf("wf: empty <sequence>")
+				}
+				return seq, nil
+			}
+		}
+	case "andSplit":
+		split := &AndSplit{}
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, err
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				if t.Name.Local != "branch" {
+					return nil, fmt.Errorf("wf: <andSplit> children must be <branch>")
+				}
+				n, err := parseBranch(dec)
+				if err != nil {
+					return nil, err
+				}
+				split.Branches = append(split.Branches, n)
+			case xml.EndElement:
+				return split, nil
+			}
+		}
+	case "orSplit":
+		split := &OrSplit{}
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, err
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				if t.Name.Local != "branch" {
+					return nil, fmt.Errorf("wf: <orSplit> children must be <branch>")
+				}
+				cond := attr(t, "condition")
+				n, err := parseBranch(dec)
+				if err != nil {
+					return nil, err
+				}
+				split.Branches = append(split.Branches, n)
+				split.Conditions = append(split.Conditions, cond)
+			case xml.EndElement:
+				return split, nil
+			}
+		}
+	case "if":
+		node := &If{Condition: attr(se, "condition")}
+		inner, err := parseBranch(dec)
+		if err != nil {
+			return nil, err
+		}
+		node.Then = inner
+		return node, nil
+	case "activity":
+		return parseActivity(dec, se)
+	}
+	return nil, fmt.Errorf("wf: unexpected element <%s> in process body", se.Name.Local)
+}
+
+// parseBranch reads the children of an already-open container element
+// (branch or if) into a single node (wrapping multiple children in a
+// Sequence) and consumes the closing tag.
+func parseBranch(dec *xml.Decoder) (Node, error) {
+	var children []Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n, err := parseNode(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, n)
+		case xml.EndElement:
+			switch len(children) {
+			case 0:
+				return nil, fmt.Errorf("wf: empty branch")
+			case 1:
+				return children[0], nil
+			default:
+				return &Sequence{Children: children}, nil
+			}
+		}
+	}
+}
+
+func parseActivity(dec *xml.Decoder, se xml.StartElement) (*Activity, error) {
+	a := &Activity{Name: attr(se, "name"), Group: attr(se, "group")}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if a.Kind != "" {
+				return nil, fmt.Errorf("wf: activity %q has more than one expression", a.Name)
+			}
+			switch t.Name.Local {
+			case "assign":
+				a.Kind = KindAssign
+				a.Variable = attr(t, "variable")
+				a.Expr = attr(t, "value")
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "update":
+				a.Kind = KindUpdate
+				sqlText, err := elementText(dec)
+				if err != nil {
+					return nil, err
+				}
+				a.SQL = strings.TrimSpace(sqlText)
+			case "runQuery":
+				a.Kind = KindRunQuery
+				sqlText, err := elementText(dec)
+				if err != nil {
+					return nil, err
+				}
+				a.SQL = strings.TrimSpace(sqlText)
+			case "callFunction":
+				a.Kind = KindCall
+				a.Function = attr(t, "name")
+				a.Inputs = splitList(attr(t, "inputs"))
+				a.Outputs = splitList(attr(t, "outputs"))
+				a.InOuts = splitList(attr(t, "inouts"))
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			case "askUser":
+				a.Kind = KindAskUser
+				a.Prompt = attr(t, "prompt")
+				a.BindTo = attr(t, "bindTo")
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("wf: activity %q: unknown expression <%s>", a.Name, t.Name.Local)
+			}
+		case xml.EndElement:
+			if a.Kind == "" {
+				return nil, fmt.Errorf("wf: activity %q has no expression", a.Name)
+			}
+			return a, nil
+		}
+	}
+}
+
+// elementText consumes the current element's character data and closing
+// tag.
+func elementText(dec *xml.Decoder) (string, error) {
+	var sb strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.EndElement:
+			return sb.String(), nil
+		case xml.StartElement:
+			return "", fmt.Errorf("wf: unexpected child <%s> in text element", t.Name.Local)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if v := strings.TrimSpace(p); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package copubs generates the synthetic stand-in for the paper's INRIA
+// co-publication dataset (§VII-A: "about 4500 nodes and 10000 edges"):
+// a community-structured co-authorship graph plus a growth stream of new
+// publications, loadable into the EdiFlow database as `authors` and
+// `copublications` relations.
+package copubs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ediflow/internal/database"
+	"ediflow/internal/graph"
+	"ediflow/internal/types"
+)
+
+// PaperScale reproduces the evaluation dataset size.
+var PaperScale = Config{Authors: 4500, Edges: 10000, Communities: 45, Seed: 2011}
+
+// Config parameterizes generation.
+type Config struct {
+	Authors     int
+	Edges       int
+	Communities int
+	Seed        int64
+}
+
+// Dataset is a generated co-publication network.
+type Dataset struct {
+	Config Config
+	Graph  *graph.Graph
+
+	rng        *rand.Rand
+	nextAuthor int64
+}
+
+// Generate builds the dataset.
+func Generate(cfg Config) *Dataset {
+	if cfg.Communities <= 0 {
+		cfg.Communities = cfg.Authors/100 + 1
+	}
+	avgDeg := 4.0
+	if cfg.Authors > 0 {
+		avgDeg = float64(cfg.Edges) * 2 / float64(cfg.Authors)
+	}
+	g := graph.GenerateCommunity(graph.CommunityConfig{
+		Nodes:       cfg.Authors,
+		Communities: cfg.Communities,
+		AvgDegree:   avgDeg,
+		IntraProb:   0.9,
+		Seed:        cfg.Seed,
+	})
+	return &Dataset{
+		Config:     cfg,
+		Graph:      g,
+		rng:        rand.New(rand.NewSource(cfg.Seed + 7)),
+		nextAuthor: int64(cfg.Authors) + 1,
+	}
+}
+
+// Schema creates the authors and copublications relations.
+func Schema(db *database.DB) error {
+	ddl := []string{
+		"CREATE TABLE IF NOT EXISTS authors (id INT PRIMARY KEY, name STRING NOT NULL)",
+		"CREATE TABLE IF NOT EXISTS copublications (a INT NOT NULL, b INT NOT NULL, weight INT NOT NULL)",
+	}
+	for _, s := range ddl {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load inserts the whole dataset into the database (batched inserts).
+func (d *Dataset) Load(db *database.DB) error {
+	if err := Schema(db); err != nil {
+		return err
+	}
+	nodes := d.Graph.Nodes()
+	const batch = 500
+	for start := 0; start < len(nodes); start += batch {
+		end := start + batch
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		sql := "INSERT INTO authors (id, name) VALUES "
+		var args []types.Value
+		for i, id := range nodes[start:end] {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += "(?, ?)"
+			args = append(args, types.NewInt(int64(id)), types.NewString(d.Graph.Label(id)))
+		}
+		if _, err := db.Exec(sql, args...); err != nil {
+			return err
+		}
+	}
+	edges := d.Graph.Edges()
+	for start := 0; start < len(edges); start += batch {
+		end := start + batch
+		if end > len(edges) {
+			end = len(edges)
+		}
+		sql := "INSERT INTO copublications (a, b, weight) VALUES "
+		var args []types.Value
+		for i, e := range edges[start:end] {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += "(?, ?, ?)"
+			args = append(args, types.NewInt(int64(e.A)), types.NewInt(int64(e.B)), types.NewInt(int64(e.Weight)))
+		}
+		if _, err := db.Exec(sql, args...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Growth is one batch of network growth: new authors and new
+// co-publication edges (existing pairs may gain weight; here each edge is
+// new).
+type Growth struct {
+	NewAuthors []graph.NodeID
+	NewEdges   []graph.Edge
+}
+
+// Grow adds newAuthors authors (each wired to 1–3 existing ones) and
+// extraEdges edges between existing authors, mutating the in-memory graph
+// and returning the delta. This models "new publications are added to the
+// database" while the analysis runs.
+func (d *Dataset) Grow(newAuthors, extraEdges int) Growth {
+	var gr Growth
+	existing := d.Graph.Nodes()
+	for i := 0; i < newAuthors; i++ {
+		id := graph.NodeID(d.nextAuthor)
+		d.nextAuthor++
+		d.Graph.AddNode(id, fmt.Sprintf("author-%d", id))
+		gr.NewAuthors = append(gr.NewAuthors, id)
+		links := d.rng.Intn(3) + 1
+		for l := 0; l < links && len(existing) > 0; l++ {
+			other := existing[d.rng.Intn(len(existing))]
+			if !d.Graph.HasEdge(id, other) {
+				w := float64(d.rng.Intn(3) + 1)
+				d.Graph.AddEdge(id, other, w)
+				gr.NewEdges = append(gr.NewEdges, graph.Edge{A: id, B: other, Weight: w})
+			}
+		}
+	}
+	for i := 0; i < extraEdges && len(existing) > 1; i++ {
+		a := existing[d.rng.Intn(len(existing))]
+		b := existing[d.rng.Intn(len(existing))]
+		if a == b || d.Graph.HasEdge(a, b) {
+			continue
+		}
+		w := float64(d.rng.Intn(3) + 1)
+		d.Graph.AddEdge(a, b, w)
+		gr.NewEdges = append(gr.NewEdges, graph.Edge{A: a, B: b, Weight: w})
+	}
+	return gr
+}
+
+// Apply writes a growth batch to the database as one multi-row INSERT per
+// table, so each table change fires exactly one statement-level trigger —
+// the delta handlers then see the whole batch at once.
+func (gr Growth) Apply(db *database.DB, g *graph.Graph) error {
+	if len(gr.NewAuthors) > 0 {
+		sql := "INSERT INTO authors (id, name) VALUES "
+		var args []types.Value
+		for i, id := range gr.NewAuthors {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += "(?, ?)"
+			args = append(args, types.NewInt(int64(id)), types.NewString(g.Label(id)))
+		}
+		if _, err := db.Exec(sql, args...); err != nil {
+			return err
+		}
+	}
+	if len(gr.NewEdges) > 0 {
+		sql := "INSERT INTO copublications (a, b, weight) VALUES "
+		var args []types.Value
+		for i, e := range gr.NewEdges {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += "(?, ?, ?)"
+			args = append(args, types.NewInt(int64(e.A)), types.NewInt(int64(e.B)), types.NewInt(int64(e.Weight)))
+		}
+		if _, err := db.Exec(sql, args...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromDB reconstructs the graph from the database relations (the layout
+// procedure's read path).
+func FromDB(db *database.DB) (*graph.Graph, error) {
+	g := graph.New()
+	authors, err := db.Query("SELECT id, name FROM authors")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range authors.Rows {
+		g.AddNode(graph.NodeID(r[0].Int()), r[1].Str())
+	}
+	edges, err := db.Query("SELECT a, b, weight FROM copublications")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range edges.Rows {
+		if err := g.AddEdge(graph.NodeID(r[0].Int()), graph.NodeID(r[1].Int()), float64(r[2].Int())); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

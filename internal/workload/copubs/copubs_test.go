@@ -1,0 +1,82 @@
+package copubs
+
+import (
+	"testing"
+
+	"ediflow/internal/database"
+)
+
+func TestGenerateScale(t *testing.T) {
+	d := Generate(Config{Authors: 450, Edges: 1000, Seed: 1})
+	if d.Graph.NodeCount() != 450 {
+		t.Fatalf("nodes: %d", d.Graph.NodeCount())
+	}
+	if e := d.Graph.EdgeCount(); e < 800 || e > 1000 {
+		t.Fatalf("edges: %d", e)
+	}
+	// Deterministic.
+	d2 := Generate(Config{Authors: 450, Edges: 1000, Seed: 1})
+	if d2.Graph.EdgeCount() != d.Graph.EdgeCount() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestLoadAndRoundTrip(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	d := Generate(Config{Authors: 120, Edges: 300, Seed: 2})
+	if err := d.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM authors")
+	if int(n) != d.Graph.NodeCount() {
+		t.Fatalf("authors in db: %d", n)
+	}
+	e, _ := db.QueryInt("SELECT COUNT(*) FROM copublications")
+	if int(e) != d.Graph.EdgeCount() {
+		t.Fatalf("edges in db: %d", e)
+	}
+	// Round-trip through FromDB.
+	g2, err := FromDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NodeCount() != d.Graph.NodeCount() || g2.EdgeCount() != d.Graph.EdgeCount() {
+		t.Fatalf("round trip: %d/%d vs %d/%d",
+			g2.NodeCount(), g2.EdgeCount(), d.Graph.NodeCount(), d.Graph.EdgeCount())
+	}
+	for _, ed := range d.Graph.Edges()[:10] {
+		if g2.Weight(ed.A, ed.B) != ed.Weight {
+			t.Fatalf("weight mismatch on (%d,%d)", ed.A, ed.B)
+		}
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	d := Generate(Config{Authors: 50, Edges: 100, Seed: 3})
+	if err := d.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	gr := d.Grow(5, 10)
+	if len(gr.NewAuthors) != 5 {
+		t.Fatalf("new authors: %d", len(gr.NewAuthors))
+	}
+	if len(gr.NewEdges) < 5 {
+		t.Fatalf("new edges: %d", len(gr.NewEdges))
+	}
+	// New authors connect to the existing network.
+	for _, id := range gr.NewAuthors {
+		if d.Graph.Degree(id) == 0 {
+			t.Fatalf("author %d is disconnected", id)
+		}
+	}
+	if err := gr.Apply(db, d.Graph); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM authors")
+	if n != 55 {
+		t.Fatalf("authors after growth: %d", n)
+	}
+}

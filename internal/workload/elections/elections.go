@@ -1,0 +1,183 @@
+// Package elections generates the US-elections workload (§III-a,
+// Figure 1): a database of 51 states that gradually fills with precinct
+// returns on voting day, a two-activity process (aggregate, visualize)
+// recomputing per-state shares as results arrive, and a treemap coloring
+// where "the more the states vote for the respective party, the darker
+// the color".
+package elections
+
+import (
+	"math/rand"
+
+	"ediflow/internal/database"
+	"ediflow/internal/types"
+)
+
+// State is one of the 51 jurisdictions (50 states + DC).
+type State struct {
+	ID         int64
+	Name       string
+	Population int64
+	// Lean biases the synthetic returns: probability a ballot goes to the
+	// Democratic candidate.
+	Lean float64
+}
+
+// Return is one precinct result batch.
+type Return struct {
+	StateID  int64
+	DemVotes int64
+	RepVotes int64
+}
+
+// StateNames are the 51 jurisdiction names.
+var StateNames = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "District of Columbia", "Florida", "Georgia",
+	"Hawaii", "Idaho", "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky",
+	"Louisiana", "Maine", "Maryland", "Massachusetts", "Michigan",
+	"Minnesota", "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New Hampshire", "New Jersey", "New Mexico", "New York",
+	"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+	"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+	"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+	"West Virginia", "Wisconsin", "Wyoming",
+}
+
+// Generator produces seeded synthetic election data.
+type Generator struct {
+	States []State
+	rng    *rand.Rand
+}
+
+// NewGenerator builds the 51 states with seeded populations and leans.
+func NewGenerator(seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{rng: rng}
+	for i, name := range StateNames {
+		g.States = append(g.States, State{
+			ID:         int64(i + 1),
+			Name:       name,
+			Population: int64(500_000 + rng.Intn(39_000_000)),
+			Lean:       0.25 + rng.Float64()*0.5, // 25%–75% dem
+		})
+	}
+	return g
+}
+
+// Schema creates the states and returns relations.
+func Schema(db *database.DB) error {
+	ddl := []string{
+		`CREATE TABLE IF NOT EXISTS states (
+			id INT PRIMARY KEY, name STRING NOT NULL, population INT NOT NULL,
+			last1 STRING, last2 STRING, last3 STRING)`,
+		`CREATE TABLE IF NOT EXISTS returns (
+			state_id INT NOT NULL, dem INT NOT NULL, rep INT NOT NULL)`,
+	}
+	for _, s := range ddl {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load inserts the states (with the paper's "party which won the State
+// during the last three elections" columns, synthesized from the lean).
+func (g *Generator) Load(db *database.DB) error {
+	if err := Schema(db); err != nil {
+		return err
+	}
+	for _, s := range g.States {
+		past := func() string {
+			if g.rng.Float64() < s.Lean {
+				return "dem"
+			}
+			return "rep"
+		}
+		if _, err := db.Exec(
+			"INSERT INTO states (id, name, population, last1, last2, last3) VALUES (?, ?, ?, ?, ?, ?)",
+			types.NewInt(s.ID), types.NewString(s.Name), types.NewInt(s.Population),
+			types.NewString(past()), types.NewString(past()), types.NewString(past())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextBatch produces n precinct returns ("on the voting day, the database
+// gradually fills with new data").
+func (g *Generator) NextBatch(n int) []Return {
+	out := make([]Return, 0, n)
+	for i := 0; i < n; i++ {
+		s := g.States[g.rng.Intn(len(g.States))]
+		ballots := int64(g.rng.Intn(5000) + 100)
+		dem := int64(float64(ballots) * clamp(s.Lean+g.rng.NormFloat64()*0.05))
+		out = append(out, Return{StateID: s.ID, DemVotes: dem, RepVotes: ballots - dem})
+	}
+	return out
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Apply inserts a batch of returns.
+func Apply(db *database.DB, batch []Return) error {
+	for _, r := range batch {
+		if _, err := db.Exec("INSERT INTO returns (state_id, dem, rep) VALUES (?, ?, ?)",
+			types.NewInt(r.StateID), types.NewInt(r.DemVotes), types.NewInt(r.RepVotes)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tally is the aggregated per-state outcome.
+type Tally struct {
+	StateID    int64
+	Name       string
+	Population int64
+	Dem, Rep   int64
+}
+
+// DemShare returns the Democratic share of counted ballots (0.5 when no
+// data yet — the paper distinguishes "areas where not enough data is
+// available").
+func (t Tally) DemShare() float64 {
+	total := t.Dem + t.Rep
+	if total == 0 {
+		return 0.5
+	}
+	return float64(t.Dem) / float64(total)
+}
+
+// HasData reports whether any returns were counted.
+func (t Tally) HasData() bool { return t.Dem+t.Rep > 0 }
+
+// Tallies aggregates returns per state (the process's first activity; the
+// reactive deployment uses a materialized view of the same query).
+func Tallies(db *database.DB) ([]Tally, error) {
+	res, err := db.Query(`
+		SELECT s.id, s.name, s.population, COALESCE(SUM(r.dem), 0), COALESCE(SUM(r.rep), 0)
+		FROM states s LEFT JOIN returns r ON s.id = r.state_id
+		GROUP BY s.id, s.name, s.population
+		ORDER BY s.id`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Tally, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		t := Tally{StateID: r[0].Int(), Name: r[1].Str(), Population: r[2].Int()}
+		t.Dem, _ = r[3].AsInt()
+		t.Rep, _ = r[4].AsInt()
+		out = append(out, t)
+	}
+	return out, nil
+}

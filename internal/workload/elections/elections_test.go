@@ -1,0 +1,91 @@
+package elections
+
+import (
+	"testing"
+
+	"ediflow/internal/database"
+)
+
+func TestGeneratorAndLoad(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	g := NewGenerator(2008)
+	if len(g.States) != 51 {
+		t.Fatalf("states: %d", len(g.States))
+	}
+	if err := g.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM states")
+	if n != 51 {
+		t.Fatalf("states in db: %d", n)
+	}
+	// Past winners synthesized.
+	dem, _ := db.QueryInt("SELECT COUNT(*) FROM states WHERE last1 = 'dem'")
+	rep, _ := db.QueryInt("SELECT COUNT(*) FROM states WHERE last1 = 'rep'")
+	if dem+rep != 51 || dem == 0 || rep == 0 {
+		t.Fatalf("past winners: %d dem, %d rep", dem, rep)
+	}
+}
+
+func TestTalliesEmptyThenFilling(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	g := NewGenerator(1)
+	if err := g.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	tallies, err := Tallies(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tallies) != 51 {
+		t.Fatalf("tallies: %d", len(tallies))
+	}
+	// No data yet: every state undecided at share 0.5.
+	for _, ta := range tallies {
+		if ta.HasData() || ta.DemShare() != 0.5 {
+			t.Fatalf("%+v", ta)
+		}
+	}
+	// Apply a batch and re-check.
+	batch := g.NextBatch(200)
+	if len(batch) != 200 {
+		t.Fatalf("batch: %d", len(batch))
+	}
+	if err := Apply(db, batch); err != nil {
+		t.Fatal(err)
+	}
+	tallies, _ = Tallies(db)
+	withData := 0
+	var totalVotes int64
+	for _, ta := range tallies {
+		if ta.HasData() {
+			withData++
+			totalVotes += ta.Dem + ta.Rep
+			if s := ta.DemShare(); s < 0 || s > 1 {
+				t.Fatalf("share out of range: %f", s)
+			}
+		}
+	}
+	if withData == 0 {
+		t.Fatal("no state received data")
+	}
+	// Cross-check total against raw table.
+	raw, _ := db.QueryInt("SELECT SUM(dem) + SUM(rep) FROM returns")
+	if raw != totalVotes {
+		t.Fatalf("tally total %d != raw %d", totalVotes, raw)
+	}
+}
+
+func TestBatchDeterminism(t *testing.T) {
+	g1 := NewGenerator(5)
+	g2 := NewGenerator(5)
+	b1 := g1.NextBatch(50)
+	b2 := g2.NextBatch(50)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("batches not deterministic")
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package raweb reproduces the INRIA activity-reports application
+// (§III-c): yearly per-team XML reports (the Raweb legacy collection) are
+// generated synthetically, ingested into the database, and aggregated
+// into statistics (age / team / research-center distributions). People
+// appearing in several reports are deduplicated with a string-similarity
+// function — the paper's example of an aggregate "computed relying on
+// external code such as the similarity between two people referenced in
+// the reports".
+package raweb
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ediflow/internal/database"
+	"ediflow/internal/types"
+)
+
+// Report is one team's activity report for one year.
+type Report struct {
+	XMLName xml.Name `xml:"activityReport"`
+	Team    string   `xml:"team,attr"`
+	Year    int      `xml:"year,attr"`
+	Center  string   `xml:"center,attr"`
+	Members []Member `xml:"member"`
+	Pubs    []Pub    `xml:"publication"`
+}
+
+// Member is one person entry in a report.
+type Member struct {
+	Name     string `xml:"name,attr"`
+	Age      int    `xml:"age,attr"`
+	Position string `xml:"position,attr"`
+}
+
+// Pub is one publication entry.
+type Pub struct {
+	Title   string `xml:"title,attr"`
+	Venue   string `xml:"venue,attr"`
+	Authors string `xml:"authors,attr"` // comma-separated member names
+}
+
+var (
+	firstNames = []string{"Anna", "Bruno", "Clara", "Denis", "Elena", "Farid", "Gaelle", "Hugo", "Ines", "Jules", "Karim", "Lea", "Marc", "Nadia", "Olivier", "Paula"}
+	lastNames  = []string{"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand", "Leroy", "Moreau", "Simon", "Laurent", "Lefevre", "Michel", "Garcia", "David"}
+	centers    = []string{"Saclay", "Rocquencourt", "Sophia", "Rennes", "Grenoble"}
+	positions  = []string{"researcher", "phd", "postdoc", "engineer"}
+	venues     = []string{"ICDE", "VLDB", "SIGMOD", "EDBT", "InfoVis", "CHI"}
+)
+
+// Generator produces deterministic synthetic reports.
+type Generator struct {
+	rng   *rand.Rand
+	teams []string
+}
+
+// NewGenerator builds a generator with the given number of teams.
+func NewGenerator(teams int, seed int64) *Generator {
+	g := &Generator{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < teams; i++ {
+		g.teams = append(g.teams, fmt.Sprintf("TEAM%02d", i+1))
+	}
+	return g
+}
+
+// YearReports generates one report per team for a year. Member names are
+// stable per team (people recur across years, sometimes with typos — the
+// dedup challenge).
+func (g *Generator) YearReports(year int) []Report {
+	var out []Report
+	for ti, team := range g.teams {
+		teamRng := rand.New(rand.NewSource(int64(ti)*1000 + 17)) // stable roster
+		center := centers[ti%len(centers)]
+		size := teamRng.Intn(8) + 4
+		var members []Member
+		for m := 0; m < size; m++ {
+			name := firstNames[teamRng.Intn(len(firstNames))] + " " + lastNames[teamRng.Intn(len(lastNames))]
+			// Occasionally introduce a typo in this year's spelling.
+			if g.rng.Float64() < 0.1 && len(name) > 3 {
+				name = name[:len(name)-1]
+			}
+			members = append(members, Member{
+				Name:     name,
+				Age:      25 + teamRng.Intn(40) + (year - 2005),
+				Position: positions[teamRng.Intn(len(positions))],
+			})
+		}
+		var pubs []Pub
+		npubs := g.rng.Intn(10) + 2
+		for p := 0; p < npubs; p++ {
+			nAuth := g.rng.Intn(3) + 1
+			var authors []string
+			for a := 0; a < nAuth; a++ {
+				authors = append(authors, members[g.rng.Intn(len(members))].Name)
+			}
+			pubs = append(pubs, Pub{
+				Title:   fmt.Sprintf("%s paper %d-%d", team, year, p+1),
+				Venue:   venues[g.rng.Intn(len(venues))],
+				Authors: strings.Join(authors, ","),
+			})
+		}
+		out = append(out, Report{Team: team, Year: year, Center: center, Members: members, Pubs: pubs})
+	}
+	return out
+}
+
+// MarshalReport renders a report as the XML file Raweb would hold.
+func MarshalReport(r Report) ([]byte, error) {
+	return xml.MarshalIndent(r, "", "  ")
+}
+
+// ParseReport reads one report file.
+func ParseReport(data []byte) (Report, error) {
+	var r Report
+	err := xml.Unmarshal(data, &r)
+	return r, err
+}
+
+// Schema creates the application relations.
+func Schema(db *database.DB) error {
+	ddl := []string{
+		`CREATE TABLE IF NOT EXISTS teams (name STRING PRIMARY KEY, center STRING NOT NULL)`,
+		`CREATE TABLE IF NOT EXISTS people (
+			id INT PRIMARY KEY, name STRING NOT NULL, team STRING NOT NULL,
+			age INT, position STRING)`,
+		`CREATE TABLE IF NOT EXISTS publications (
+			id INT PRIMARY KEY, title STRING NOT NULL, venue STRING, team STRING, year INT)`,
+		`CREATE TABLE IF NOT EXISTS authorship (pub_id INT NOT NULL, person_id INT NOT NULL)`,
+	}
+	for _, s := range ddl {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Similarity is a Jaro–Winkler-style similarity in [0,1] used for person
+// deduplication ("to determine whether an employee is already present in
+// the database or needs to be added").
+func Similarity(a, b string) float64 {
+	a = strings.ToLower(strings.TrimSpace(a))
+	b = strings.ToLower(strings.TrimSpace(b))
+	if a == b {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	jaro := jaroSim(a, b)
+	// Winkler prefix boost (up to 4 chars).
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return jaro + float64(prefix)*0.1*(1-jaro)
+}
+
+func jaroSim(a, b string) float64 {
+	window := maxInt(len(a), len(b))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, len(a))
+	bMatch := make([]bool, len(b))
+	matches := 0
+	for i := 0; i < len(a); i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt(len(b)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !bMatch[j] && a[i] == b[j] {
+				aMatch[i] = true
+				bMatch[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Transpositions.
+	t := 0
+	j := 0
+	for i := 0; i < len(a); i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			t++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(a)) + m/float64(len(b)) + (m-float64(t)/2)/m) / 3
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DedupThreshold is the similarity above which two names are considered
+// the same person within a team.
+const DedupThreshold = 0.92
+
+// Ingest loads a report: upserts the team, deduplicates members against
+// existing people of the team by Similarity, inserts publications and
+// authorship rows. Returns the number of genuinely new people.
+func Ingest(db *database.DB, r Report) (newPeople int, err error) {
+	n, err := db.QueryInt("SELECT COUNT(*) FROM teams WHERE name = ?", types.NewString(r.Team))
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		if _, err := db.Exec("INSERT INTO teams (name, center) VALUES (?, ?)",
+			types.NewString(r.Team), types.NewString(r.Center)); err != nil {
+			return 0, err
+		}
+	}
+	// Existing roster of the team.
+	existing, err := db.Query("SELECT id, name FROM people WHERE team = ?", types.NewString(r.Team))
+	if err != nil {
+		return 0, err
+	}
+	nameToID := map[string]int64{}
+	type person struct {
+		id   int64
+		name string
+	}
+	var roster []person
+	for _, row := range existing.Rows {
+		p := person{id: row[0].Int(), name: row[1].Str()}
+		roster = append(roster, p)
+		nameToID[strings.ToLower(p.name)] = p.id
+	}
+	resolve := func(name string) (int64, bool) {
+		if id, ok := nameToID[strings.ToLower(name)]; ok {
+			return id, true
+		}
+		best := int64(0)
+		bestSim := 0.0
+		for _, p := range roster {
+			if s := Similarity(name, p.name); s > bestSim {
+				bestSim = s
+				best = p.id
+			}
+		}
+		if bestSim >= DedupThreshold {
+			return best, true
+		}
+		return 0, false
+	}
+	for _, m := range r.Members {
+		if id, found := resolve(m.Name); found {
+			// Update the person's age/position for the new year.
+			db.Exec("UPDATE people SET age = ?, position = ? WHERE id = ?",
+				types.NewInt(int64(m.Age)), types.NewString(m.Position), types.NewInt(id))
+			continue
+		}
+		id, err := db.NextID("people")
+		if err != nil {
+			return newPeople, err
+		}
+		if _, err := db.Exec("INSERT INTO people (id, name, team, age, position) VALUES (?, ?, ?, ?, ?)",
+			types.NewInt(id), types.NewString(m.Name), types.NewString(r.Team),
+			types.NewInt(int64(m.Age)), types.NewString(m.Position)); err != nil {
+			return newPeople, err
+		}
+		roster = append(roster, person{id: id, name: m.Name})
+		nameToID[strings.ToLower(m.Name)] = id
+		newPeople++
+	}
+	for _, pub := range r.Pubs {
+		pubID, err := db.NextID("publications")
+		if err != nil {
+			return newPeople, err
+		}
+		if _, err := db.Exec("INSERT INTO publications (id, title, venue, team, year) VALUES (?, ?, ?, ?, ?)",
+			types.NewInt(pubID), types.NewString(pub.Title), types.NewString(pub.Venue),
+			types.NewString(r.Team), types.NewInt(int64(r.Year))); err != nil {
+			return newPeople, err
+		}
+		for _, author := range strings.Split(pub.Authors, ",") {
+			author = strings.TrimSpace(author)
+			if author == "" {
+				continue
+			}
+			if id, found := resolve(author); found {
+				if _, err := db.Exec("INSERT INTO authorship (pub_id, person_id) VALUES (?, ?)",
+					types.NewInt(pubID), types.NewInt(id)); err != nil {
+					return newPeople, err
+				}
+			}
+		}
+	}
+	return newPeople, nil
+}
+
+// Stats is the §III-c statistics bundle computed by SQL.
+type Stats struct {
+	People          int64
+	Teams           int64
+	Publications    int64
+	AvgAge          float64
+	PeopleByCenter  map[string]int64
+	PubsPerYear     map[int64]int64
+	PubsPerPersonID map[int64]int64
+}
+
+// ComputeStats runs the aggregate queries.
+func ComputeStats(db *database.DB) (*Stats, error) {
+	s := &Stats{PeopleByCenter: map[string]int64{}, PubsPerYear: map[int64]int64{}, PubsPerPersonID: map[int64]int64{}}
+	var err error
+	if s.People, err = db.QueryInt("SELECT COUNT(*) FROM people"); err != nil {
+		return nil, err
+	}
+	if s.Teams, err = db.QueryInt("SELECT COUNT(*) FROM teams"); err != nil {
+		return nil, err
+	}
+	if s.Publications, err = db.QueryInt("SELECT COUNT(*) FROM publications"); err != nil {
+		return nil, err
+	}
+	if s.People > 0 {
+		v, err := db.QueryValue("SELECT AVG(age) FROM people")
+		if err != nil {
+			return nil, err
+		}
+		s.AvgAge, _ = v.AsFloat()
+	}
+	res, err := db.Query(`SELECT t.center, COUNT(*) FROM people p JOIN teams t ON p.team = t.name GROUP BY t.center`)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		s.PeopleByCenter[r[0].Str()] = r[1].Int()
+	}
+	res, err = db.Query("SELECT year, COUNT(*) FROM publications GROUP BY year")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		s.PubsPerYear[r[0].Int()] = r[1].Int()
+	}
+	res, err = db.Query("SELECT person_id, COUNT(*) FROM authorship GROUP BY person_id")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		s.PubsPerPersonID[r[0].Int()] = r[1].Int()
+	}
+	return s, nil
+}

@@ -1,0 +1,124 @@
+package raweb
+
+import (
+	"testing"
+
+	"ediflow/internal/database"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	g := NewGenerator(3, 1)
+	reports := g.YearReports(2005)
+	if len(reports) != 3 {
+		t.Fatalf("reports: %d", len(reports))
+	}
+	data, err := MarshalReport(reports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Team != reports[0].Team || back.Year != 2005 || len(back.Members) != len(reports[0].Members) {
+		t.Fatalf("%+v", back)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if Similarity("Anna Martin", "Anna Martin") != 1 {
+		t.Error("identity")
+	}
+	if s := Similarity("Anna Martin", "Anna Marti"); s < DedupThreshold {
+		t.Errorf("typo similarity too low: %f", s)
+	}
+	if s := Similarity("Anna Martin", "Hugo Garcia"); s >= DedupThreshold {
+		t.Errorf("distinct names too similar: %f", s)
+	}
+	if Similarity("", "x") != 0 {
+		t.Error("empty string")
+	}
+	if s := Similarity("ANNA martin", "anna MARTIN"); s != 1 {
+		t.Errorf("case-insensitive: %f", s)
+	}
+}
+
+func TestIngestAndDedup(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	if err := Schema(db); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(4, 2)
+	// Ingest years 2005–2009 (the paper's range).
+	firstYear := 0
+	for year := 2005; year <= 2009; year++ {
+		for _, r := range g.YearReports(year) {
+			n, err := Ingest(db, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if year == 2005 {
+				firstYear += n
+			}
+		}
+	}
+	people, _ := db.QueryInt("SELECT COUNT(*) FROM people")
+	// Dedup must keep the population close to the stable rosters: later
+	// years mostly resolve to existing people (allow a few typo-driven
+	// additions).
+	if people > int64(firstYear)*2 {
+		t.Fatalf("dedup failed: %d people after 5 years, %d in year one", people, firstYear)
+	}
+	if people < int64(firstYear) {
+		t.Fatalf("people lost: %d < %d", people, firstYear)
+	}
+	teams, _ := db.QueryInt("SELECT COUNT(*) FROM teams")
+	if teams != 4 {
+		t.Fatalf("teams: %d", teams)
+	}
+	pubs, _ := db.QueryInt("SELECT COUNT(*) FROM publications")
+	if pubs == 0 {
+		t.Fatal("no publications ingested")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	Schema(db)
+	g := NewGenerator(3, 7)
+	for _, r := range g.YearReports(2005) {
+		if _, err := Ingest(db, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range g.YearReports(2006) {
+		if _, err := Ingest(db, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := ComputeStats(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.People == 0 || s.Teams != 3 || s.Publications == 0 {
+		t.Fatalf("%+v", s)
+	}
+	if s.AvgAge < 20 || s.AvgAge > 80 {
+		t.Fatalf("avg age: %f", s.AvgAge)
+	}
+	if len(s.PeopleByCenter) == 0 {
+		t.Fatal("center distribution empty")
+	}
+	if s.PubsPerYear[2005] == 0 || s.PubsPerYear[2006] == 0 {
+		t.Fatalf("pubs per year: %v", s.PubsPerYear)
+	}
+	var centerTotal int64
+	for _, n := range s.PeopleByCenter {
+		centerTotal += n
+	}
+	if centerTotal != s.People {
+		t.Fatalf("center sum %d != people %d", centerTotal, s.People)
+	}
+}

@@ -1,0 +1,196 @@
+package wiki
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffBasics(t *testing.T) {
+	old := []string{"a", "b", "c", "d"}
+	new := []string{"a", "x", "b", "d"}
+	ops := Diff(old, new)
+	ins, del, kept := DiffCounts(ops)
+	if ins != 1 || del != 1 || kept != 3 {
+		t.Fatalf("ins=%d del=%d kept=%d (%+v)", ins, del, kept, ops)
+	}
+}
+
+func TestDiffEdgeCases(t *testing.T) {
+	if ops := Diff(nil, nil); len(ops) != 0 {
+		t.Fatalf("%+v", ops)
+	}
+	ins, del, kept := DiffCounts(Diff(nil, []string{"a", "b"}))
+	if ins != 2 || del != 0 || kept != 0 {
+		t.Fatal("pure insert")
+	}
+	ins, del, kept = DiffCounts(Diff([]string{"a", "b"}, nil))
+	if ins != 0 || del != 2 || kept != 0 {
+		t.Fatal("pure delete")
+	}
+	ins, del, kept = DiffCounts(Diff([]string{"a"}, []string{"a"}))
+	if ins != 0 || del != 0 || kept != 1 {
+		t.Fatal("identity")
+	}
+}
+
+// Property: applying the diff script to old reproduces new, and counts add
+// up (|new| = kept + inserted, |old| = kept + deleted).
+func TestDiffScriptCorrectness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := []string{"a", "b", "c", "d", "e"}
+		old := make([]string, rng.Intn(40))
+		for i := range old {
+			old[i] = vocab[rng.Intn(len(vocab))]
+		}
+		new := make([]string, rng.Intn(40))
+		for i := range new {
+			new[i] = vocab[rng.Intn(len(vocab))]
+		}
+		ops := Diff(old, new)
+		ins, del, kept := DiffCounts(ops)
+		if kept+ins != len(new) || kept+del != len(old) {
+			return false
+		}
+		// Replay the script.
+		var rebuilt []string
+		oi, ni := 0, 0
+		for _, op := range ops {
+			switch op.Kind {
+			case OpKeep:
+				rebuilt = append(rebuilt, old[oi:oi+op.N]...)
+				oi += op.N
+				ni += op.N
+			case OpDelete:
+				oi += op.N
+			case OpInsert:
+				rebuilt = append(rebuilt, new[ni:ni+op.N]...)
+				ni += op.N
+			}
+		}
+		if len(rebuilt) != len(new) {
+			return false
+		}
+		for i := range rebuilt {
+			if rebuilt[i] != new[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorDeterministicStream(t *testing.T) {
+	g1 := NewGenerator(Config{Articles: 5, Users: 3, Seed: 42})
+	g2 := NewGenerator(Config{Articles: 5, Users: 3, Seed: 42})
+	b1 := g1.Bootstrap()
+	b2 := g2.Bootstrap()
+	if len(b1) != 5 || len(b1) != len(b2) {
+		t.Fatalf("bootstrap: %d", len(b1))
+	}
+	for i := 0; i < 20; i++ {
+		e1, e2 := g1.NextEdit(), g2.NextEdit()
+		if e1.Article != e2.Article || e1.Version != e2.Version || len(e1.Tokens) != len(e2.Tokens) {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestMetricsIncremental(t *testing.T) {
+	m := NewMetrics()
+	// User 1 writes version 1 of article 7.
+	v1 := Edit{Article: 7, User: 1, Version: 1, Tokens: []string{"a", "b", "c"}}
+	if err := m.ApplyEdit(v1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contributors(7) != 1 {
+		t.Fatalf("contributors: %d", m.Contributors(7))
+	}
+	u1 := m.UserStatsFor(1)
+	if u1.Inserted != 3 || u1.Remaining != 3 || u1.Durability() != 1.0 {
+		t.Fatalf("%+v", u1)
+	}
+	// User 2 replaces "b" with "x y".
+	v2 := Edit{Article: 7, User: 2, Version: 2, Tokens: []string{"a", "x", "y", "c"}}
+	if err := m.ApplyEdit(v2, v1.Tokens); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contributors(7) != 2 {
+		t.Fatalf("contributors: %d", m.Contributors(7))
+	}
+	u1 = m.UserStatsFor(1)
+	if u1.Inserted != 3 || u1.Remaining != 2 {
+		t.Fatalf("user1 after overwrite: %+v", u1)
+	}
+	u2 := m.UserStatsFor(2)
+	if u2.Inserted != 2 || u2.Remaining != 2 {
+		t.Fatalf("user2: %+v", u2)
+	}
+	// Contribution table (task ii).
+	ct := m.ContributionTable(7)
+	want := []int64{1, 2, 2, 1}
+	for i := range want {
+		if ct[i] != want[i] {
+			t.Fatalf("contribution table: %v", ct)
+		}
+	}
+	// Version ordering enforced.
+	if err := m.ApplyEdit(Edit{Article: 7, User: 1, Version: 5, Tokens: nil}, v2.Tokens); err == nil {
+		t.Fatal("version gap must error")
+	}
+}
+
+// Property: the incremental metrics equal a full recomputation over any
+// generated history — the correctness claim behind "incremental
+// re-computations" (§III-b).
+func TestIncrementalEqualsRecompute(t *testing.T) {
+	g := NewGenerator(Config{Articles: 6, Users: 4, Seed: 11})
+	history := g.Bootstrap()
+	for i := 0; i < 150; i++ {
+		history = append(history, g.NextEdit())
+	}
+	// Incremental.
+	inc := NewMetrics()
+	prev := map[int64][]string{}
+	for _, e := range history {
+		if err := inc.ApplyEdit(e, prev[e.Article]); err != nil {
+			t.Fatal(err)
+		}
+		prev[e.Article] = e.Tokens
+	}
+	// Full recompute.
+	full, err := Recompute(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range inc.Articles() {
+		if inc.Contributors(a) != full.Contributors(a) {
+			t.Fatalf("article %d: %d vs %d contributors", a, inc.Contributors(a), full.Contributors(a))
+		}
+		if inc.Version(a) != full.Version(a) {
+			t.Fatalf("article %d versions differ", a)
+		}
+	}
+	for _, u := range inc.Users() {
+		a, b := inc.UserStatsFor(u), full.UserStatsFor(u)
+		if a != b {
+			t.Fatalf("user %d: %+v vs %+v", u, a, b)
+		}
+	}
+	// Sanity: remaining tokens equal total text length.
+	var remaining int64
+	for _, u := range inc.Users() {
+		remaining += inc.UserStatsFor(u).Remaining
+	}
+	var textLen int64
+	for _, tokens := range prev {
+		textLen += int64(len(tokens))
+	}
+	if remaining != textLen {
+		t.Fatalf("remaining %d != text length %d", remaining, textLen)
+	}
+}

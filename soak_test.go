@@ -1,0 +1,211 @@
+package ediflow
+
+// A kitchen-sink soak test: a durable platform runs process instances,
+// materialized views, table mirrors and logical deletions concurrently
+// with a random operation stream, checking global invariants throughout
+// and across a restart. This is the cross-feature integration net — each
+// subsystem has its own tests; this one hunts interaction bugs.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"ediflow/internal/module"
+)
+
+func TestSoakEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dir := t.TempDir()
+	p, err := Open(dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Application schema + incrementally maintained views.
+	if _, err := p.ExecScript(`
+		CREATE TABLE sensors (id INT PRIMARY KEY, zone STRING NOT NULL);
+		CREATE TABLE readings (sensor INT NOT NULL, v INT NOT NULL);
+		CREATE MATERIALIZED VIEW by_zone AS
+			SELECT s.zone, r.v FROM readings r JOIN sensors s ON r.sensor = s.id;
+		CREATE MATERIALIZED VIEW totals AS
+			SELECT sensor, COUNT(*) AS n, SUM(v) AS s FROM readings GROUP BY sensor;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		zone := "north"
+		if i%2 == 0 {
+			zone = "south"
+		}
+		p.Exec(fmt.Sprintf("INSERT INTO sensors VALUES (%d, '%s')", i, zone))
+	}
+
+	// A reactive process whose delta handler counts propagated batches.
+	batches := make(chan int, 4096)
+	p.Procedures().Register("soak.watch", func() Procedure {
+		return &module.Func{
+			ProcName: "soak.watch",
+			RunFn:    func(env *ProcEnv) error { return nil },
+			UpdateFn: func(env *ProcEnv) error {
+				batches <- len(env.Delta.TIDs)
+				return nil
+			},
+		}
+	})
+	if _, err := p.DeployXML(`
+<process name="soak">
+  <relation name="readings">
+    <attribute name="sensor" type="int"/>
+    <attribute name="v" type="int"/>
+  </relation>
+  <function name="watch" class="soak.watch"/>
+  <body>
+    <activity name="watch"><callFunction name="watch" inputs="readings"/></activity>
+  </body>
+  <updatePropagation relation="readings" activity="watch" scope="ta-tp"/>
+</process>`); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Start("soak", "soaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live mirror of the aggregate view.
+	mirror, err := p.Mirror("soak-display", "totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror.AutoRefresh(5 * time.Millisecond)
+
+	checkInvariants := func(tag string) {
+		t.Helper()
+		// View ≡ recompute, both classes.
+		for _, pair := range [][2]string{
+			{"SELECT zone, v FROM by_zone", "SELECT s.zone, r.v FROM readings r JOIN sensors s ON r.sensor = s.id"},
+			{"SELECT sensor, n, s FROM totals", "SELECT sensor, COUNT(*), SUM(v) FROM readings GROUP BY sensor"},
+		} {
+			got, err := p.Query(pair[0])
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			want, err := p.Query(pair[1])
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			g := rowsKey(got.Rows)
+			w := rowsKey(want.Rows)
+			if g != w {
+				t.Fatalf("%s: view diverged for %q:\n%s\nvs\n%s", tag, pair[0], g, w)
+			}
+		}
+		// Notification sequence strictly increasing.
+		res, err := p.Query("SELECT seq_no FROM " + TableNotification + " ORDER BY seq_no")
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i][0].Int() <= res.Rows[i-1][0].Int() {
+				t.Fatalf("%s: notification seq not increasing", tag)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(2011))
+	totalInserted := 0
+	for round := 0; round < 120; round++ {
+		switch rng.Intn(4) {
+		case 0, 1: // batch insert
+			n := rng.Intn(20) + 1
+			sql := "INSERT INTO readings (sensor, v) VALUES "
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					sql += ", "
+				}
+				sql += fmt.Sprintf("(%d, %d)", rng.Intn(8)+1, rng.Intn(100))
+			}
+			if _, err := p.Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+			totalInserted += n
+		case 2: // update a slice of readings
+			if _, err := p.Exec(fmt.Sprintf("UPDATE readings SET v = v + 1 WHERE sensor = %d", rng.Intn(8)+1)); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // delete some readings outright
+			if _, err := p.Exec(fmt.Sprintf("DELETE FROM readings WHERE sensor = %d AND v < 10", rng.Intn(8)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round%10 == 9 {
+			checkInvariants(fmt.Sprintf("round %d", round))
+		}
+	}
+	checkInvariants("final")
+
+	// The ta-tp handler received every inserted batch eventually.
+	deadline := time.Now().Add(5 * time.Second)
+	received := 0
+	for received < totalInserted && time.Now().Before(deadline) {
+		select {
+		case n := <-batches:
+			received += n
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if received < totalInserted {
+		t.Fatalf("delta handler saw %d/%d inserted readings", received, totalInserted)
+	}
+
+	// The mirror converged to the view contents.
+	waitCond(t, func() bool {
+		n, _ := p.QueryInt("SELECT COUNT(*) FROM totals")
+		return mirror.Len() == int(n)
+	})
+
+	mirror.Close()
+	p.Close()
+
+	// Restart: everything still consistent and maintainable.
+	p2, err := Open(dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got, _ := p2.Query("SELECT sensor, n, s FROM totals")
+	want, _ := p2.Query("SELECT sensor, COUNT(*), SUM(v) FROM readings GROUP BY sensor")
+	if rowsKey(got.Rows) != rowsKey(want.Rows) {
+		t.Fatal("views diverged after restart")
+	}
+	p2.Exec("INSERT INTO readings VALUES (1, 42)")
+	got, _ = p2.Query("SELECT sensor, n, s FROM totals")
+	want, _ = p2.Query("SELECT sensor, COUNT(*), SUM(v) FROM readings GROUP BY sensor")
+	if rowsKey(got.Rows) != rowsKey(want.Rows) {
+		t.Fatal("view maintenance broken after restart")
+	}
+}
+
+func rowsKey(rows []Row) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		s := ""
+		for _, v := range r {
+			s += v.String() + "|"
+		}
+		keys[i] = s
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "\n"
+	}
+	return out
+}
