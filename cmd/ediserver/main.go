@@ -1,0 +1,78 @@
+// Command ediserver runs the EdiFlow DBMS as a standalone server — the
+// database box of the paper's deployment architecture (Fig. 3, §VII),
+// where EdiFlow peers and visualization processes connect over the LAN.
+// It opens (or creates) a data directory, attaches the §VI-C
+// notification protocol, and serves the binary wire protocol to any
+// number of concurrent sessions.
+//
+//	ediserver [-db /path/to/dbdir] [-addr :7687] [-idle-timeout 0]
+//
+// Clients connect with the internal/client driver, e.g.
+//
+//	edisql -connect host:7687
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements
+// drain, sessions close, the WAL is checkpointed.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/notify"
+	"ediflow/internal/server"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (empty = in-memory, volatile)")
+	addr := flag.String("addr", ":7687", "listen address")
+	idle := flag.Duration("idle-timeout", 0, "disconnect sessions idle for this long (0 = never)")
+	purge := flag.Duration("purge-interval", time.Minute, "Notification purge + checkpoint interval (0 = off)")
+	flag.Parse()
+
+	db, err := database.Open(*dbDir)
+	if err != nil {
+		log.Fatalf("ediserver: opening database: %v", err)
+	}
+	defer db.Close()
+
+	notifier, err := notify.NewNotifier(db)
+	if err != nil {
+		log.Fatalf("ediserver: attaching notifier: %v", err)
+	}
+	defer notifier.Close()
+	if *purge > 0 {
+		stop := notifier.AutoPurge(*purge)
+		defer stop()
+		go func() {
+			t := time.NewTicker(*purge)
+			defer t.Stop()
+			for range t.C {
+				db.Checkpoint()
+			}
+		}()
+	}
+
+	srv := server.New(db, server.Config{
+		ReadTimeout: *idle,
+		Logf:        log.Printf,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("ediserver: %v", err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("ediserver: %v — draining %d session(s)", s, srv.SessionCount())
+	srv.Close()
+	if err := db.Checkpoint(); err != nil {
+		log.Printf("ediserver: final checkpoint: %v", err)
+	}
+	log.Printf("ediserver: bye (%d sessions served)", srv.Accepted())
+}

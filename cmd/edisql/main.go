@@ -1,9 +1,11 @@
-// Command edisql is an interactive SQL shell over the EdiFlow embedded
-// database.
+// Command edisql is an interactive SQL shell over the EdiFlow database —
+// embedded in-process by default, or attached to a remote ediserver.
 //
 //	edisql [-db /path/to/dbdir] [-c "SELECT ..."]
+//	edisql -connect host:7687 [-c "SELECT ..."]
 //
 // Meta commands: .tables, .views, .schema <table>, .checkpoint, .quit
+// (remote mode supports .tables, .ping, .quit).
 package main
 
 import (
@@ -19,25 +21,53 @@ import (
 	"ediflow"
 )
 
+// shell abstracts the embedded platform vs. the network client: both
+// expose ExecScript, which is all the REPL loop needs.
+type shell interface {
+	ExecScript(sql string, args ...ediflow.Value) (*ediflow.Result, error)
+}
+
 func main() {
 	dbDir := flag.String("db", "", "database directory (empty = in-memory)")
+	connect := flag.String("connect", "", "host:port of a remote ediserver (overrides -db)")
 	command := flag.String("c", "", "execute one statement and exit")
 	flag.Parse()
 
-	p, err := ediflow.Open(*dbDir)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		sh   shell
+		p    *ediflow.Platform
+		conn *ediflow.RemoteConn
+	)
+	if *connect != "" {
+		var err error
+		conn, err = ediflow.Dial(*connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		sh = conn
+	} else {
+		var err error
+		p, err = ediflow.Open(*dbDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		sh = p
 	}
-	defer p.Close()
 
 	if *command != "" {
-		if err := run(p, *command); err != nil {
+		if err := run(sh, *command); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	fmt.Println("EdiFlow SQL shell — .help for meta commands")
+	if conn != nil {
+		fmt.Printf("EdiFlow SQL shell — connected to %s, .help for meta commands\n", *connect)
+	} else {
+		fmt.Println("EdiFlow SQL shell — .help for meta commands")
+	}
 	r := bufio.NewReader(os.Stdin)
 	var buf strings.Builder
 	for {
@@ -56,7 +86,7 @@ func main() {
 		}
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if meta(p, trimmed) {
+			if meta(p, conn, trimmed) {
 				return
 			}
 			continue
@@ -68,21 +98,61 @@ func main() {
 			if stmt == "" {
 				continue
 			}
-			if err := run(p, stmt); err != nil {
+			if err := run(sh, stmt); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			}
 		}
 	}
 }
 
-// meta handles dot-commands; returns true to exit.
-func meta(p *ediflow.Platform, cmd string) bool {
+// meta handles dot-commands; returns true to exit. Exactly one of p
+// (embedded) and conn (remote) is non-nil.
+func meta(p *ediflow.Platform, conn *ediflow.RemoteConn, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
 		return true
 	case ".help":
-		fmt.Println(".tables  .views  .schema <table>  .processes  .instances  .checkpoint  .quit")
+		if conn != nil {
+			fmt.Println(".tables  .ping  .quit")
+		} else {
+			fmt.Println(".tables  .views  .schema <table>  .processes  .instances  .checkpoint  .quit")
+		}
+		return false
+	case ".tables":
+		if conn != nil {
+			names, err := conn.TableNames()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				return false
+			}
+			for _, t := range names {
+				fmt.Println(t)
+			}
+		} else {
+			for _, t := range p.DB().TableNames() {
+				fmt.Println(t)
+			}
+		}
+		return false
+	case ".ping":
+		if conn == nil {
+			fmt.Println("embedded database — always reachable")
+			return false
+		}
+		start := time.Now()
+		if err := conn.Ping(); err != nil {
+			fmt.Fprintf(os.Stderr, "ping: %v\n", err)
+		} else {
+			fmt.Printf("pong (%v)\n", time.Since(start).Round(time.Microsecond))
+		}
+		return false
+	}
+	if conn != nil {
+		fmt.Printf("%s is not available over -connect (.help)\n", fields[0])
+		return false
+	}
+	switch fields[0] {
 	case ".processes":
 		if err := run(p, "SELECT name FROM "+ediflow.TableProcess+" ORDER BY name"); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -90,10 +160,6 @@ func meta(p *ediflow.Platform, cmd string) bool {
 	case ".instances":
 		if err := run(p, "SELECT id, process, status, start_ts, end_ts FROM "+ediflow.TableProcessInstance+" ORDER BY id"); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
-		}
-	case ".tables":
-		for _, t := range p.DB().TableNames() {
-			fmt.Println(t)
 		}
 	case ".views":
 		for _, v := range p.DB().Catalog().ViewNames() {
@@ -134,9 +200,9 @@ func meta(p *ediflow.Platform, cmd string) bool {
 	return false
 }
 
-func run(p *ediflow.Platform, sql string) error {
+func run(sh shell, sql string) error {
 	start := time.Now()
-	res, err := p.ExecScript(sql)
+	res, err := sh.ExecScript(sql)
 	if err != nil {
 		return err
 	}

@@ -33,10 +33,13 @@ import (
 	"sync"
 	"time"
 
+	"ediflow/internal/client"
 	"ediflow/internal/database"
+	"ediflow/internal/driver"
 	"ediflow/internal/engine"
 	"ediflow/internal/module"
 	"ediflow/internal/notify"
+	"ediflow/internal/server"
 	"ediflow/internal/tablesync"
 	"ediflow/internal/types"
 	"ediflow/internal/vis"
@@ -79,6 +82,18 @@ type (
 	UserAgent = enact.UserAgent
 	// AgentFunc adapts a function to UserAgent.
 	AgentFunc = enact.AgentFunc
+	// Conn is the minimal database surface shared by the embedded DB and
+	// the network client: tablesync/notify accept either, so code runs
+	// unchanged in-process or against a remote ediserver (Fig. 3).
+	Conn = driver.Conn
+	// RemoteConn is a pooled client connection to an ediserver.
+	RemoteConn = client.Conn
+	// RemoteOptions tunes Dial (timeouts, pool size, retry backoff).
+	RemoteOptions = client.Options
+	// Server serves this platform's database over TCP.
+	Server = server.Server
+	// ServerConfig tunes Serve.
+	ServerConfig = server.Config
 )
 
 // Value constructors, re-exported.
@@ -235,6 +250,42 @@ func (p *Platform) Start(processName, user string) (*Instance, error) {
 // through the notification protocol.
 func (p *Platform) Mirror(user, table string) (*Mirror, error) {
 	return tablesync.NewMirror(p.db, user, table)
+}
+
+// Serve exposes the platform's database over TCP at addr (e.g. ":7687",
+// "127.0.0.1:0"), the paper's DBMS-on-its-own-machine deployment.
+// Remote clients obtained with Dial can Exec/Query, register §VI-C
+// notification quadruplets and open mirrors. Close the returned server
+// before closing the platform.
+func (p *Platform) Serve(addr string, cfg ...ServerConfig) (*Server, error) {
+	var c ServerConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	srv := server.New(p.db, c)
+	if err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Dial connects to a remote ediserver. The result satisfies Conn, so it
+// drops in wherever the embedded database is accepted — including
+// NewMirror and notify registration.
+func Dial(addr string, opts ...RemoteOptions) (*RemoteConn, error) {
+	var o RemoteOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return client.Dial(addr, o)
+}
+
+// NewMirror opens a mirror over any Conn — the embedded DB of a
+// Platform or a RemoteConn from Dial. With a remote Conn this is
+// exactly the paper's deployment: R_D on the server machine, R_M in
+// this process, synchronized over the wire.
+func NewMirror(c Conn, user, table string) (*Mirror, error) {
+	return tablesync.NewMirror(c, user, table)
 }
 
 // NewVisualization registers a visualization.

@@ -1,0 +1,436 @@
+// Package client is the Go driver for a remote ediserver. It exposes
+// the same Exec/Query/QueryValue surface as internal/database through
+// the driver.Conn interface, so notify.Client, tablesync.Mirror and
+// application code run unchanged against a DBMS on another machine —
+// the paper's deployment of Fig. 3, where EdiFlow peers reach the
+// database server over the LAN.
+//
+// The driver keeps a pool of wire connections; each request checks one
+// out for a single request/response round trip. Dials are retried with
+// exponential backoff on transient failure. A transaction (Begin …
+// Commit/Rollback) pins one connection, and while it is open every
+// statement from this driver rides that pinned connection — mirroring
+// the server, which serializes writes against the open transaction.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sort"
+
+	"ediflow/internal/driver"
+	"ediflow/internal/engine"
+	"ediflow/internal/types"
+	"ediflow/internal/wire"
+)
+
+// Options tunes Dial. The zero value is usable.
+type Options struct {
+	// DialTimeout bounds each TCP connect attempt (default 3s).
+	DialTimeout time.Duration
+	// DialRetries is how many times a failed dial is retried with
+	// exponential backoff before giving up (default 3).
+	DialRetries int
+	// RetryBackoff is the first retry delay, doubled per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// ReadTimeout bounds waiting for one response (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one request (default 10s).
+	WriteTimeout time.Duration
+	// PoolSize caps idle pooled connections (default 4). More may be
+	// opened under load; extras are closed when returned.
+	PoolSize int
+	// MaxFrameBytes caps one response frame (default wire.MaxFrame).
+	MaxFrameBytes int
+	// ClientName is announced in the HELLO frame (default "ediflow-go").
+	ClientName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.DialRetries < 0 {
+		o.DialRetries = 0
+	} else if o.DialRetries == 0 {
+		o.DialRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.ClientName == "" {
+		o.ClientName = "ediflow-go"
+	}
+	return o
+}
+
+// Conn is a pooled client connection to one ediserver address.
+// It satisfies driver.Conn, so it can replace *database.DB wherever
+// that interface is accepted.
+type Conn struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*wireConn
+	txn    *wireConn // pinned while a transaction is open
+	closed bool
+}
+
+var _ driver.Conn = (*Conn)(nil)
+
+// wireConn is one TCP connection speaking the wire protocol.
+type wireConn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes round trips on this connection
+}
+
+// Dial connects to an ediserver, validating the handshake on the first
+// connection before returning.
+func Dial(addr string, opts Options) (*Conn, error) {
+	c := &Conn{addr: addr, opts: opts.withDefaults()}
+	wc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(wc)
+	return c, nil
+}
+
+// dial opens and handshakes one wire connection, retrying transient
+// failures with exponential backoff.
+func (c *Conn) dial() (*wireConn, error) {
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		wc := &wireConn{c: nc}
+		if err := c.handshake(wc); err != nil {
+			nc.Close()
+			// A handshake rejection (version mismatch) is not transient.
+			return nil, err
+		}
+		return wc, nil
+	}
+	return nil, fmt.Errorf("client: dialing %s: %w", c.addr, lastErr)
+}
+
+func (c *Conn) handshake(wc *wireConn) error {
+	typ, payload, err := c.roundTripOn(wc, wire.FrameHello,
+		wire.EncodeHello(wire.Version, c.opts.ClientName))
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	switch typ {
+	case wire.FrameWelcome:
+		v, _, err := wire.DecodeWelcome(payload)
+		if err != nil {
+			return err
+		}
+		if v != wire.Version {
+			return fmt.Errorf("client: server speaks protocol version %d, want %d", v, wire.Version)
+		}
+		return nil
+	case wire.FrameError:
+		msg, _ := wire.DecodeError(payload)
+		return fmt.Errorf("client: server rejected handshake: %s", msg)
+	}
+	return fmt.Errorf("client: unexpected handshake frame 0x%02x", typ)
+}
+
+// get checks out a connection: the pinned transaction connection if one
+// is open, an idle pooled one, or a fresh dial.
+func (c *Conn) get() (*wireConn, bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("client: connection closed")
+	}
+	if c.txn != nil {
+		wc := c.txn
+		c.mu.Unlock()
+		return wc, true, nil
+	}
+	if n := len(c.idle); n > 0 {
+		wc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return wc, false, nil
+	}
+	c.mu.Unlock()
+	wc, err := c.dial()
+	return wc, false, err
+}
+
+// put returns a healthy connection to the idle pool.
+func (c *Conn) put(wc *wireConn) {
+	c.mu.Lock()
+	if !c.closed && wc != c.txn && len(c.idle) < c.opts.PoolSize {
+		c.idle = append(c.idle, wc)
+		c.mu.Unlock()
+		return
+	}
+	pinned := wc == c.txn
+	c.mu.Unlock()
+	if !pinned {
+		wc.c.Close()
+	}
+}
+
+// roundTrip sends one request and reads its response, managing pool
+// checkout and dead-connection disposal.
+func (c *Conn) roundTrip(reqType byte, payload []byte) (byte, []byte, error) {
+	wc, pinned, err := c.get()
+	if err != nil {
+		return 0, nil, err
+	}
+	typ, resp, err := c.roundTripOn(wc, reqType, payload)
+	if err != nil {
+		// The stream is in an unknown state: drop the connection. If it
+		// was the transaction pin, the transaction is gone with it (the
+		// server rolls back on disconnect).
+		wc.c.Close()
+		c.mu.Lock()
+		if c.txn == wc {
+			c.txn = nil
+		}
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	if !pinned {
+		c.put(wc)
+	}
+	return typ, resp, nil
+}
+
+// roundTripOn performs one framed request/response on wc.
+func (c *Conn) roundTripOn(wc *wireConn, reqType byte, payload []byte) (byte, []byte, error) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	wc.c.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	if err := wire.WriteFrame(wc.c, reqType, payload); err != nil {
+		return 0, nil, err
+	}
+	wc.c.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	return wire.ReadFrame(wc.c, c.opts.MaxFrameBytes)
+}
+
+// expect unwraps a response, converting Error frames into Go errors.
+func expect(want byte, typ byte, payload []byte, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	if typ == wire.FrameError {
+		msg, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return nil, fmt.Errorf("client: undecodable server error: %w", derr)
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("client: expected frame 0x%02x, got 0x%02x", want, typ)
+	}
+	return payload, nil
+}
+
+// ------------------------------------------------------------ statements
+
+// Exec runs one SQL statement on the server.
+func (c *Conn) Exec(sql string, args ...types.Value) (*engine.Result, error) {
+	return c.exec(false, sql, args)
+}
+
+// ExecScript runs a ';'-separated script, returning the last result.
+func (c *Conn) ExecScript(sql string, args ...types.Value) (*engine.Result, error) {
+	return c.exec(true, sql, args)
+}
+
+func (c *Conn) exec(script bool, sql string, args []types.Value) (*engine.Result, error) {
+	typ, payload, err := c.roundTrip(wire.FrameExec, wire.EncodeExec(script, sql, args))
+	p, err := expect(wire.FrameResult, typ, payload, err)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(p)
+}
+
+// Query runs a SELECT on the server.
+func (c *Conn) Query(sql string, args ...types.Value) (*engine.Result, error) {
+	typ, payload, err := c.roundTrip(wire.FrameQuery, wire.EncodeQuery(sql, args))
+	p, err := expect(wire.FrameResult, typ, payload, err)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(p)
+}
+
+// QueryValue runs a SELECT expected to return exactly one value.
+func (c *Conn) QueryValue(sql string, args ...types.Value) (types.Value, error) {
+	res, err := c.Query(sql, args...)
+	if err != nil {
+		return types.Null, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return types.Null, fmt.Errorf("client: expected a single value, got %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0], nil
+}
+
+// QueryInt runs a SELECT expected to return exactly one integer.
+func (c *Conn) QueryInt(sql string, args ...types.Value) (int64, error) {
+	v, err := c.QueryValue(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.AsInt()
+}
+
+// NextID allocates a unique id server-side (safe across sessions).
+func (c *Conn) NextID(table string) (int64, error) {
+	typ, payload, err := c.roundTrip(wire.FrameNextID, wire.EncodeString(table))
+	p, err := expect(wire.FrameID, typ, payload, err)
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodeID(p)
+}
+
+// InsertRow inserts one row given column→value pairs, returning its tid.
+func (c *Conn) InsertRow(table string, vals map[string]types.Value) (int64, error) {
+	cols := make([]string, 0, len(vals))
+	for col := range vals {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	placeholders := ""
+	args := make([]types.Value, 0, len(cols))
+	colList := ""
+	for i, col := range cols {
+		if i > 0 {
+			colList += ", "
+			placeholders += ", "
+		}
+		colList += col
+		placeholders += "?"
+		args = append(args, vals[col])
+	}
+	res, err := c.Exec(fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)", table, colList, placeholders), args...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.TIDs) != 1 {
+		return 0, fmt.Errorf("client: insert affected %d rows", len(res.TIDs))
+	}
+	return res.TIDs[0], nil
+}
+
+// TableNames lists the server's tables.
+func (c *Conn) TableNames() ([]string, error) {
+	typ, payload, err := c.roundTrip(wire.FrameTables, nil)
+	p, err := expect(wire.FrameNames, typ, payload, err)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeNames(p)
+}
+
+// Ping performs a wire round trip, dialing if needed.
+func (c *Conn) Ping() error {
+	typ, payload, err := c.roundTrip(wire.FramePing, nil)
+	_, err = expect(wire.FramePong, typ, payload, err)
+	return err
+}
+
+// ------------------------------------------------------------ transactions
+
+// Begin opens a transaction pinned to one wire connection. Until
+// Commit or Rollback, every statement from this driver uses it.
+func (c *Conn) Begin() error {
+	c.mu.Lock()
+	if c.txn != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("client: transaction already open")
+	}
+	c.mu.Unlock()
+	wc, _, err := c.get()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.txn = wc
+	c.mu.Unlock()
+	if _, err := c.Exec("BEGIN"); err != nil {
+		c.mu.Lock()
+		c.txn = nil
+		c.mu.Unlock()
+		c.put(wc)
+		return err
+	}
+	return nil
+}
+
+// Commit commits the open transaction and unpins its connection.
+func (c *Conn) Commit() error { return c.endTxn("COMMIT") }
+
+// Rollback aborts the open transaction and unpins its connection.
+func (c *Conn) Rollback() error { return c.endTxn("ROLLBACK") }
+
+func (c *Conn) endTxn(stmt string) error {
+	c.mu.Lock()
+	wc := c.txn
+	c.mu.Unlock()
+	if wc == nil {
+		return fmt.Errorf("client: no open transaction")
+	}
+	_, err := c.Exec(stmt)
+	c.mu.Lock()
+	c.txn = nil
+	c.mu.Unlock()
+	if err == nil {
+		c.put(wc)
+	}
+	return err
+}
+
+// Close tears down every pooled connection. An open transaction is
+// abandoned (the server rolls it back on disconnect).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.idle
+	c.idle = nil
+	if c.txn != nil {
+		conns = append(conns, c.txn)
+		c.txn = nil
+	}
+	c.mu.Unlock()
+	for _, wc := range conns {
+		wc.c.Close()
+	}
+	return nil
+}

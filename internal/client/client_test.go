@@ -1,0 +1,205 @@
+package client
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/server"
+	"ediflow/internal/types"
+)
+
+func start(t *testing.T) (*server.Server, *database.DB) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+// Dial must retry with backoff while the server comes up — the paper's
+// peers survive the DBMS machine booting after them.
+func TestDialRetryBackoff(t *testing.T) {
+	// Reserve an address, then free it so the first attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	db := database.MustOpenMemory()
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		if err := srv.Listen(addr); err != nil {
+			t.Error(err)
+		}
+	}()
+	defer srv.Close()
+
+	start := time.Now()
+	conn, err := Dial(addr, Options{DialRetries: 10, RetryBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial with retries failed after %v: %v", time.Since(start), err)
+	}
+	defer conn.Close()
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailsFastWithoutServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, Options{DialRetries: -1, DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial to dead address must fail")
+	}
+}
+
+// The pool must reuse connections rather than redialing per request.
+func TestPoolReusesConnections(t *testing.T) {
+	srv, _ := start(t)
+	conn, err := Dial(srv.Addr(), Options{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 50; i++ {
+		if err := conn.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc := srv.Accepted(); acc != 1 {
+		t.Fatalf("sequential pings used %d TCP connections, want 1", acc)
+	}
+}
+
+// Concurrent use grows the pool but stays bounded by demand.
+func TestPoolConcurrentUse(t *testing.T) {
+	srv, _ := start(t)
+	conn, err := Dial(srv.Addr(), Options{PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE p (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id := int64(g*10 + i)
+				if _, err := conn.Exec("INSERT INTO p VALUES (?)", types.NewInt(id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n, err := conn.QueryInt("SELECT COUNT(*) FROM p")
+	if err != nil || n != 160 {
+		t.Fatalf("count %d, %v", n, err)
+	}
+}
+
+func TestInsertRowRoundTrip(t *testing.T) {
+	srv, db := start(t)
+	conn, err := Dial(srv.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE ir (id INT PRIMARY KEY, name STRING, v FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	tid, err := conn.InsertRow("ir", map[string]types.Value{
+		"id": types.NewInt(7), "name": types.NewString("x"), "v": types.NewFloat(1.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid <= 0 {
+		t.Fatalf("tid %d", tid)
+	}
+	name, err := db.QueryString("SELECT name FROM ir WHERE id = 7")
+	if err != nil || name != "x" {
+		t.Fatalf("%q %v", name, err)
+	}
+}
+
+func TestUseAfterCloseFails(t *testing.T) {
+	srv, _ := start(t)
+	conn, err := Dial(srv.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := conn.Ping(); err == nil {
+		t.Fatal("ping after Close must fail")
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestClientTxnAPI(t *testing.T) {
+	srv, db := start(t)
+	conn, err := Dial(srv.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE tb (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Begin(); err == nil {
+		t.Fatal("nested Begin must fail")
+	}
+	if _, err := conn.Exec("INSERT INTO tb VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM tb")
+	if n != 0 {
+		t.Fatalf("rollback left %d rows", n)
+	}
+	if err := conn.Commit(); err == nil {
+		t.Fatal("commit without txn must fail")
+	}
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO tb VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = db.QueryInt("SELECT COUNT(*) FROM tb")
+	if n != 1 {
+		t.Fatalf("commit left %d rows", n)
+	}
+}

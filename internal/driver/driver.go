@@ -1,0 +1,32 @@
+// Package driver defines the minimal database surface shared by the
+// embedded engine (`internal/database`) and the network client
+// (`internal/client`). The §VI-C protocol layers — notify.Client and
+// tablesync.Mirror — are written against this interface, so a
+// visualization process runs unchanged whether the DBMS lives in the
+// same address space or on a server machine across the LAN (the paper's
+// Figure 3 deployment).
+package driver
+
+import (
+	"ediflow/internal/engine"
+	"ediflow/internal/types"
+)
+
+// Conn is one logical connection to an EdiFlow database. Both
+// *database.DB (embedded) and *client.Conn (remote, over the wire
+// protocol of internal/wire) satisfy it.
+type Conn interface {
+	// Exec runs one SQL statement with positional `?` parameters.
+	Exec(sql string, args ...types.Value) (*engine.Result, error)
+	// Query runs a SELECT.
+	Query(sql string, args ...types.Value) (*engine.Result, error)
+	// QueryValue runs a SELECT expected to return exactly one value.
+	QueryValue(sql string, args ...types.Value) (types.Value, error)
+	// NextID allocates a unique id for a table with an `id` column.
+	// Remote implementations must delegate to the server so concurrent
+	// sessions never collide.
+	NextID(table string) (int64, error)
+	// InsertRow inserts one row given column→value pairs, returning its
+	// tuple id.
+	InsertRow(table string, vals map[string]types.Value) (int64, error)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ediflow/internal/database"
+	"ediflow/internal/driver"
 	"ediflow/internal/types"
 )
 
@@ -15,7 +16,7 @@ import (
 // listening socket the DBMS dials back to, performs the HELLO/REPLY
 // handshake, and surfaces NOTIFY messages on C.
 type Client struct {
-	db     *database.DB
+	db     driver.Conn
 	Table  string
 	UserID int64
 
@@ -32,9 +33,24 @@ type Client struct {
 
 // Connect creates the client-side listener, registers the quadruplet in
 // ConnectedUser (protocol steps 1–4) and waits for the DBMS to complete
-// the handshake.
-func Connect(db *database.DB, user, table string) (*Client, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// the handshake. db may be the embedded database or a network client —
+// either way the registration INSERT reaches the DBMS, whose notifier
+// dials back. Connect assumes DBMS and client share a host (loopback);
+// use ConnectHost when the DBMS runs on another machine.
+func Connect(db driver.Conn, user, table string) (*Client, error) {
+	return connect(db, user, table, "127.0.0.1:0", "127.0.0.1")
+}
+
+// ConnectHost is Connect for a remote DBMS: the client listens on every
+// interface and registers advertiseHost, the address the server machine
+// can dial back to (the ip of the paper's (user, table, ip, port)
+// quadruplet).
+func ConnectHost(db driver.Conn, user, table, advertiseHost string) (*Client, error) {
+	return connect(db, user, table, ":0", advertiseHost)
+}
+
+func connect(db driver.Conn, user, table, listenAddr, advertiseHost string) (*Client, error) {
+	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +74,7 @@ func Connect(db *database.DB, user, table string) (*Client, error) {
 	_, err = db.Exec(
 		"INSERT INTO "+database.TableConnectedUser+" (id, username, host, port, tbl, last_seq) VALUES (?, ?, ?, ?, ?, 0)",
 		types.NewInt(id), types.NewString(user),
-		types.NewString("127.0.0.1"), types.NewInt(int64(addr.Port)),
+		types.NewString(advertiseHost), types.NewInt(int64(addr.Port)),
 		types.NewString(table),
 	)
 	if err != nil {

@@ -1,0 +1,54 @@
+package notify
+
+import (
+	"strings"
+	"testing"
+)
+
+// The protocol reads single text lines off sockets peers control:
+// malicious or truncated lines must come back as errors, never panics.
+// Run with `go test -fuzz FuzzParseMessage ./internal/notify`.
+
+func FuzzParseMessage(f *testing.F) {
+	f.Add("HELLO EDIFLOW/1")
+	f.Add("REPLY EDIFLOW/1")
+	f.Add("NOTIFY nodes 42 INSERT")
+	f.Add("DISCONNECT")
+	f.Add("NOTIFY nodes 99999999999999999999 INSERT") // overflow seq
+	f.Add("NOTIFY  x  y  z  w")
+	f.Add("")
+	f.Add("\r\n")
+	f.Add(strings.Repeat("A", 4096))
+	f.Fuzz(func(t *testing.T, line string) {
+		msg, err := ParseMessage(line)
+		if err != nil {
+			return
+		}
+		// Every accepted message must format back into a line that
+		// parses to the same message (wire stability).
+		again, err := ParseMessage(msg.Format())
+		if err != nil {
+			t.Fatalf("Format %q of accepted %q does not re-parse: %v", msg.Format(), line, err)
+		}
+		if again != msg {
+			t.Fatalf("round trip changed message: %+v != %+v", again, msg)
+		}
+	})
+}
+
+func FuzzDecodeTIDs(f *testing.F) {
+	f.Add("")
+	f.Add("1,2,3")
+	f.Add("-9,0")
+	f.Add(",,,")
+	f.Add("18446744073709551616") // > int64
+	f.Fuzz(func(t *testing.T, s string) {
+		tids, err := DecodeTIDs(s)
+		if err != nil {
+			return
+		}
+		if EncodeTIDs(tids) == "" && len(tids) > 0 {
+			t.Fatal("non-empty tids encoded to empty string")
+		}
+	})
+}

@@ -13,15 +13,42 @@ import (
 	"ediflow/internal/types"
 )
 
+// Default network budgets. One dead or stalled client must never hold
+// up NOTIFY delivery to the others, so dials happen asynchronously with
+// a connect timeout and every send goes through a bounded per-connection
+// queue drained by its own writer goroutine under a write deadline.
+const (
+	defaultDialTimeout  = 2 * time.Second
+	defaultWriteTimeout = 5 * time.Second
+	sendQueueLen        = 256
+)
+
 // Notifier is the DBMS side of the protocol. It observes every change
 // event, appends compact tuples to the Notification table, and pushes
 // NOTIFY lines to each ConnectedUser socket registered for the table.
 type Notifier struct {
 	db *database.DB
 
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+
 	mu     sync.Mutex
 	conns  map[int64]*serverConn // ConnectedUser id → connection
 	closed bool
+	wg     sync.WaitGroup // dial + writer goroutines
+}
+
+// NotifierOption tunes NewNotifier.
+type NotifierOption func(*Notifier)
+
+// WithDialTimeout bounds the dial-back connect + handshake to a client.
+func WithDialTimeout(d time.Duration) NotifierOption {
+	return func(n *Notifier) { n.dialTimeout = d }
+}
+
+// WithWriteTimeout bounds each NOTIFY write to a client socket.
+func WithWriteTimeout(d time.Duration) NotifierOption {
+	return func(n *Notifier) { n.writeTimeout = d }
 }
 
 type serverConn struct {
@@ -29,14 +56,23 @@ type serverConn struct {
 	table string
 	c     net.Conn
 	w     *bufio.Writer
-	mu    sync.Mutex
+	out   chan string   // pending NOTIFY lines
+	done  chan struct{} // closed when the writer goroutine exits
 }
 
 // NewNotifier attaches a notifier to the database and dials back any
 // registrations already present in ConnectedUser (recovery after restart:
 // stale entries that refuse the connection are removed).
-func NewNotifier(db *database.DB) (*Notifier, error) {
-	n := &Notifier{db: db, conns: map[int64]*serverConn{}}
+func NewNotifier(db *database.DB, opts ...NotifierOption) (*Notifier, error) {
+	n := &Notifier{
+		db:           db,
+		conns:        map[int64]*serverConn{},
+		dialTimeout:  defaultDialTimeout,
+		writeTimeout: defaultWriteTimeout,
+	}
+	for _, o := range opts {
+		o(n)
+	}
 	db.Observe(n.onChange)
 	if err := n.reconnectExisting(); err != nil {
 		return nil, err
@@ -78,7 +114,9 @@ func skipTable(name string) bool {
 
 // onChange is the engine observer: the paper's statement-level trigger
 // body (§VI-B compiles UP statements into triggers; the notifier is the
-// always-on trigger feeding visualization clients).
+// always-on trigger feeding visualization clients). It must return
+// quickly — registration dial-backs run in their own goroutine and
+// NOTIFY delivery only enqueues onto per-connection send queues.
 func (n *Notifier) onChange(ev engine.ChangeEvent) {
 	n.mu.Lock()
 	if n.closed {
@@ -88,7 +126,9 @@ func (n *Notifier) onChange(ev engine.ChangeEvent) {
 	n.mu.Unlock()
 
 	// New registration: the DBMS connects back to the client (step 5 of
-	// the paper's protocol).
+	// the paper's protocol). The dial happens off the observer path so a
+	// dead address (connect timeout) cannot stall statement dispatch or
+	// delivery to healthy clients.
 	if strings.EqualFold(ev.Table, database.TableConnectedUser) {
 		if ev.Op == engine.OpInsert {
 			for _, row := range ev.Rows {
@@ -97,9 +137,13 @@ func (n *Notifier) onChange(ev engine.ChangeEvent) {
 				host := row[2].Str()
 				port := row[3].Int()
 				table := row[4].Str()
-				if err := n.dial(id, host, port, table); err != nil {
-					n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
-				}
+				n.wg.Add(1)
+				go func() {
+					defer n.wg.Done()
+					if err := n.dial(id, host, port, table); err != nil {
+						n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+					}
+				}()
 			}
 		}
 		return
@@ -121,43 +165,51 @@ func (n *Notifier) onChange(ev engine.ChangeEvent) {
 		return
 	}
 
-	// Push NOTIFY to each client watching this table.
+	// Push NOTIFY to each client watching this table. Enqueue is
+	// non-blocking: if a client's queue is full (stalled reader), the
+	// line is dropped — safe, because mirrors re-read everything past
+	// their last_seq from the Notification table on the next refresh.
 	msg := Message{Verb: MsgNotify, Table: ev.Table, Seq: ev.Seq, Op: string(ev.Op)}
 	line := msg.Format() + "\n"
 	n.mu.Lock()
-	targets := make([]*serverConn, 0, len(n.conns))
 	for _, sc := range n.conns {
 		if strings.EqualFold(sc.table, ev.Table) {
-			targets = append(targets, sc)
+			select {
+			case sc.out <- line:
+			default:
+			}
 		}
 	}
 	n.mu.Unlock()
-	for _, sc := range targets {
-		if err := sc.send(line); err != nil {
+}
+
+// writeLoop drains one connection's send queue. A write that exceeds the
+// deadline marks the client dead and drops it.
+func (n *Notifier) writeLoop(sc *serverConn) {
+	defer n.wg.Done()
+	defer close(sc.done)
+	for line := range sc.out {
+		sc.c.SetWriteDeadline(time.Now().Add(n.writeTimeout))
+		if _, err := sc.w.WriteString(line); err != nil {
 			n.drop(sc.id)
+			return
+		}
+		if err := sc.w.Flush(); err != nil {
+			n.drop(sc.id)
+			return
 		}
 	}
 }
 
-func (sc *serverConn) send(line string) error {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	sc.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if _, err := sc.w.WriteString(line); err != nil {
-		return err
-	}
-	return sc.w.Flush()
-}
-
 // dial connects back to a registered client and performs the
-// HELLO/REPLY handshake (protocol steps 5–6).
+// HELLO/REPLY handshake (protocol steps 5–6) under the connect timeout.
 func (n *Notifier) dial(id int64, host string, port int64, table string) error {
-	c, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", host, port), 2*time.Second)
+	c, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", host, port), n.dialTimeout)
 	if err != nil {
 		return err
 	}
 	r := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c.SetReadDeadline(time.Now().Add(n.dialTimeout))
 	line, err := r.ReadString('\n')
 	if err != nil {
 		c.Close()
@@ -169,6 +221,7 @@ func (n *Notifier) dial(id int64, host string, port int64, table string) error {
 		return fmt.Errorf("notify: expected HELLO, got %q", line)
 	}
 	w := bufio.NewWriter(c)
+	c.SetWriteDeadline(time.Now().Add(n.writeTimeout))
 	if _, err := w.WriteString(Message{Verb: MsgReply}.Format() + "\n"); err != nil {
 		c.Close()
 		return err
@@ -178,10 +231,19 @@ func (n *Notifier) dial(id int64, host string, port int64, table string) error {
 		return err
 	}
 	c.SetReadDeadline(time.Time{})
-	sc := &serverConn{id: id, table: table, c: c, w: w}
+	c.SetWriteDeadline(time.Time{})
+	sc := &serverConn{id: id, table: table, c: c, w: w,
+		out: make(chan string, sendQueueLen), done: make(chan struct{})}
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return fmt.Errorf("notify: notifier closed")
+	}
 	n.conns[id] = sc
 	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.writeLoop(sc)
 	// Read loop: waits for DISCONNECT (protocol step 10) or EOF.
 	go func() {
 		for {
@@ -211,6 +273,7 @@ func (n *Notifier) drop(id int64) {
 	n.mu.Unlock()
 	if ok {
 		sc.c.Close()
+		close(sc.out) // writer goroutine exits after draining
 	}
 	if ok && !closed {
 		n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
@@ -282,5 +345,7 @@ func (n *Notifier) Close() {
 	n.mu.Unlock()
 	for _, sc := range conns {
 		sc.c.Close()
+		close(sc.out)
 	}
+	n.wg.Wait()
 }

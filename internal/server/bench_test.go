@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ediflow/internal/client"
+	"ediflow/internal/database"
+	"ediflow/internal/types"
+)
+
+// benchServer starts a loopback server over a seeded table.
+func benchServer(b *testing.B, rows int) (*Server, *database.DB) {
+	b.Helper()
+	db := database.MustOpenMemory()
+	if _, err := db.Exec("CREATE TABLE bench (id INT PRIMARY KEY, grp INT, v FLOAT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i += 500 {
+		sql := "INSERT INTO bench VALUES "
+		for j := i; j < i+500 && j < rows; j++ {
+			if j > i {
+				sql += ", "
+			}
+			sql += fmt.Sprintf("(%d, %d, %f)", j, j%10, float64(j)*0.5)
+		}
+		if _, err := db.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := New(db, Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+// BenchmarkServerQueryParallel measures the serving path under N
+// concurrent sessions issuing point SELECTs over loopback TCP — the
+// interactive read path of the paper's deployment (Fig. 3), where every
+// EdiFlow peer queries the DBMS machine across the network. Compare
+// with BenchmarkServerQuerySequential for the concurrency win and with
+// embedded engine benches for the wire tax.
+func BenchmarkServerQueryParallel(b *testing.B) {
+	srv, _ := benchServer(b, 5000)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := client.Dial(srv.Addr(), client.Options{})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		for pb.Next() {
+			id := ctr.Add(1) % 5000
+			res, err := conn.Query("SELECT id, grp, v FROM bench WHERE id = ?", types.NewInt(id))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(res.Rows) != 1 {
+				b.Errorf("id %d: %d rows", id, len(res.Rows))
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServerQuerySequential is the single-session baseline for the
+// parallel bench above.
+func BenchmarkServerQuerySequential(b *testing.B) {
+	srv, _ := benchServer(b, 5000)
+	conn, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(i % 5000)
+		if _, err := conn.Query("SELECT id, grp, v FROM bench WHERE id = ?", types.NewInt(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerExecParallel measures concurrent remote writes (each
+// session inserting distinct keys), the wire-served counterpart of the
+// engine's insert path.
+func BenchmarkServerExecParallel(b *testing.B) {
+	srv, _ := benchServer(b, 0)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := client.Dial(srv.Addr(), client.Options{})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		for pb.Next() {
+			id := ctr.Add(1)
+			if _, err := conn.Exec("INSERT INTO bench VALUES (?, ?, ?)",
+				types.NewInt(id), types.NewInt(id%10), types.NewFloat(0.5)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package server runs an EdiFlow database as a standalone network
+// service, the DBMS box of the paper's deployment architecture (Fig. 3,
+// §VII: the DBMS on its own server machine, EdiFlow peers connecting
+// over the LAN). It accepts TCP connections, speaks the length-prefixed
+// binary protocol of internal/wire, and executes statements against the
+// embedded engine — one goroutine per session, a session table with
+// per-session statistics, and graceful shutdown that drains in-flight
+// statements before closing sockets.
+//
+// Transactions: the embedded engine has a single global transaction, so
+// the server serializes them — BEGIN takes a server-wide write baton
+// that is released at COMMIT/ROLLBACK (or forcibly rolled back when the
+// holding session disconnects). Writes from other sessions queue on the
+// baton while a transaction is open, which keeps their effects out of
+// the open transaction's undo log.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ediflow/internal/database"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// ReadTimeout is the per-session idle limit: a session that sends
+	// no frame for this long is disconnected. 0 means no limit.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write (default 10s).
+	WriteTimeout time.Duration
+	// MaxFrameBytes caps one request frame (default wire.MaxFrame).
+	MaxFrameBytes int
+	// DrainTimeout bounds how long Close waits for in-flight statements
+	// before force-closing their connections (default 5s).
+	DrainTimeout time.Duration
+	// Logf receives progress messages (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// SessionInfo is one row of the session table.
+type SessionInfo struct {
+	ID         uint64
+	Remote     string
+	Client     string // name announced in HELLO
+	Started    time.Time
+	LastActive time.Time
+	Statements int64 // frames executed
+	Errors     int64 // statements that returned an error
+	InTxn      bool
+}
+
+// Server is a listening EdiFlow DBMS.
+type Server struct {
+	db  *database.DB
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextSess uint64
+	accepted uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	// txnMu is the write baton (see package comment). txnHolder is the
+	// session currently holding an open engine transaction, nil if the
+	// baton is only held for the duration of one statement.
+	txnMu     sync.Mutex
+	holderMu  sync.Mutex
+	txnHolder *session
+}
+
+// New wraps an opened database in a server. The caller keeps ownership
+// of db; Close does not close it.
+func New(db *database.DB, cfg Config) *Server {
+	return &Server{db: db, cfg: cfg.withDefaults(), sessions: map[uint64]*session{}}
+}
+
+// Listen binds addr (e.g. ":7687", "127.0.0.1:0") and starts the accept
+// loop in a background goroutine. Use Addr to learn the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	s.cfg.Logf("ediserver: listening on %s", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.nextSess++
+		s.accepted++
+		ss := newSession(s, s.nextSess, c)
+		s.sessions[ss.id] = ss
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ss.serve()
+			s.removeSession(ss)
+		}()
+	}
+}
+
+func (s *Server) removeSession(ss *session) {
+	s.mu.Lock()
+	delete(s.sessions, ss.id)
+	s.mu.Unlock()
+}
+
+// Sessions returns a snapshot of the session table, ordered by id.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	list := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		list = append(list, ss)
+	}
+	s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(list))
+	for _, ss := range list {
+		out = append(out, ss.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Accepted returns the total number of sessions ever accepted.
+func (s *Server) Accepted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted
+}
+
+// holder reports whether ss currently holds the transaction baton.
+func (s *Server) holder() *session {
+	s.holderMu.Lock()
+	defer s.holderMu.Unlock()
+	return s.txnHolder
+}
+
+func (s *Server) setHolder(ss *session) {
+	s.holderMu.Lock()
+	s.txnHolder = ss
+	s.holderMu.Unlock()
+}
+
+// Close stops accepting, asks every session to stop, waits up to
+// DrainTimeout for in-flight statements to finish, then force-closes
+// whatever remains. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	list := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		list = append(list, ss)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, ss := range list {
+		ss.stop() // closes idle sessions now; busy ones finish their statement
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.cfg.Logf("ediserver: drain timeout, force-closing %d session(s)", len(list))
+		for _, ss := range list {
+			ss.conn.Close()
+		}
+		<-done
+	}
+	return nil
+}
+
+// String implements fmt.Stringer for log lines.
+func (s *Server) String() string {
+	return fmt.Sprintf("ediserver(%s, %d sessions)", s.Addr(), s.SessionCount())
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ediflow/internal/client"
+	"ediflow/internal/database"
+	"ediflow/internal/types"
+	"ediflow/internal/wire"
+)
+
+// startServer brings up a server on loopback and returns it with its
+// database and a connected client.
+func startServer(t *testing.T, cfg Config) (*Server, *database.DB, *client.Conn) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	srv := New(db, cfg)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		conn.Close()
+		srv.Close()
+		db.Close()
+	})
+	return srv, db, conn
+}
+
+func TestExecQueryOverWire(t *testing.T) {
+	_, db, conn := startServer(t, Config{})
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, name STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 || len(res.TIDs) != 2 {
+		t.Fatalf("affected=%d tids=%v", res.Affected, res.TIDs)
+	}
+	q, err := conn.Query("SELECT id, name FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 2 || q.Rows[1][1].Str() != "b" {
+		t.Fatalf("%v", q.Rows)
+	}
+	// The remote write really landed in the server's database.
+	n, err := db.QueryInt("SELECT COUNT(*) FROM t")
+	if err != nil || n != 2 {
+		t.Fatalf("server-side count %d, %v", n, err)
+	}
+	// QueryValue / QueryInt / parameters.
+	v, err := conn.QueryValue("SELECT name FROM t WHERE id = ?", types.NewInt(1))
+	if err != nil || v.Str() != "a" {
+		t.Fatalf("%v %v", v, err)
+	}
+	if _, err := conn.QueryValue("SELECT id FROM t"); err == nil {
+		t.Fatal("multi-row QueryValue must fail")
+	}
+}
+
+func TestStatementErrorsKeepSessionAlive(t *testing.T) {
+	srv, _, conn := startServer(t, Config{})
+	if _, err := conn.Exec("SELECT FROM nonsense ("); err == nil {
+		t.Fatal("parse error must surface")
+	}
+	if _, err := conn.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("unknown table must surface")
+	}
+	// Same session still works.
+	if _, err := conn.Exec("CREATE TABLE ok (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	infos := srv.Sessions()
+	if len(infos) != 1 || infos[0].Errors < 2 || infos[0].Statements < 3 {
+		t.Fatalf("session stats %+v", infos)
+	}
+}
+
+func TestExecScriptOverWire(t *testing.T) {
+	_, _, conn := startServer(t, Config{})
+	res, err := conn.ExecScript(`
+		CREATE TABLE s (id INT PRIMARY KEY, v FLOAT);
+		INSERT INTO s VALUES (1, 0.5);
+		SELECT COUNT(*) FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestNextIDOverWire(t *testing.T) {
+	_, db, conn := startServer(t, Config{})
+	if _, err := db.Exec("CREATE TABLE ids (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id, err := conn.NextID("ids")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 160 {
+		t.Fatalf("got %d unique ids", len(seen))
+	}
+}
+
+func TestTableNamesAndPing(t *testing.T) {
+	_, _, conn := startServer(t, Config{})
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := conn.TableNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == database.TableNotification {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("system tables missing from %v", names)
+	}
+}
+
+// Acceptance: ≥ 32 concurrent sessions, each doing parallel Exec and
+// Query, race-clean end to end.
+func TestManyConcurrentSessions(t *testing.T) {
+	const sessions = 32
+	const opsPer = 15
+	srv, db, admin := startServer(t, Config{})
+	if _, err := admin.Exec("CREATE TABLE load (id INT PRIMARY KEY, sess INT, v FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(sess int) {
+			defer wg.Done()
+			conn, err := client.Dial(srv.Addr(), client.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < opsPer; i++ {
+				id := sess*opsPer + i
+				if _, err := conn.Exec("INSERT INTO load VALUES (?, ?, ?)",
+					types.NewInt(int64(id)), types.NewInt(int64(sess)), types.NewFloat(float64(i))); err != nil {
+					errs <- fmt.Errorf("session %d insert %d: %w", sess, i, err)
+					return
+				}
+				if _, err := conn.Query("SELECT COUNT(*) FROM load WHERE sess = ?",
+					types.NewInt(int64(sess))); err != nil {
+					errs <- fmt.Errorf("session %d query %d: %w", sess, i, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, err := db.QueryInt("SELECT COUNT(*) FROM load")
+	if err != nil || n != sessions*opsPer {
+		t.Fatalf("rows %d (want %d), %v", n, sessions*opsPer, err)
+	}
+	if srv.Accepted() < sessions {
+		t.Fatalf("accepted %d sessions", srv.Accepted())
+	}
+}
+
+// Transactions from one session must not absorb concurrent writes from
+// others, and must roll back when their session dies mid-flight.
+func TestTransactionSerialization(t *testing.T) {
+	srv, db, conn := startServer(t, Config{})
+	if _, err := conn.Exec("CREATE TABLE tx (id INT PRIMARY KEY, who STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO tx VALUES (1, 'txn')"); err != nil {
+		t.Fatal(err)
+	}
+	// A second session's write queues on the baton until commit.
+	other, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := other.Exec("INSERT INTO tx VALUES (2, 'other')")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("concurrent write finished during open transaction: %v", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if err := conn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM tx")
+	if n != 2 {
+		t.Fatalf("rows %d", n)
+	}
+
+	// Abandoned transaction: session drops mid-txn → server rolls back.
+	dying, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dying.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dying.Exec("INSERT INTO tx VALUES (3, 'doomed')"); err != nil {
+		t.Fatal(err)
+	}
+	dying.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n, _ := db.QueryInt("SELECT COUNT(*) FROM tx")
+		if n == 2 && !db.InTxn() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned txn not rolled back: %d rows, inTxn=%v", n, db.InTxn())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The baton is free again.
+	if _, err := conn.Exec("INSERT INTO tx VALUES (4, 'after')"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Graceful shutdown drains the statement in flight and refuses new work.
+func TestGracefulShutdownDrains(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	srv := New(db, Config{DrainTimeout: 10 * time.Second})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE d (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	// Launch a burst of inserts and close the server while they run:
+	// every statement must either complete fully or fail cleanly —
+	// no session may hang.
+	var wg sync.WaitGroup
+	results := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := conn.Exec("INSERT INTO d VALUES (?)", types.NewInt(int64(i)))
+			results <- err
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(results)
+	ok := 0
+	for err := range results {
+		if err == nil {
+			ok++
+		}
+	}
+	n, err := db.QueryInt("SELECT COUNT(*) FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) < ok {
+		t.Fatalf("%d acknowledged inserts but %d rows", ok, n)
+	}
+	// New dials are refused.
+	if _, err := client.Dial(srv.Addr(), client.Options{DialRetries: -1, DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial after Close must fail")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	srv := New(db, Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.FrameHello, wire.EncodeHello(99, "old")); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(3 * time.Second))
+	typ, payload, err := wire.ReadFrame(nc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.FrameError {
+		t.Fatalf("got frame 0x%02x", typ)
+	}
+	if msg, _ := wire.DecodeError(payload); msg == "" {
+		t.Fatal("empty rejection message")
+	}
+}
+
+func TestSessionTable(t *testing.T) {
+	srv, _, conn := startServer(t, Config{})
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	infos := srv.Sessions()
+	if len(infos) != 1 {
+		t.Fatalf("%d sessions", len(infos))
+	}
+	in := infos[0]
+	if in.Client != "ediflow-go" || in.Remote == "" || in.Statements < 1 || in.InTxn {
+		t.Fatalf("%+v", in)
+	}
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"net"
+
+	"ediflow/internal/engine"
+	"ediflow/internal/wire"
+)
+
+// session is one connected client, served by one goroutine.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	started time.Time
+	client  string // HELLO client name
+
+	stmts      atomic.Int64
+	errs       atomic.Int64
+	lastActive atomic.Int64 // unix nanos
+
+	// stateMu guards busy/stopping: stop() may only close the socket
+	// while the session is parked in a read, never mid-statement —
+	// that is what "draining in-flight statements" means.
+	stateMu  sync.Mutex
+	busy     bool
+	stopping bool
+
+	inTxn bool // baton held across statements (session goroutine only)
+}
+
+func newSession(s *Server, id uint64, c net.Conn) *session {
+	ss := &session{
+		id:      id,
+		srv:     s,
+		conn:    c,
+		r:       bufio.NewReader(c),
+		w:       bufio.NewWriter(c),
+		started: time.Now(),
+	}
+	ss.lastActive.Store(time.Now().UnixNano())
+	return ss
+}
+
+func (ss *session) info() SessionInfo {
+	ss.stateMu.Lock()
+	client := ss.client
+	ss.stateMu.Unlock()
+	return SessionInfo{
+		ID:         ss.id,
+		Remote:     ss.conn.RemoteAddr().String(),
+		Client:     client,
+		Started:    ss.started,
+		LastActive: time.Unix(0, ss.lastActive.Load()),
+		Statements: ss.stmts.Load(),
+		Errors:     ss.errs.Load(),
+		InTxn:      ss.srv.holder() == ss,
+	}
+}
+
+// stop asks the session to exit. Idle sessions (parked in a read) are
+// unblocked by closing the socket; busy ones observe the flag after
+// writing their current response.
+func (ss *session) stop() {
+	ss.stateMu.Lock()
+	ss.stopping = true
+	busy := ss.busy
+	ss.stateMu.Unlock()
+	if !busy {
+		ss.conn.Close()
+	}
+}
+
+// beginWork transitions idle→busy; returns false if the session should
+// exit instead.
+func (ss *session) beginWork() bool {
+	ss.stateMu.Lock()
+	defer ss.stateMu.Unlock()
+	if ss.stopping {
+		return false
+	}
+	ss.busy = true
+	return true
+}
+
+// endWork transitions busy→idle; returns false if a stop arrived while
+// the statement ran.
+func (ss *session) endWork() bool {
+	ss.stateMu.Lock()
+	defer ss.stateMu.Unlock()
+	ss.busy = false
+	return !ss.stopping
+}
+
+func (ss *session) serve() {
+	defer ss.cleanup()
+	if err := ss.handshake(); err != nil {
+		ss.srv.cfg.Logf("ediserver: session %d handshake: %v", ss.id, err)
+		return
+	}
+	for {
+		if ss.srv.cfg.ReadTimeout > 0 {
+			ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.ReadTimeout))
+		}
+		typ, payload, err := wire.ReadFrame(ss.r, ss.srv.cfg.MaxFrameBytes)
+		if err != nil {
+			return // disconnect, idle timeout, or stop() closed the socket
+		}
+		if !ss.beginWork() {
+			return
+		}
+		ss.lastActive.Store(time.Now().UnixNano())
+		ss.stmts.Add(1)
+		err = ss.dispatch(typ, payload)
+		cont := ss.endWork()
+		if err != nil || !cont {
+			return
+		}
+	}
+}
+
+// handshake performs HELLO→WELCOME with a fixed 10s budget.
+func (ss *session) handshake() error {
+	ss.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer ss.conn.SetDeadline(time.Time{})
+	typ, payload, err := wire.ReadFrame(ss.r, ss.srv.cfg.MaxFrameBytes)
+	if err != nil {
+		return err
+	}
+	if typ != wire.FrameHello {
+		return fmt.Errorf("expected HELLO, got frame 0x%02x", typ)
+	}
+	version, name, err := wire.DecodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if version != wire.Version {
+		ss.reply(wire.FrameError, wire.EncodeError(fmt.Sprintf(
+			"protocol version %d not supported (server speaks %d)", version, wire.Version)))
+		return fmt.Errorf("client speaks version %d", version)
+	}
+	ss.stateMu.Lock()
+	ss.client = name
+	ss.stateMu.Unlock()
+	return ss.reply(wire.FrameWelcome, wire.EncodeWelcome(wire.Version, ss.id))
+}
+
+// dispatch handles one request frame. A returned error is fatal to the
+// session (write failure); statement errors go back as Error frames.
+func (ss *session) dispatch(typ byte, payload []byte) error {
+	switch typ {
+	case wire.FramePing:
+		return ss.reply(wire.FramePong, nil)
+
+	case wire.FrameExec:
+		script, sql, args, err := wire.DecodeExec(payload)
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		res, err := ss.execSerialized(func() (*engine.Result, error) {
+			if script {
+				return ss.srv.db.ExecScript(sql, args...)
+			}
+			return ss.srv.db.Exec(sql, args...)
+		})
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		return ss.reply(wire.FrameResult, wire.EncodeResult(res))
+
+	case wire.FrameQuery:
+		sql, args, err := wire.DecodeQuery(payload)
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		res, err := ss.srv.db.Query(sql, args...)
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		return ss.reply(wire.FrameResult, wire.EncodeResult(res))
+
+	case wire.FrameNextID:
+		table, err := wire.DecodeString(payload)
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		id, err := ss.srv.db.NextID(table)
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		return ss.reply(wire.FrameID, wire.EncodeID(id))
+
+	case wire.FrameTables:
+		return ss.reply(wire.FrameNames, wire.EncodeNames(ss.srv.db.TableNames()))
+	}
+	return ss.sendErr(fmt.Errorf("server: unknown frame type 0x%02x", typ))
+}
+
+// execSerialized runs a mutating statement under the transaction baton.
+// If this session already holds the baton (open transaction), it runs
+// directly; otherwise the baton is taken for the statement and kept iff
+// the statement opened a transaction (BEGIN, or a script ending inside
+// one). The engine's InTxn is the single source of truth, so scripts
+// containing BEGIN/COMMIT behave correctly too.
+func (ss *session) execSerialized(run func() (*engine.Result, error)) (*engine.Result, error) {
+	held := ss.inTxn
+	if !held {
+		ss.srv.txnMu.Lock()
+	}
+	res, err := run()
+	nowIn := ss.srv.db.InTxn()
+	if !held {
+		if nowIn {
+			ss.srv.setHolder(ss)
+			ss.inTxn = true // keep txnMu locked until commit/rollback
+		} else {
+			ss.srv.txnMu.Unlock()
+		}
+	} else if !nowIn {
+		ss.srv.setHolder(nil)
+		ss.inTxn = false
+		ss.srv.txnMu.Unlock()
+	}
+	return res, err
+}
+
+// cleanup rolls back an abandoned transaction and closes the socket.
+func (ss *session) cleanup() {
+	if ss.inTxn {
+		if _, err := ss.srv.db.Exec("ROLLBACK"); err != nil {
+			ss.srv.cfg.Logf("ediserver: session %d rollback on disconnect: %v", ss.id, err)
+		}
+		ss.srv.setHolder(nil)
+		ss.inTxn = false
+		ss.srv.txnMu.Unlock()
+	}
+	ss.conn.Close()
+}
+
+func (ss *session) sendErr(err error) error {
+	ss.errs.Add(1)
+	return ss.reply(wire.FrameError, wire.EncodeError(err.Error()))
+}
+
+func (ss *session) reply(typ byte, payload []byte) error {
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+	if err := wire.WriteFrame(ss.w, typ, payload); err != nil {
+		return err
+	}
+	return ss.w.Flush()
+}

@@ -22,6 +22,7 @@ import (
 
 	"ediflow/internal/catalog"
 	"ediflow/internal/database"
+	"ediflow/internal/driver"
 	"ediflow/internal/notify"
 	"ediflow/internal/types"
 )
@@ -34,7 +35,7 @@ type Row struct {
 
 // Mirror is the client-side in-memory image of one table.
 type Mirror struct {
-	db    *database.DB
+	db    driver.Conn
 	cl    *notify.Client
 	table string
 
@@ -50,8 +51,9 @@ type Mirror struct {
 }
 
 // NewMirror connects the notification client and performs the initial
-// load.
-func NewMirror(db *database.DB, user, table string) (*Mirror, error) {
+// load. db may be the embedded database or a network client (the
+// paper's remote R_M over the LAN): the mirror code is identical.
+func NewMirror(db driver.Conn, user, table string) (*Mirror, error) {
 	cl, err := notify.Connect(db, user, table)
 	if err != nil {
 		return nil, err

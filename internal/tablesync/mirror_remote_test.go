@@ -1,0 +1,141 @@
+package tablesync
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ediflow/internal/client"
+	"ediflow/internal/database"
+	"ediflow/internal/notify"
+	"ediflow/internal/server"
+	"ediflow/internal/types"
+)
+
+// setupRemote runs the full deployment of the paper's Fig. 3: the DBMS
+// (with its notifier) behind a TCP server, and a mirror whose every
+// statement travels the wire through a client connection. The notifier
+// dials the mirror's listener back over loopback.
+func setupRemote(t *testing.T) (*database.DB, *client.Conn) {
+	t.Helper()
+	db := database.MustOpenMemory()
+	n, err := notify.NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		conn.Close()
+		srv.Close()
+		n.Close()
+		db.Close()
+	})
+	if _, err := conn.Exec("CREATE TABLE nodes (id INT PRIMARY KEY, x FLOAT, y FLOAT, label STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	return db, conn
+}
+
+// The §VI-C registration round trip over the wire: the INSERT into
+// ConnectedUser arrives via FrameExec, and the server-side notifier
+// dials back to the remote mirror's listener.
+func TestRemoteMirrorBasic(t *testing.T) {
+	_, conn := setupRemote(t)
+	if _, err := conn.Exec("INSERT INTO nodes VALUES (1, 0.5, 0.5, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMirror(conn, "remote-viz", "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 1 {
+		t.Fatalf("initial load over wire: %d rows", m.Len())
+	}
+	if _, err := conn.Exec("INSERT INTO nodes VALUES (2, 1.0, 2.0, 'b')"); err != nil {
+		t.Fatal(err)
+	}
+	refreshUntil(t, m, func() bool { return m.Len() == 2 })
+}
+
+// Write-back over the wire: a visual-side edit lands in the server's
+// table through the client connection.
+func TestRemoteMirrorWriteBack(t *testing.T) {
+	db, conn := setupRemote(t)
+	if _, err := conn.Exec("INSERT INTO nodes VALUES (1, 0.0, 0.0, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMirror(conn, "remote-viz", "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	snap := m.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("%d rows", len(snap))
+	}
+	if err := m.UpdateRow(snap[0].TID, map[string]types.Value{
+		"label": types.NewString("edited"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.QueryString("SELECT label FROM nodes WHERE id = 1")
+	if err != nil || got != "edited" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+// The convergence property test of mirror_test.go, but with the mirror
+// on the far side of the wire: after a random stream of remote
+// operations, the remote mirror equals the server's table exactly.
+func TestRemoteMirrorConvergesToTable(t *testing.T) {
+	_, conn := setupRemote(t)
+	m, err := NewMirror(conn, "remote-viz", "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	rng := rand.New(rand.NewSource(99))
+	live := map[int64]bool{}
+	next := int64(0)
+	for step := 0; step < 200; step++ {
+		op := rng.Intn(3)
+		if len(live) == 0 {
+			op = 0
+		}
+		switch op {
+		case 0:
+			next++
+			conn.Exec(fmt.Sprintf("INSERT INTO nodes VALUES (%d, %f, %f, 'n%d')", next, rng.Float64(), rng.Float64(), next))
+			live[next] = true
+		case 1:
+			id := anyKey(rng, live)
+			conn.Exec(fmt.Sprintf("UPDATE nodes SET x = %f WHERE id = %d", rng.Float64(), id))
+		case 2:
+			id := anyKey(rng, live)
+			conn.Exec(fmt.Sprintf("DELETE FROM nodes WHERE id = %d", id))
+			delete(live, id)
+		}
+	}
+	refreshUntil(t, m, func() bool { return m.Len() == len(live) })
+	res, err := conn.Query("SELECT _tid, id, x, y, label FROM nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		mr, ok := m.Get(r[0].Int())
+		if !ok {
+			t.Fatalf("mirror missing tid %d", r[0].Int())
+		}
+		if !types.RowsEqual(mr, r[1:]) {
+			t.Fatalf("mirror row %v != table row %v", mr, r[1:])
+		}
+	}
+}

@@ -111,6 +111,12 @@ func DecodeRow(buf []byte) (Row, int, error) {
 		return nil, 0, fmt.Errorf("types: short row header")
 	}
 	off := w
+	// Each value costs at least its kind byte; a row claiming more
+	// values than remaining bytes is malformed. Checking before the
+	// allocation keeps hostile headers from forcing huge make() calls.
+	if n > uint64(len(buf)-off) {
+		return nil, 0, fmt.Errorf("types: row claims %d values in %d bytes", n, len(buf)-off)
+	}
 	row := make(Row, 0, n)
 	for i := uint64(0); i < n; i++ {
 		v, used, err := DecodeValue(buf[off:])

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"ediflow/internal/engine"
+	"ediflow/internal/types"
+)
+
+// The decoders face the network: arbitrary bytes must produce errors,
+// never panics and never allocations sized by unbacked length claims.
+// Run with `go test -fuzz FuzzDecodeFrame ./internal/wire`.
+
+func FuzzDecodeFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, FrameExec, EncodeExec(false, "SELECT 1", nil))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 1, FramePing})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		// A structurally valid frame: its payload must also decode
+		// without panicking, whatever the type byte says.
+		DecodeHello(payload)
+		DecodeWelcome(payload)
+		DecodeExec(payload)
+		DecodeQuery(payload)
+		DecodeResult(payload)
+		DecodeError(payload)
+		DecodeID(payload)
+		DecodeNames(payload)
+		DecodeString(payload)
+		_ = typ
+	})
+}
+
+func FuzzDecodeExec(f *testing.F) {
+	f.Add(EncodeExec(true, "INSERT INTO t VALUES (?, ?)",
+		[]types.Value{types.NewInt(1), types.NewString("x")}))
+	f.Add([]byte{1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		script, sql, args, err := DecodeExec(data)
+		if err != nil {
+			return
+		}
+		// Valid decode must re-encode to a decodable payload with the
+		// same statement.
+		s2, q2, a2, err := DecodeExec(EncodeExec(script, sql, args))
+		if err != nil || s2 != script || q2 != sql || len(a2) != len(args) {
+			t.Fatalf("re-encode mismatch: %v %v %q", err, s2, q2)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(&engine.Result{
+		Columns: []string{"a"},
+		Rows:    []types.Row{{types.NewFloat(1.5)}},
+		TIDs:    []int64{9},
+	}))
+	f.Add([]byte{0x80})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeResult(EncodeResult(res)); err != nil {
+			t.Fatalf("re-encode of valid result failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,359 @@
+// Package wire is the length-prefixed binary protocol spoken between
+// cmd/ediserver and the internal/client driver. One frame is
+//
+//	| u32 big-endian length | 1 byte frame type | payload |
+//
+// where length counts the type byte plus the payload. Values and rows
+// reuse the binary encoding of internal/types (the same bytes the WAL
+// writes), so a query result crosses the wire in the engine's native
+// format. Strings are uvarint length + bytes; counts are uvarints;
+// signed integers are varints.
+//
+// Every decoder is total: malformed, truncated or hostile input returns
+// an error, never panics and never allocates proportionally to a
+// length claimed but not carried by the input (see the Fuzz* targets).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ediflow/internal/engine"
+	"ediflow/internal/types"
+)
+
+// Version is the protocol version exchanged in HELLO/WELCOME.
+const Version uint16 = 1
+
+// MaxFrame is the default cap on one frame's length (type byte +
+// payload). Both sides refuse larger frames rather than allocate.
+const MaxFrame = 16 << 20
+
+// Frame types. Client→server frames have the high bit clear,
+// server→client responses have it set.
+const (
+	FrameHello    byte = 0x01 // u16 version, string client name
+	FrameExec     byte = 0x02 // u8 flags (1 = script), string sql, row of args
+	FrameQuery    byte = 0x03 // string sql, row of args
+	FrameNextID   byte = 0x04 // string table
+	FramePing     byte = 0x05 // empty
+	FrameTables   byte = 0x06 // empty
+	FrameWelcome  byte = 0x81 // u16 version, u64 session id
+	FrameResult   byte = 0x82 // columns, rows, affected, tids
+	FrameError    byte = 0x83 // string message
+	FrameID       byte = 0x84 // varint id
+	FramePong     byte = 0x85 // empty
+	FrameNames    byte = 0x86 // uvarint count, strings
+)
+
+// ExecFlagScript marks an Exec frame as a ';'-separated script.
+const ExecFlagScript byte = 1
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	n := 1 + len(payload)
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(n))
+	hdr[4] = typ
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame from r, enforcing max (0 means MaxFrame).
+func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("wire: frame length 0")
+	}
+	if int64(n) > int64(max) {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// ------------------------------------------------------------ primitives
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, int, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return "", 0, fmt.Errorf("wire: short string header")
+	}
+	if n > uint64(len(buf)-w) {
+		return "", 0, fmt.Errorf("wire: short string body")
+	}
+	return string(buf[w : w+int(n)]), w + int(n), nil
+}
+
+func readUvarint(buf []byte) (uint64, int, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad uvarint")
+	}
+	return n, w, nil
+}
+
+func readVarint(buf []byte) (int64, int, error) {
+	n, w := binary.Varint(buf)
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad varint")
+	}
+	return n, w, nil
+}
+
+// ------------------------------------------------------------ handshake
+
+// EncodeHello encodes the client's opening frame payload.
+func EncodeHello(version uint16, clientName string) []byte {
+	dst := binary.BigEndian.AppendUint16(nil, version)
+	return AppendString(dst, clientName)
+}
+
+// DecodeHello decodes a HELLO payload.
+func DecodeHello(p []byte) (version uint16, clientName string, err error) {
+	if len(p) < 2 {
+		return 0, "", fmt.Errorf("wire: short HELLO")
+	}
+	version = binary.BigEndian.Uint16(p)
+	clientName, _, err = readString(p[2:])
+	if err != nil {
+		return 0, "", fmt.Errorf("wire: HELLO name: %w", err)
+	}
+	return version, clientName, nil
+}
+
+// EncodeWelcome encodes the server's handshake response payload.
+func EncodeWelcome(version uint16, sessionID uint64) []byte {
+	dst := binary.BigEndian.AppendUint16(nil, version)
+	return binary.BigEndian.AppendUint64(dst, sessionID)
+}
+
+// DecodeWelcome decodes a WELCOME payload.
+func DecodeWelcome(p []byte) (version uint16, sessionID uint64, err error) {
+	if len(p) < 10 {
+		return 0, 0, fmt.Errorf("wire: short WELCOME")
+	}
+	return binary.BigEndian.Uint16(p), binary.BigEndian.Uint64(p[2:]), nil
+}
+
+// ------------------------------------------------------------ statements
+
+// EncodeExec encodes an Exec frame payload.
+func EncodeExec(script bool, sql string, args []types.Value) []byte {
+	var flags byte
+	if script {
+		flags |= ExecFlagScript
+	}
+	dst := []byte{flags}
+	dst = AppendString(dst, sql)
+	return types.AppendRow(dst, args)
+}
+
+// DecodeExec decodes an Exec payload.
+func DecodeExec(p []byte) (script bool, sql string, args []types.Value, err error) {
+	if len(p) < 1 {
+		return false, "", nil, fmt.Errorf("wire: short Exec")
+	}
+	script = p[0]&ExecFlagScript != 0
+	sql, n, err := readString(p[1:])
+	if err != nil {
+		return false, "", nil, fmt.Errorf("wire: Exec sql: %w", err)
+	}
+	row, _, err := types.DecodeRow(p[1+n:])
+	if err != nil {
+		return false, "", nil, fmt.Errorf("wire: Exec args: %w", err)
+	}
+	return script, sql, row, nil
+}
+
+// EncodeQuery encodes a Query frame payload.
+func EncodeQuery(sql string, args []types.Value) []byte {
+	dst := AppendString(nil, sql)
+	return types.AppendRow(dst, args)
+}
+
+// DecodeQuery decodes a Query payload.
+func DecodeQuery(p []byte) (sql string, args []types.Value, err error) {
+	sql, n, err := readString(p)
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: Query sql: %w", err)
+	}
+	row, _, err := types.DecodeRow(p[n:])
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: Query args: %w", err)
+	}
+	return sql, row, nil
+}
+
+// ------------------------------------------------------------ responses
+
+// EncodeResult encodes an engine result (nil is encoded as empty).
+func EncodeResult(res *engine.Result) []byte {
+	if res == nil {
+		res = &engine.Result{}
+	}
+	dst := binary.AppendUvarint(nil, uint64(len(res.Columns)))
+	for _, c := range res.Columns {
+		dst = AppendString(dst, c)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(res.Rows)))
+	for _, r := range res.Rows {
+		dst = types.AppendRow(dst, r)
+	}
+	dst = binary.AppendUvarint(dst, uint64(res.Affected))
+	dst = binary.AppendUvarint(dst, uint64(len(res.TIDs)))
+	for _, t := range res.TIDs {
+		dst = binary.AppendVarint(dst, t)
+	}
+	return dst
+}
+
+// DecodeResult decodes a Result payload.
+func DecodeResult(p []byte) (*engine.Result, error) {
+	res := &engine.Result{}
+	ncols, w, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("wire: Result columns: %w", err)
+	}
+	off := w
+	// Each column name costs at least one byte on the wire; reject
+	// counts larger than the remaining input before allocating.
+	if ncols > uint64(len(p)-off) {
+		return nil, fmt.Errorf("wire: Result claims %d columns in %d bytes", ncols, len(p)-off)
+	}
+	res.Columns = make([]string, 0, ncols)
+	for i := uint64(0); i < ncols; i++ {
+		s, n, err := readString(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: Result column %d: %w", i, err)
+		}
+		res.Columns = append(res.Columns, s)
+		off += n
+	}
+	nrows, w, err := readUvarint(p[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: Result row count: %w", err)
+	}
+	off += w
+	if nrows > uint64(len(p)-off) {
+		return nil, fmt.Errorf("wire: Result claims %d rows in %d bytes", nrows, len(p)-off)
+	}
+	res.Rows = make([]types.Row, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		row, n, err := types.DecodeRow(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: Result row %d: %w", i, err)
+		}
+		res.Rows = append(res.Rows, row)
+		off += n
+	}
+	aff, w, err := readUvarint(p[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: Result affected: %w", err)
+	}
+	res.Affected = int(aff)
+	off += w
+	ntids, w, err := readUvarint(p[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: Result tid count: %w", err)
+	}
+	off += w
+	if ntids > uint64(len(p)-off) {
+		return nil, fmt.Errorf("wire: Result claims %d tids in %d bytes", ntids, len(p)-off)
+	}
+	res.TIDs = make([]int64, 0, ntids)
+	for i := uint64(0); i < ntids; i++ {
+		t, n, err := readVarint(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: Result tid %d: %w", i, err)
+		}
+		res.TIDs = append(res.TIDs, t)
+		off += n
+	}
+	return res, nil
+}
+
+// EncodeError encodes an Error payload.
+func EncodeError(msg string) []byte { return AppendString(nil, msg) }
+
+// DecodeError decodes an Error payload.
+func DecodeError(p []byte) (string, error) {
+	s, _, err := readString(p)
+	if err != nil {
+		return "", fmt.Errorf("wire: Error message: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeID encodes an ID payload.
+func EncodeID(id int64) []byte { return binary.AppendVarint(nil, id) }
+
+// DecodeID decodes an ID payload.
+func DecodeID(p []byte) (int64, error) {
+	id, _, err := readVarint(p)
+	if err != nil {
+		return 0, fmt.Errorf("wire: ID: %w", err)
+	}
+	return id, nil
+}
+
+// EncodeNames encodes a string-list payload (FrameNames, FrameNextID
+// requests carry a single AppendString instead).
+func EncodeNames(names []string) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(names)))
+	for _, s := range names {
+		dst = AppendString(dst, s)
+	}
+	return dst
+}
+
+// DecodeNames decodes a string-list payload.
+func DecodeNames(p []byte) ([]string, error) {
+	n, w, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("wire: Names count: %w", err)
+	}
+	off := w
+	if n > uint64(len(p)-off) {
+		return nil, fmt.Errorf("wire: Names claims %d entries in %d bytes", n, len(p)-off)
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, used, err := readString(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: Names entry %d: %w", i, err)
+		}
+		out = append(out, s)
+		off += used
+	}
+	return out, nil
+}
+
+// EncodeString encodes a single-string payload (NextID's table name).
+func EncodeString(s string) []byte { return AppendString(nil, s) }
+
+// DecodeString decodes a single-string payload.
+func DecodeString(p []byte) (string, error) {
+	s, _, err := readString(p)
+	return s, err
+}

@@ -1,0 +1,165 @@
+package ediflow
+
+// The quickstart reactive flow, deployed across the wire: the platform
+// runs as a TCP server (the paper's DBMS machine), while the "display"
+// side holds only a client connection — remote Exec injects data, the
+// remote mirror refreshes over the same connection, and the §VI-C
+// notification dial-back crosses loopback TCP.
+
+import (
+	"testing"
+
+	"ediflow/internal/module"
+	"ediflow/internal/types"
+)
+
+const remoteQuickstartXML = `
+<process name="rquick">
+  <variable name="answer" type="string"/>
+  <relation name="readings" primaryKey="id">
+    <attribute name="id" type="int"/>
+    <attribute name="sensor" type="string"/>
+    <attribute name="value" type="float"/>
+  </relation>
+  <relation name="summary">
+    <attribute name="sensor" type="string"/>
+    <attribute name="n" type="int"/>
+    <attribute name="mean" type="float"/>
+  </relation>
+  <function name="summarize" class="demo.Summarize"/>
+  <body>
+    <sequence>
+      <activity name="seed"><update>
+        INSERT INTO readings (id, sensor, value) VALUES
+          (1, 'north', 20.0), (2, 'north', 22.0), (3, 'south', 15.0)
+      </update></activity>
+      <activity name="analyze"><callFunction name="summarize" inputs="readings" outputs="summary"/></activity>
+      <activity name="confirm" group="analysts"><askUser prompt="Continue?" bindTo="answer"/></activity>
+    </sequence>
+  </body>
+  <updatePropagation relation="readings" activity="analyze" scope="ta-rp"/>
+</process>`
+
+func remoteSummarize() Procedure {
+	return &module.Func{
+		ProcName: "demo.Summarize",
+		RunFn: func(env *ProcEnv) error {
+			if _, err := env.DB.Exec("DELETE FROM summary"); err != nil {
+				return err
+			}
+			_, err := env.DB.Exec(`INSERT INTO summary
+				SELECT sensor, COUNT(*), AVG(value) FROM readings GROUP BY sensor`)
+			return err
+		},
+		UpdateFn: func(env *ProcEnv) error {
+			sensors := map[string]bool{}
+			for _, row := range env.Delta.Rows {
+				sensors[row[1].Str()] = true
+			}
+			for s := range sensors {
+				if _, err := env.DB.Exec("DELETE FROM summary WHERE sensor = ?", NewString(s)); err != nil {
+					return err
+				}
+				if _, err := env.DB.Exec(`INSERT INTO summary
+					SELECT sensor, COUNT(*), AVG(value) FROM readings WHERE sensor = ? GROUP BY sensor`,
+					NewString(s)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestRemoteReactiveQuickstart(t *testing.T) {
+	proceed := make(chan struct{})
+	p := MustOpenMemory(quiet(),
+		WithUserAgent(AgentFunc(func(prompt, group string) (string, error) {
+			<-proceed
+			return "yes", nil
+		})))
+	defer p.Close()
+	p.Procedures().Register("demo.Summarize", remoteSummarize)
+
+	proc, err := p.DeployXML(remoteQuickstartXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the platform over loopback TCP and attach the display side
+	// purely through the network client.
+	srv, err := p.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	inst, err := p.Start(proc.Name, "ana")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the initial analysis, then mirror the derived table on
+	// the client side of the wire.
+	waitCond(t, func() bool {
+		st, _ := inst.ActivityStatus("analyze")
+		return st == "completed"
+	})
+	m, err := NewMirror(conn, "display", "summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 2 {
+		t.Fatalf("initial remote mirror: %d rows, want 2", m.Len())
+	}
+
+	// Inject a reading through the wire while the process is paused on
+	// the user interaction: the ta-rp propagation repairs summary, and
+	// the repair must reach the remote mirror.
+	if _, err := conn.Exec("INSERT INTO readings (id, sensor, value) VALUES (4, 'south', 17.0)"); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, func() bool {
+		if _, err := m.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range m.Snapshot() {
+			// sensor, n, mean
+			if r.Values[0].Str() == "south" && r.Values[1].Int() == 2 && r.Values[2].Float() == 16.0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Mirror ≡ source: every summary row on the server appears in the
+	// remote mirror with identical values.
+	res, err := p.Query("SELECT _tid, sensor, n, mean FROM summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != m.Len() {
+		t.Fatalf("server has %d rows, mirror %d", len(res.Rows), m.Len())
+	}
+	for _, r := range res.Rows {
+		mr, ok := m.Get(r[0].Int())
+		if !ok {
+			t.Fatalf("mirror missing tid %d", r[0].Int())
+		}
+		if !types.RowsEqual(mr, r[1:]) {
+			t.Fatalf("mirror row %v != server row %v", mr, r[1:])
+		}
+	}
+
+	// Let the process finish cleanly.
+	close(proceed)
+	if err := inst.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
