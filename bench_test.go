@@ -464,6 +464,38 @@ func BenchmarkWALInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead compares the single-statement hot path with
+// the metrics registry enabled (per-statement timing, counters, slow-log
+// check) vs disabled — the overhead budget TestMetricsOverhead asserts
+// at <5%. Point PK selects make the per-statement fixed cost maximally
+// visible.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("enabled=%v", on), func(b *testing.B) {
+			db := database.MustOpenMemory()
+			defer db.Close()
+			db.Exec("CREATE TABLE t (id INT PRIMARY KEY, v STRING)")
+			for i := 0; i < 5000; i += 250 {
+				sql := "INSERT INTO t VALUES "
+				for j := 0; j < 250; j++ {
+					if j > 0 {
+						sql += ", "
+					}
+					sql += fmt.Sprintf("(%d, 'v%d')", i+j, i+j)
+				}
+				db.Exec(sql)
+			}
+			db.Metrics().SetEnabled(on)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(fmt.Sprintf("SELECT v FROM t WHERE id = %d", i%5000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMirrorRefresh measures one incremental R_M refresh after a
 // batch insert into R_D — the client half of Figure 8's pipeline, driven
 // through the tablesync layer.

@@ -6,26 +6,39 @@
 // number of concurrent sessions.
 //
 //	ediserver [-db /path/to/dbdir] [-addr :7687] [-idle-timeout 0]
+//	          [-fsync none|commit|interval] [-metrics-addr :6060]
 //
 // Clients connect with the internal/client driver, e.g.
 //
 //	edisql -connect host:7687
+//
+// -fsync selects WAL durability: "none" flushes to the OS page cache
+// only (fast, loses acknowledged commits on machine crash), "commit"
+// fsyncs on every commit, "interval" group-fsyncs at most once per
+// -fsync-every window. -metrics-addr serves the metrics catalog over
+// HTTP (/metrics plain text, /debug/vars expvar, /debug/pprof) — the
+// same numbers `SELECT * FROM sys_metrics` returns over SQL.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight statements
 // drain, sessions close, the WAL is checkpointed.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"ediflow/internal/database"
+	"ediflow/internal/metrics"
 	"ediflow/internal/notify"
 	"ediflow/internal/server"
+	"ediflow/internal/storage"
 )
 
 func main() {
@@ -33,13 +46,36 @@ func main() {
 	addr := flag.String("addr", ":7687", "listen address")
 	idle := flag.Duration("idle-timeout", 0, "disconnect sessions idle for this long (0 = never)")
 	purge := flag.Duration("purge-interval", time.Minute, "Notification purge + checkpoint interval (0 = off)")
+	fsync := flag.String("fsync", "none", "WAL durability: none, commit, or interval (group fsync)")
+	fsyncEvery := flag.Duration("fsync-every", 0, "minimum window between group fsyncs (0 = default 100ms; only with -fsync interval)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
-	db, err := database.Open(*dbDir)
+	db, err := database.OpenWith(*dbDir, storage.Options{
+		Sync:      storage.ParseSyncMode(*fsync),
+		SyncEvery: *fsyncEvery,
+	})
 	if err != nil {
 		log.Fatalf("ediserver: opening database: %v", err)
 	}
 	defer db.Close()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(db.Metrics(), db.SlowLog()))
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("ediserver: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("ediserver: metrics server: %v", err)
+			}
+		}()
+	}
 
 	notifier, err := notify.NewNotifier(db)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"ediflow/internal/database"
 	"ediflow/internal/driver"
 	"ediflow/internal/engine"
+	"ediflow/internal/metrics"
 	"ediflow/internal/module"
 	"ediflow/internal/notify"
 	"ediflow/internal/server"
@@ -197,6 +198,14 @@ func (p *Platform) DB() *database.DB { return p.db }
 
 // Notifier exposes the notification server (purge, connection counts).
 func (p *Platform) Notifier() *notify.Notifier { return p.notifier }
+
+// Metrics exposes the platform's metrics registry — the same numbers
+// `SELECT * FROM sys_metrics` returns (engine, WAL, server, notifier
+// and tablesync instrumentation all record here).
+func (p *Platform) Metrics() *metrics.Registry { return p.db.Metrics() }
+
+// SlowLog exposes the slow-query ring buffer backing sys_slow_queries.
+func (p *Platform) SlowLog() *metrics.SlowLog { return p.db.SlowLog() }
 
 // Procedures exposes the procedure registry.
 func (p *Platform) Procedures() *module.Registry { return p.registry }

@@ -23,6 +23,7 @@ import (
 
 	"ediflow/internal/driver"
 	"ediflow/internal/engine"
+	"ediflow/internal/metrics"
 	"ediflow/internal/types"
 	"ediflow/internal/wire"
 )
@@ -88,7 +89,21 @@ type Conn struct {
 	idle   []*wireConn
 	txn    *wireConn // pinned while a transaction is open
 	closed bool
+
+	// Client-local metrics (the server keeps its own): dial/pool churn
+	// and round-trip latency as seen from this driver.
+	reg          *metrics.Registry
+	mDials       *metrics.Counter
+	mDialRetries *metrics.Counter
+	mDialErrors  *metrics.Counter
+	mPoolHits    *metrics.Counter
+	mPoolMisses  *metrics.Counter
+	mTxnDiscards *metrics.Counter
+	mRoundTripH  *metrics.Histogram
 }
+
+// Metrics returns the driver-side metrics registry for this connection.
+func (c *Conn) Metrics() *metrics.Registry { return c.reg }
 
 var _ driver.Conn = (*Conn)(nil)
 
@@ -101,7 +116,14 @@ type wireConn struct {
 // Dial connects to an ediserver, validating the handshake on the first
 // connection before returning.
 func Dial(addr string, opts Options) (*Conn, error) {
-	c := &Conn{addr: addr, opts: opts.withDefaults()}
+	c := &Conn{addr: addr, opts: opts.withDefaults(), reg: metrics.NewRegistry()}
+	c.mDials = c.reg.Counter("client.dials")
+	c.mDialRetries = c.reg.Counter("client.dial_retries")
+	c.mDialErrors = c.reg.Counter("client.dial_errors")
+	c.mPoolHits = c.reg.Counter("client.pool_hits")
+	c.mPoolMisses = c.reg.Counter("client.pool_misses")
+	c.mTxnDiscards = c.reg.Counter("client.txn_discards")
+	c.mRoundTripH = c.reg.Histogram("client.roundtrip_latency")
 	wc, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -117,6 +139,7 @@ func (c *Conn) dial() (*wireConn, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
 		if attempt > 0 {
+			c.mDialRetries.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -128,11 +151,14 @@ func (c *Conn) dial() (*wireConn, error) {
 		wc := &wireConn{c: nc}
 		if err := c.handshake(wc); err != nil {
 			nc.Close()
+			c.mDialErrors.Inc()
 			// A handshake rejection (version mismatch) is not transient.
 			return nil, err
 		}
+		c.mDials.Inc()
 		return wc, nil
 	}
+	c.mDialErrors.Inc()
 	return nil, fmt.Errorf("client: dialing %s: %w", c.addr, lastErr)
 }
 
@@ -176,9 +202,11 @@ func (c *Conn) get() (*wireConn, bool, error) {
 		wc := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		c.mPoolHits.Inc()
 		return wc, false, nil
 	}
 	c.mu.Unlock()
+	c.mPoolMisses.Inc()
 	wc, err := c.dial()
 	return wc, false, err
 }
@@ -205,7 +233,9 @@ func (c *Conn) roundTrip(reqType byte, payload []byte) (byte, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	done := c.reg.Time(c.mRoundTripH)
 	typ, resp, err := c.roundTripOn(wc, reqType, payload)
+	done()
 	if err != nil {
 		// The stream is in an unknown state: drop the connection. If it
 		// was the transaction pin, the transaction is gone with it (the
@@ -404,11 +434,24 @@ func (c *Conn) endTxn(stmt string) error {
 		return fmt.Errorf("client: no open transaction")
 	}
 	_, err := c.Exec(stmt)
+	// Unpin no matter what. Two failure shapes reach here: a transport
+	// error (roundTrip already closed wc and cleared the pin) and a
+	// server-side error frame (wc is alive but its transaction state is
+	// not ours to reason about). Previously the second shape left the
+	// connection pinned-but-orphaned — never pooled, never closed, one
+	// leaked socket per failed COMMIT/ROLLBACK. Now a failed end-of-
+	// transaction always discards the connection; only success pools it.
 	c.mu.Lock()
+	stillPinned := c.txn == wc
 	c.txn = nil
 	c.mu.Unlock()
 	if err == nil {
 		c.put(wc)
+		return nil
+	}
+	if stillPinned {
+		c.mTxnDiscards.Inc()
+		wc.c.Close()
 	}
 	return err
 }

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+// metric reads one counter value from a registry snapshot.
+func metric(c *Conn, name string) int64 {
+	for _, s := range c.Metrics().Snapshot() {
+		if s.Name == name {
+			return s.Count
+		}
+	}
+	return 0
+}
+
+// TestCommitServerErrorReleasesConn reproduces the connection leak: the
+// server answers COMMIT with an error frame (transaction already gone
+// server-side), which used to leave the pinned connection orphaned —
+// neither pooled nor closed. The conn must now be unpinned and discarded.
+func TestCommitServerErrorReleasesConn(t *testing.T) {
+	srv, db := start(t)
+	conn, err := Dial(srv.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("CREATE TABLE leak_t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: roll the engine's transaction back behind the server's
+	// back, so the client's COMMIT draws an error frame on a perfectly
+	// healthy wire connection.
+	if _, err := db.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	err = conn.Commit()
+	if err == nil || !strings.Contains(err.Error(), "transaction") {
+		t.Fatalf("Commit err = %v, want server-side transaction error", err)
+	}
+
+	conn.mu.Lock()
+	txn, idle := conn.txn, len(conn.idle)
+	conn.mu.Unlock()
+	if txn != nil {
+		t.Fatal("connection still pinned after failed COMMIT")
+	}
+	if idle != 0 {
+		t.Fatalf("failed-COMMIT connection returned to pool (%d idle)", idle)
+	}
+	if got := metric(conn, "client.txn_discards"); got != 1 {
+		t.Fatalf("client.txn_discards = %d, want 1", got)
+	}
+
+	// The driver recovers: the next statement dials a fresh connection
+	// and runs outside any transaction. (DDL is not transactional here,
+	// so leak_t survived the rollback.)
+	if err := conn.Ping(); err != nil {
+		t.Fatalf("Ping after failed COMMIT: %v", err)
+	}
+	if _, err := conn.Exec("INSERT INTO leak_t VALUES (1)"); err != nil {
+		t.Fatalf("statement after failed COMMIT: %v", err)
+	}
+}
+
+// TestCommitServerDeathUnpins kills the server mid-transaction: COMMIT
+// fails with a transport error and the dead connection must not remain
+// pinned or pooled.
+func TestCommitServerDeathUnpins(t *testing.T) {
+	srv, _ := start(t)
+	conn, err := Dial(srv.Addr(), Options{DialRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // the server dies, taking the pinned connection with it
+
+	if err := conn.Commit(); err == nil {
+		t.Fatal("Commit against a dead server succeeded")
+	}
+	conn.mu.Lock()
+	txn, idle := conn.txn, len(conn.idle)
+	conn.mu.Unlock()
+	if txn != nil {
+		t.Fatal("dead connection still pinned")
+	}
+	if idle != 0 {
+		t.Fatalf("dead connection pooled (%d idle)", idle)
+	}
+	// A fresh Begin reports a dial failure rather than wedging on the
+	// stale pin.
+	if err := conn.Begin(); err == nil {
+		t.Fatal("Begin against a dead server succeeded")
+	}
+	if got := metric(conn, "client.dial_errors"); got == 0 {
+		t.Fatal("dial_errors not recorded")
+	}
+}

@@ -117,9 +117,17 @@ var schemaDDL = []string{
 		selected BOOL)`,
 }
 
-// Open opens (or creates) an EdiFlow database. dir == "" is in-memory.
+// Open opens (or creates) an EdiFlow database with default durability
+// (WAL flushed to the OS page cache, no per-commit fsync). dir == "" is
+// in-memory.
 func Open(dir string) (*DB, error) {
-	st, err := storage.Open(dir)
+	return OpenWith(dir, storage.Options{})
+}
+
+// OpenWith opens (or creates) an EdiFlow database with explicit storage
+// durability options (fsync-on-commit, group fsync, ...).
+func OpenWith(dir string, opts storage.Options) (*DB, error) {
+	st, err := storage.OpenWith(dir, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -16,8 +16,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ediflow/internal/catalog"
+	"ediflow/internal/metrics"
 	"ediflow/internal/sqltext"
 	"ediflow/internal/storage"
 	"ediflow/internal/types"
@@ -86,6 +88,41 @@ type Engine struct {
 	inTxn   bool
 	undo    []undoEntry
 	pending []ChangeEvent
+
+	// Observability: the registry is adopted from the store so WAL and
+	// engine metrics share one namespace; virtual tables expose both over
+	// plain SELECT.
+	reg     *metrics.Registry
+	slow    *metrics.SlowLog
+	virtual map[string]*virtualTable
+
+	mStatements   *metrics.Counter
+	mErrors       *metrics.Counter
+	mRowsScanned  *metrics.Counter
+	mRowsReturned *metrics.Counter
+	mExecH        *metrics.Histogram
+	mSelectH      *metrics.Histogram
+	mMutationH    *metrics.Histogram
+}
+
+// AdvanceSeq raises the change-event sequence counter to at least floor.
+// The counter starts at zero on every open, but ef_notification rows
+// keyed by seq_no survive restarts — without restoring the high-water
+// mark, a reopened database re-issues old sequence numbers and the
+// notifier's bookkeeping INSERT dies on a duplicate key, silently
+// breaking NOTIFY delivery. The notifier calls this during startup.
+func (e *Engine) AdvanceSeq(floor int64) {
+	e.mu.Lock()
+	if e.seq < floor {
+		e.seq = floor
+	}
+	e.mu.Unlock()
+}
+
+// virtualTable is a read-only system table computed at query time.
+type virtualTable struct {
+	cols []string
+	fn   func() []types.Row
 }
 
 // New creates an engine over an opened store, rebuilding the catalog from
@@ -95,7 +132,18 @@ func New(store *storage.Store) (*Engine, error) {
 		cat:      catalog.New(),
 		store:    store,
 		handlers: map[string]TriggerFunc{},
+		reg:      store.Metrics(),
+		slow:     metrics.NewSlowLog(128, 10*time.Millisecond),
+		virtual:  map[string]*virtualTable{},
 	}
+	e.mStatements = e.reg.Counter("engine.statements")
+	e.mErrors = e.reg.Counter("engine.errors")
+	e.mRowsScanned = e.reg.Counter("engine.rows_scanned")
+	e.mRowsReturned = e.reg.Counter("engine.rows_returned")
+	e.mExecH = e.reg.Histogram("engine.exec_latency")
+	e.mSelectH = e.reg.Histogram("engine.select_latency")
+	e.mMutationH = e.reg.Histogram("engine.mutation_latency")
+	e.registerSystemTables()
 	e.views = newViewSet(e)
 	for _, name := range store.TableNames() {
 		t := store.Table(name)
@@ -201,8 +249,49 @@ func (e *Engine) Query(sql string, args ...types.Value) (*Result, error) {
 	return e.ExecStmt(st, args...)
 }
 
-// ExecStmt executes an already-parsed statement.
+// ExecStmt executes an already-parsed statement, recording per-statement
+// metrics (latency, rows, errors) and feeding the slow-query log.
 func (e *Engine) ExecStmt(st sqltext.Statement, args ...types.Value) (*Result, error) {
+	if !e.reg.Enabled() {
+		return e.execStmt(st, args)
+	}
+	t0 := time.Now()
+	scanned0 := e.mRowsScanned.Value()
+	res, err := e.execStmt(st, args)
+	d := time.Since(t0)
+	e.mStatements.Inc()
+	e.mExecH.Observe(d)
+	var returned int64
+	if res != nil {
+		if len(res.Rows) > 0 {
+			returned = int64(len(res.Rows))
+		} else {
+			returned = int64(res.Affected)
+		}
+		e.mRowsReturned.Add(int64(len(res.Rows)))
+	}
+	if _, isSel := st.(*sqltext.Select); isSel {
+		e.mSelectH.Observe(d)
+	} else {
+		e.mMutationH.Observe(d)
+	}
+	if err != nil {
+		e.mErrors.Inc()
+	}
+	if e.slow.ShouldRecord(d, err != nil) {
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		// Rows-scanned is the delta of the global counter: exact for
+		// mutations (exclusive lock) and an upper bound when concurrent
+		// SELECTs overlap.
+		e.slow.Record(st.String(), d, e.mRowsScanned.Value()-scanned0, returned, errMsg)
+	}
+	return res, err
+}
+
+func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, error) {
 	switch s := st.(type) {
 	case *sqltext.Select:
 		e.mu.RLock()

@@ -37,7 +37,7 @@ type binder struct {
 
 	// inCache memoizes the value set of constant IN lists so membership
 	// is O(1) per row instead of O(list).
-	inCache map[*sqltext.InExpr]map[string]bool
+	inCache map[*sqltext.InExpr]*inSet
 }
 
 func newBinder(e *Engine, args []types.Value, rel *relation, overrides map[string][]types.Row) *binder {
@@ -85,9 +85,13 @@ func (b *binder) resolve(cr *sqltext.ColumnRef) (int, error) {
 
 // eval evaluates a scalar expression against one row.
 //
-// NULL handling: arithmetic propagates NULL; comparison predicates with a
-// NULL operand are false (a pragmatic two-valued reduction of SQL's
-// three-valued logic, matching what the paper's queries need).
+// NULL handling follows SQL's three-valued logic: arithmetic and
+// comparisons with a NULL operand yield NULL (unknown), NOT NULL is
+// NULL, and AND/OR treat NULL as "unknown" (FALSE AND NULL is FALSE,
+// TRUE OR NULL is TRUE, otherwise NULL propagates). Only at a filter
+// boundary (WHERE, HAVING, JOIN ON — see evalBool) does unknown
+// collapse to false. The previous two-valued reduction made
+// `NOT (x = NULL)` evaluate to TRUE, silently keeping rows SQL excludes.
 func (b *binder) eval(e sqltext.Expr, row types.Row) (types.Value, error) {
 	switch x := e.(type) {
 	case *sqltext.Literal:
@@ -153,7 +157,7 @@ func (b *binder) eval(e sqltext.Expr, row types.Row) (types.Value, error) {
 			return types.Null, err
 		}
 		if v.IsNull() || lo.IsNull() || hi.IsNull() {
-			return types.NewBool(false), nil
+			return types.Null, nil // x BETWEEN lo AND hi is unknown on NULL
 		}
 		cl, err := types.Compare(v, lo)
 		if err != nil {
@@ -188,35 +192,85 @@ func (b *binder) eval(e sqltext.Expr, row types.Row) (types.Value, error) {
 	return types.Null, fmt.Errorf("engine: cannot evaluate %T", e)
 }
 
+// Three-valued truth of a predicate value.
+const (
+	tvFalse = iota
+	tvTrue
+	tvUnknown
+)
+
+func truth3(v types.Value) (int, error) {
+	if v.IsNull() {
+		return tvUnknown, nil
+	}
+	bv, err := v.AsBool()
+	if err != nil {
+		return tvFalse, err
+	}
+	if bv {
+		return tvTrue, nil
+	}
+	return tvFalse, nil
+}
+
 func (b *binder) evalBinary(x *sqltext.Binary, row types.Row) (types.Value, error) {
-	// Short-circuit AND/OR.
+	// Short-circuit AND/OR with three-valued logic: FALSE dominates AND
+	// and TRUE dominates OR regardless of a NULL on the other side.
 	switch x.Op {
 	case "AND":
-		l, err := b.evalBool(x.L, row)
+		lv, err := b.eval(x.L, row)
 		if err != nil {
 			return types.Null, err
 		}
-		if !l {
+		lt, err := truth3(lv)
+		if err != nil {
+			return types.Null, err
+		}
+		if lt == tvFalse {
 			return types.NewBool(false), nil
 		}
-		r, err := b.evalBool(x.R, row)
+		rv, err := b.eval(x.R, row)
 		if err != nil {
 			return types.Null, err
 		}
-		return types.NewBool(r), nil
+		rt, err := truth3(rv)
+		if err != nil {
+			return types.Null, err
+		}
+		if rt == tvFalse {
+			return types.NewBool(false), nil
+		}
+		if lt == tvUnknown || rt == tvUnknown {
+			return types.Null, nil
+		}
+		return types.NewBool(true), nil
 	case "OR":
-		l, err := b.evalBool(x.L, row)
+		lv, err := b.eval(x.L, row)
 		if err != nil {
 			return types.Null, err
 		}
-		if l {
+		lt, err := truth3(lv)
+		if err != nil {
+			return types.Null, err
+		}
+		if lt == tvTrue {
 			return types.NewBool(true), nil
 		}
-		r, err := b.evalBool(x.R, row)
+		rv, err := b.eval(x.R, row)
 		if err != nil {
 			return types.Null, err
 		}
-		return types.NewBool(r), nil
+		rt, err := truth3(rv)
+		if err != nil {
+			return types.Null, err
+		}
+		if rt == tvTrue {
+			return types.NewBool(true), nil
+		}
+		if lt == tvUnknown || rt == tvUnknown {
+			return types.Null, nil
+		}
+		return types.NewBool(false), nil
 	}
 	l, err := b.eval(x.L, row)
 	if err != nil {
@@ -244,7 +298,7 @@ func (b *binder) evalBinary(x *sqltext.Binary, row types.Row) (types.Value, erro
 		return types.NewString(l.AsString() + r.AsString()), nil
 	case "=", "!=", "<", "<=", ">", ">=":
 		if l.IsNull() || r.IsNull() {
-			return types.NewBool(false), nil
+			return types.Null, nil // comparison with NULL is unknown
 		}
 		c, err := types.Compare(l, r)
 		if err != nil {
@@ -268,7 +322,9 @@ func (b *binder) evalBinary(x *sqltext.Binary, row types.Row) (types.Value, erro
 	return types.Null, fmt.Errorf("engine: unknown operator %q", x.Op)
 }
 
-// evalBool evaluates a predicate; NULL is false.
+// evalBool evaluates a predicate at a filter boundary (WHERE, HAVING,
+// JOIN ON, CASE WHEN): three-valued "unknown" collapses to false, so a
+// row whose predicate is NULL is excluded — never kept.
 func (b *binder) evalBool(e sqltext.Expr, row types.Row) (bool, error) {
 	v, err := b.eval(e, row)
 	if err != nil {
@@ -286,9 +342,10 @@ func (b *binder) evalIn(x *sqltext.InExpr, row types.Row) (types.Value, error) {
 		return types.Null, err
 	}
 	if v.IsNull() {
-		return types.NewBool(false), nil
+		return types.Null, nil // NULL IN (...) is unknown
 	}
 	found := false
+	hadNull := false
 	if x.Query != nil {
 		rows, err := b.subquery(x.Query)
 		if err != nil {
@@ -299,13 +356,18 @@ func (b *binder) evalIn(x *sqltext.InExpr, row types.Row) (types.Value, error) {
 			if len(r) != 1 {
 				return types.Null, fmt.Errorf("engine: IN subquery must return one column")
 			}
-			if !r[0].IsNull() && r[0].HashKey() == key {
+			if r[0].IsNull() {
+				hadNull = true
+				continue
+			}
+			if r[0].HashKey() == key {
 				found = true
 				break
 			}
 		}
 	} else if set, ok := b.constInSet(x); ok {
-		found = set[v.HashKey()]
+		found = set.vals[v.HashKey()]
+		hadNull = set.hasNull
 	} else {
 		for _, le := range x.List {
 			lv, err := b.eval(le, row)
@@ -313,6 +375,7 @@ func (b *binder) evalIn(x *sqltext.InExpr, row types.Row) (types.Value, error) {
 				return types.Null, err
 			}
 			if lv.IsNull() {
+				hadNull = true
 				continue
 			}
 			c, err := types.Compare(v, lv)
@@ -325,21 +388,36 @@ func (b *binder) evalIn(x *sqltext.InExpr, row types.Row) (types.Value, error) {
 			}
 		}
 	}
-	return types.NewBool(found != x.Not), nil
+	if found {
+		return types.NewBool(!x.Not), nil
+	}
+	if hadNull {
+		// `x IN (.., NULL)` without a match is x = NULL OR ... = unknown,
+		// and NOT unknown stays unknown.
+		return types.Null, nil
+	}
+	return types.NewBool(x.Not), nil
+}
+
+// inSet is a memoized constant IN list: its value set plus whether the
+// list contained a NULL (which turns a non-match into unknown).
+type inSet struct {
+	vals    map[string]bool
+	hasNull bool
 }
 
 // constInSet returns a memoized hash set of an IN list whose elements are
 // all constants (literals or bound parameters), making membership O(1)
 // per row — important for the tid-list extraction queries of the
 // table-sync protocol, whose lists grow with the batch size.
-func (b *binder) constInSet(x *sqltext.InExpr) (map[string]bool, bool) {
+func (b *binder) constInSet(x *sqltext.InExpr) (*inSet, bool) {
 	if b.inCache == nil {
-		b.inCache = map[*sqltext.InExpr]map[string]bool{}
+		b.inCache = map[*sqltext.InExpr]*inSet{}
 	}
 	if set, ok := b.inCache[x]; ok {
 		return set, set != nil
 	}
-	set := make(map[string]bool, len(x.List))
+	set := &inSet{vals: make(map[string]bool, len(x.List))}
 	for _, le := range x.List {
 		var v types.Value
 		switch e := le.(type) {
@@ -355,8 +433,10 @@ func (b *binder) constInSet(x *sqltext.InExpr) (map[string]bool, bool) {
 			b.inCache[x] = nil // not constant: remember the failure
 			return nil, false
 		}
-		if !v.IsNull() {
-			set[v.HashKey()] = true
+		if v.IsNull() {
+			set.hasNull = true
+		} else {
+			set.vals[v.HashKey()] = true
 		}
 	}
 	b.inCache[x] = set
@@ -373,7 +453,7 @@ func (b *binder) evalLike(x *sqltext.Like, row types.Row) (types.Value, error) {
 		return types.Null, err
 	}
 	if v.IsNull() || p.IsNull() {
-		return types.NewBool(false), nil
+		return types.Null, nil // LIKE with NULL operand is unknown
 	}
 	m := likeMatch(v.AsString(), p.AsString())
 	return types.NewBool(m != x.Not), nil

@@ -414,6 +414,18 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 		qual = strings.ToLower(name)
 	}
 
+	// Virtual system tables (sys_metrics, sys_slow_queries, sys_sessions)
+	// are computed on the fly and shadow the catalog.
+	if vt := e.lookupVirtual(name); vt != nil {
+		rel := &relation{}
+		for _, c := range vt.cols {
+			rel.cols = append(rel.cols, colMeta{qual: qual, name: c})
+		}
+		rel.rows = vt.fn()
+		e.countScanned(len(rel.rows))
+		return rel, nil
+	}
+
 	// View resolution: the backing table holds the materialized rows.
 	if v, ok := e.cat.View(name); ok {
 		name = v.Backing
@@ -462,6 +474,7 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 					rel.rows = append(rel.rows, full)
 				}
 			}
+			e.countScanned(len(rel.rows))
 			return rel, nil
 		}
 	}
@@ -472,7 +485,15 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 		full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
 		rel.rows = append(rel.rows, full)
 	}
+	e.countScanned(len(rel.rows))
 	return rel, nil
+}
+
+// countScanned credits base-relation rows materialized for a statement.
+func (e *Engine) countScanned(n int) {
+	if n > 0 && e.reg.Enabled() {
+		e.mRowsScanned.Add(int64(n))
+	}
 }
 
 // tbl0 is a tiny indirection so fastPathTIDs stays testable without

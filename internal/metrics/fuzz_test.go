@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzSlowLog drives the ring buffer with arbitrary capacities, SQL
+// strings and durations and checks its structural invariants: bounded
+// length, monotonically contiguous sequence numbers, newest entries
+// retained, total never shrinking. The CI fuzz-smoke runs this for a few
+// seconds on every push.
+func FuzzSlowLog(f *testing.F) {
+	f.Add(3, "SELECT 1", 1_000_000, 5, int64(2))
+	f.Add(1, "", 0, 0, int64(-1))
+	f.Add(8, "INSERT INTO t VALUES (?)", -5, 100, int64(1<<40))
+	f.Fuzz(func(t *testing.T, capacity int, sql string, durNs int, records int, scanned int64) {
+		if capacity < -1024 || capacity > 1024 {
+			capacity = 16
+		}
+		if records < 0 {
+			records = -records
+		}
+		records %= 300
+		l := NewSlowLog(capacity, time.Duration(durNs))
+		wantCap := capacity
+		if wantCap < 1 {
+			wantCap = 1
+		}
+		for i := 0; i < records; i++ {
+			errMsg := ""
+			if i%7 == 0 {
+				errMsg = "boom"
+			}
+			l.Record(sql, time.Duration(durNs)+time.Duration(i), scanned, int64(i), errMsg)
+			if l.Len() > wantCap {
+				t.Fatalf("len %d exceeds capacity %d", l.Len(), wantCap)
+			}
+		}
+		if l.Total() != int64(records) {
+			t.Fatalf("total = %d, want %d", l.Total(), records)
+		}
+		snap := l.Snapshot()
+		wantLen := records
+		if wantLen > wantCap {
+			wantLen = wantCap
+		}
+		if len(snap) != wantLen {
+			t.Fatalf("snapshot len = %d, want %d", len(snap), wantLen)
+		}
+		for i, e := range snap {
+			// The ring keeps the newest `wantLen` records.
+			wantSeq := int64(records - wantLen + i + 1)
+			if e.Seq != wantSeq {
+				t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, wantSeq)
+			}
+			if e.SQL != sql {
+				t.Fatalf("snapshot[%d].SQL corrupted", i)
+			}
+		}
+		// Threshold updates must not disturb held entries.
+		l.SetThreshold(time.Duration(durNs) * 2)
+		if got := l.Snapshot(); len(got) != wantLen {
+			t.Fatalf("snapshot after SetThreshold = %d entries, want %d", len(got), wantLen)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one recorded slow (or failed) statement.
+type SlowEntry struct {
+	Seq          int64 // monotonically increasing record number
+	TS           int64 // unix nanoseconds at completion
+	SQL          string
+	Duration     time.Duration
+	RowsScanned  int64
+	RowsReturned int64
+	Err          string // empty on success
+}
+
+// SlowLog is a fixed-capacity ring buffer of the slowest statements seen.
+// Recording is O(1); when the ring is full the oldest entry is evicted.
+// Statements faster than the threshold (and error-free) are ignored, so
+// the hot path usually pays only one atomic load.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds
+
+	mu   sync.Mutex
+	buf  []SlowEntry
+	next int   // ring write position
+	n    int   // entries currently held (≤ len(buf))
+	seq  int64 // total entries ever recorded
+}
+
+// NewSlowLog returns a ring of the given capacity (minimum 1) recording
+// statements at or above threshold, plus every failed statement.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{buf: make([]SlowEntry, capacity)}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the current slow threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold changes the slow threshold (0 records everything).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l != nil {
+		l.threshold.Store(int64(d))
+	}
+}
+
+// ShouldRecord reports whether a statement of the given duration/outcome
+// belongs in the log. It is the cheap hot-path check.
+func (l *SlowLog) ShouldRecord(d time.Duration, failed bool) bool {
+	if l == nil {
+		return false
+	}
+	return failed || int64(d) >= l.threshold.Load()
+}
+
+// Record appends one entry, evicting the oldest when full. The caller is
+// expected to have consulted ShouldRecord first (Record does not filter,
+// so tests and fuzzing can drive the ring directly).
+func (l *SlowLog) Record(sql string, d time.Duration, scanned, returned int64, errMsg string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	l.buf[l.next] = SlowEntry{
+		Seq:          l.seq,
+		TS:           time.Now().UnixNano(),
+		SQL:          sql,
+		Duration:     d,
+		RowsScanned:  scanned,
+		RowsReturned: returned,
+		Err:          errMsg,
+	}
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of entries currently held.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Total returns how many entries were ever recorded (including evicted).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Snapshot returns the held entries, oldest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}

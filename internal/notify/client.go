@@ -221,5 +221,23 @@ func (cl *Client) Close() error {
 	return cl.ln.Close()
 }
 
+// CloseAbrupt severs the socket without the DISCONNECT handshake,
+// simulating a crashed visualization process. The DBMS notices the EOF
+// (or its next failed write) and drops the registration itself.
+func (cl *Client) CloseAbrupt() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	conn := cl.conn
+	cl.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return cl.ln.Close()
+}
+
 // Done is closed when the server side hangs up.
 func (cl *Client) Done() <-chan struct{} { return cl.done }

@@ -10,6 +10,7 @@ import (
 
 	"ediflow/internal/database"
 	"ediflow/internal/engine"
+	"ediflow/internal/metrics"
 	"ediflow/internal/types"
 )
 
@@ -36,6 +37,17 @@ type Notifier struct {
 	conns  map[int64]*serverConn // ConnectedUser id → connection
 	closed bool
 	wg     sync.WaitGroup // dial + writer goroutines
+
+	// Metrics live in the database's shared registry, so they surface in
+	// SYS_METRICS next to engine and WAL counters.
+	reg           *metrics.Registry
+	mDials        *metrics.Counter
+	mDialErrors   *metrics.Counter
+	mSent         *metrics.Counter
+	mDroppedLines *metrics.Counter
+	mDroppedConns *metrics.Counter
+	mAcks         *metrics.Counter
+	mRefreshLagH  *metrics.Histogram
 }
 
 // NotifierOption tunes NewNotifier.
@@ -58,6 +70,17 @@ type serverConn struct {
 	w     *bufio.Writer
 	out   chan string   // pending NOTIFY lines
 	done  chan struct{} // closed when the writer goroutine exits
+	once  sync.Once     // guards teardown
+}
+
+// teardown closes the socket and the send queue exactly once, however
+// many paths (write failure, read EOF, re-registration, Close) race to
+// retire the connection.
+func (sc *serverConn) teardown() {
+	sc.once.Do(func() {
+		sc.c.Close()
+		close(sc.out)
+	})
 }
 
 // NewNotifier attaches a notifier to the database and dials back any
@@ -73,11 +96,54 @@ func NewNotifier(db *database.DB, opts ...NotifierOption) (*Notifier, error) {
 	for _, o := range opts {
 		o(n)
 	}
+	n.reg = db.Metrics()
+	n.mDials = n.reg.Counter("notify.dials")
+	n.mDialErrors = n.reg.Counter("notify.dial_errors")
+	n.mSent = n.reg.Counter("notify.sent")
+	n.mDroppedLines = n.reg.Counter("notify.dropped_lines")
+	n.mDroppedConns = n.reg.Counter("notify.dropped_conns")
+	n.mAcks = n.reg.Counter("tablesync.acks")
+	n.mRefreshLagH = n.reg.Histogram("tablesync.refresh_lag")
+	n.reg.RegisterGauge("notify.connections", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(len(n.conns))
+	})
+	n.reg.RegisterGauge("notify.queue_depth", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		var depth int64
+		for _, sc := range n.conns {
+			depth += int64(len(sc.out))
+		}
+		return depth
+	})
+	n.restoreSeqFloor()
 	db.Observe(n.onChange)
 	if err := n.reconnectExisting(); err != nil {
 		return nil, err
 	}
 	return n, nil
+}
+
+// restoreSeqFloor raises the engine's change-sequence counter past every
+// seq_no persisted by a previous process. The counter itself is not
+// durable, but ef_notification rows (and client last_seq cursors) are;
+// re-issuing an old number makes the notification INSERT fail on its
+// primary key and NOTIFY delivery silently stops after a restart.
+func (n *Notifier) restoreSeqFloor() {
+	var floor int64
+	for _, q := range []string{
+		"SELECT MAX(seq_no) FROM " + database.TableNotification,
+		"SELECT MAX(last_seq) FROM " + database.TableConnectedUser,
+	} {
+		if v, err := n.db.QueryValue(q); err == nil && !v.IsNull() && v.Int() > floor {
+			floor = v.Int()
+		}
+	}
+	if floor > 0 {
+		n.db.AdvanceSeq(floor)
+	}
 }
 
 func (n *Notifier) reconnectExisting() error {
@@ -146,6 +212,9 @@ func (n *Notifier) onChange(ev engine.ChangeEvent) {
 				}()
 			}
 		}
+		if ev.Op == engine.OpUpdate {
+			n.observeAcks(ev)
+		}
 		return
 	}
 	if skipTable(ev.Table) {
@@ -177,10 +246,45 @@ func (n *Notifier) onChange(ev engine.ChangeEvent) {
 			select {
 			case sc.out <- line:
 			default:
+				n.mDroppedLines.Inc()
 			}
 		}
 	}
 	n.mu.Unlock()
+}
+
+// observeAcks measures the paper's Figure-8 quantity server-side: the
+// time from a notification's creation (ef_notification.ts) to the
+// mirror's Ack — the UPDATE bumping ef_connected_user.last_seq. Recorded
+// here, in the DBMS, the lag covers NOTIFY push, client fetch, local
+// apply and the Ack round trip, and lands in the server's SYS_METRICS
+// where remote operators can SELECT it.
+func (n *Notifier) observeAcks(ev engine.ChangeEvent) {
+	for i, row := range ev.Rows {
+		if len(row) < 6 {
+			continue
+		}
+		seq := row[5].Int()
+		if seq <= 0 {
+			continue
+		}
+		// Only a change of last_seq is an ack; other updates to the
+		// registration row are not.
+		if i < len(ev.OldRows) && len(ev.OldRows[i]) >= 6 && ev.OldRows[i][5].Int() == seq {
+			continue
+		}
+		v, err := n.db.QueryValue(
+			"SELECT ts FROM "+database.TableNotification+" WHERE seq_no = ?", types.NewInt(seq))
+		if err != nil || v.IsNull() {
+			continue // already purged, or ack for an unknown seq
+		}
+		lag := time.Duration(time.Now().UnixNano() - v.Int())
+		if lag < 0 {
+			lag = 0
+		}
+		n.mAcks.Inc()
+		n.mRefreshLagH.Observe(lag)
+	}
 }
 
 // writeLoop drains one connection's send queue. A write that exceeds the
@@ -191,13 +295,14 @@ func (n *Notifier) writeLoop(sc *serverConn) {
 	for line := range sc.out {
 		sc.c.SetWriteDeadline(time.Now().Add(n.writeTimeout))
 		if _, err := sc.w.WriteString(line); err != nil {
-			n.drop(sc.id)
+			n.drop(sc)
 			return
 		}
 		if err := sc.w.Flush(); err != nil {
-			n.drop(sc.id)
+			n.drop(sc)
 			return
 		}
+		n.mSent.Inc()
 	}
 }
 
@@ -240,8 +345,18 @@ func (n *Notifier) dial(id int64, host string, port int64, table string) error {
 		c.Close()
 		return fmt.Errorf("notify: notifier closed")
 	}
+	// A re-registration (or a racing reconnect) may find an older
+	// connection under the same id. Displace it and tear it down — the
+	// old writer goroutine must not be left blocked on a channel nobody
+	// closes, and its later drop() must not take this new connection
+	// down with it (removal below is identity-checked for that reason).
+	old := n.conns[id]
 	n.conns[id] = sc
 	n.mu.Unlock()
+	if old != nil {
+		old.teardown()
+	}
+	n.mDials.Inc()
 	n.wg.Add(1)
 	go n.writeLoop(sc)
 	// Read loop: waits for DISCONNECT (protocol step 10) or EOF.
@@ -249,12 +364,12 @@ func (n *Notifier) dial(id int64, host string, port int64, table string) error {
 		for {
 			line, err := r.ReadString('\n')
 			if err != nil {
-				n.drop(id)
+				n.drop(sc)
 				return
 			}
 			msg, err := ParseMessage(line)
 			if err == nil && msg.Verb == MsgDisconnect {
-				n.drop(id)
+				n.drop(sc)
 				return
 			}
 		}
@@ -262,21 +377,26 @@ func (n *Notifier) dial(id int64, host string, port int64, table string) error {
 	return nil
 }
 
-// drop closes a connection and removes its ConnectedUser entry.
-func (n *Notifier) drop(id int64) {
+// drop retires one specific connection and removes its ConnectedUser
+// entry. The map delete is identity-checked: if the id has already been
+// re-registered with a fresh connection, that newcomer is left alone and
+// only sc itself is torn down. Together with the sync.Once in teardown,
+// this makes drop safe against the drop/drop, drop/Close and
+// drop/redial races the old id-keyed version double-closed under.
+func (n *Notifier) drop(sc *serverConn) {
 	n.mu.Lock()
-	sc, ok := n.conns[id]
-	if ok {
-		delete(n.conns, id)
+	registered := n.conns[sc.id] == sc
+	if registered {
+		delete(n.conns, sc.id)
 	}
 	closed := n.closed
 	n.mu.Unlock()
-	if ok {
-		sc.c.Close()
-		close(sc.out) // writer goroutine exits after draining
+	sc.teardown()
+	if registered {
+		n.mDroppedConns.Inc()
 	}
-	if ok && !closed {
-		n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+	if registered && !closed {
+		n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(sc.id))
 	}
 }
 
@@ -344,8 +464,7 @@ func (n *Notifier) Close() {
 	n.conns = map[int64]*serverConn{}
 	n.mu.Unlock()
 	for _, sc := range conns {
-		sc.c.Close()
-		close(sc.out)
+		sc.teardown()
 	}
 	n.wg.Wait()
 }

@@ -1,6 +1,7 @@
 package notify
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -128,6 +129,66 @@ func TestEndToEndNotification(t *testing.T) {
 	db.Exec("DELETE FROM authors WHERE id = 2")
 	if m := waitMsg(t, cl); m.Op != "DELETE" {
 		t.Fatalf("%+v", m)
+	}
+}
+
+// TestNotifyAfterReopen reproduces a restart bug: ef_notification rows
+// survive a process restart but the engine's change-sequence counter
+// does not, so a reopened database re-issued old seq_no values, the
+// notification INSERT died on its primary key, and NOTIFY delivery
+// silently stopped. The notifier must restore the sequence floor from
+// the persisted rows.
+func TestNotifyAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := database.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE authors (id INT PRIMARY KEY, name STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO authors VALUES (%d, 'a')", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxSeq, err := db.QueryInt("SELECT MAX(seq_no) FROM " + database.TableNotification)
+	if err != nil || maxSeq == 0 {
+		t.Fatalf("no persisted notifications to collide with (max=%d, err=%v)", maxSeq, err)
+	}
+	n.Close()
+	db.Close()
+
+	db2, err := database.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := NewNotifier(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n2.Close()
+		db2.Close()
+	})
+	cl, err := Connect(db2, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := db2.Exec("INSERT INTO authors VALUES (100, 'post-restart')"); err != nil {
+		t.Fatal(err)
+	}
+	m := waitMsg(t, cl)
+	if m.Table != "authors" || m.Op != "INSERT" {
+		t.Fatalf("%+v", m)
+	}
+	if m.Seq <= maxSeq {
+		t.Fatalf("post-restart seq %d not above persisted max %d", m.Seq, maxSeq)
 	}
 }
 

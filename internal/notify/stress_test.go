@@ -1,0 +1,140 @@
+package notify
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+)
+
+// handshakeListener accepts notifier dial-backs, speaks the HELLO/REPLY
+// handshake, and then closes the socket after a short delay — provoking
+// write failures and read-loop drops in the notifier.
+func handshakeListener(t *testing.T, closeAfter time.Duration) (addr *net.TCPAddr, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				w := bufio.NewWriter(c)
+				w.WriteString(Message{Verb: MsgHello}.Format() + "\n")
+				w.Flush()
+				r := bufio.NewReader(c)
+				r.ReadString('\n') // REPLY
+				select {
+				case <-done:
+				case <-time.After(closeAfter):
+				}
+				c.Close()
+			}(c)
+		}
+	}()
+	return ln.Addr().(*net.TCPAddr), func() { close(done); ln.Close() }
+}
+
+// TestDropRedialRace hammers the exact race the id-keyed drop() lost:
+// many goroutines dial the SAME ConnectedUser id while the peers keep
+// dying. Each redial displaces the previous connection; each death runs
+// drop concurrently with the displacement. Under -race the old code
+// double-closed the send queue (panic) or tore down the wrong conn,
+// leaking its writer goroutine so Close hung.
+func TestDropRedialRace(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	n, err := NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stopLn := handshakeListener(t, 2*time.Millisecond)
+	defer stopLn()
+
+	const id = int64(42)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				n.dial(id, "127.0.0.1", int64(addr.Port), "stress_t")
+			}
+		}()
+	}
+	// Concurrent notification traffic keeps the writer loops busy while
+	// the connections churn.
+	db.Exec("CREATE TABLE stress_t (id INT PRIMARY KEY)")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			db.Exec(fmt.Sprintf("INSERT INTO stress_t VALUES (%d)", i))
+		}
+	}()
+	wg.Wait()
+
+	closed := make(chan struct{})
+	go func() { n.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung: a writer goroutine leaked (old conn's queue never closed)")
+	}
+}
+
+// TestPurgeCloseChurn runs the public API under -race: clients joining,
+// acking, dying abruptly, with AutoPurge ticking and inserts flowing,
+// finished off by Close racing the last drops.
+func TestPurgeCloseChurn(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	n, err := NewNotifier(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopPurge := n.AutoPurge(time.Millisecond)
+	defer stopPurge()
+	db.Exec("CREATE TABLE churn_t (id INT PRIMARY KEY)")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			db.Exec(fmt.Sprintf("INSERT INTO churn_t VALUES (%d)", i))
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				cl, err := Connect(db, fmt.Sprintf("u%d", g), "churn_t")
+				if err != nil {
+					continue // notifier may be tearing down already
+				}
+				cl.Ack(int64(i + 1))
+				if i%2 == 0 {
+					cl.Close() // polite DISCONNECT
+				} else {
+					cl.CloseAbrupt() // socket vanishes mid-protocol
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n.Close()
+	if got := n.ConnectionCount(); got != 0 {
+		t.Fatalf("%d connections survive Close", got)
+	}
+}

@@ -24,6 +24,9 @@ import (
 	"time"
 
 	"ediflow/internal/database"
+	"ediflow/internal/engine"
+	"ediflow/internal/metrics"
+	"ediflow/internal/types"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -65,6 +68,9 @@ type SessionInfo struct {
 	Statements int64 // frames executed
 	Errors     int64 // statements that returned an error
 	InTxn      bool
+	FramesIn   int64 // request frames read (including the handshake)
+	BytesIn    int64 // wire bytes received (payload + 5-byte frame header)
+	BytesOut   int64 // wire bytes sent
 }
 
 // Server is a listening EdiFlow DBMS.
@@ -86,12 +92,51 @@ type Server struct {
 	txnMu     sync.Mutex
 	holderMu  sync.Mutex
 	txnHolder *session
+
+	// Server-wide totals, recorded into the database's registry so
+	// SELECT * FROM sys_metrics sees them next to engine and WAL numbers.
+	reg       *metrics.Registry
+	mRequests *metrics.Counter
+	mErrors   *metrics.Counter
+	mBytesIn  *metrics.Counter
+	mBytesOut *metrics.Counter
+	mTxnWaitH *metrics.Histogram
 }
 
 // New wraps an opened database in a server. The caller keeps ownership
-// of db; Close does not close it.
+// of db; Close does not close it. New also takes over the database's
+// sys_sessions virtual table and registers server.* metrics — when
+// several servers share one database (unusual), the newest wins.
 func New(db *database.DB, cfg Config) *Server {
-	return &Server{db: db, cfg: cfg.withDefaults(), sessions: map[uint64]*session{}}
+	s := &Server{db: db, cfg: cfg.withDefaults(), sessions: map[uint64]*session{}}
+	reg := db.Metrics()
+	s.reg = reg
+	s.mRequests = reg.Counter("server.requests")
+	s.mErrors = reg.Counter("server.errors")
+	s.mBytesIn = reg.Counter("server.bytes_in")
+	s.mBytesOut = reg.Counter("server.bytes_out")
+	s.mTxnWaitH = reg.Histogram("server.txn_wait")
+	reg.RegisterGauge("server.sessions", func() int64 { return int64(s.SessionCount()) })
+	reg.RegisterGauge("server.sessions_total", func() int64 { return int64(s.Accepted()) })
+	db.RegisterVirtual("sys_sessions", engine.SysSessionsColumns, s.sessionRows)
+	return s
+}
+
+// sessionRows serves the sys_sessions virtual table. It runs under the
+// engine's read lock; Sessions touches only server state, never the
+// engine, so there is no lock-order cycle.
+func (s *Server) sessionRows() []types.Row {
+	infos := s.Sessions()
+	rows := make([]types.Row, 0, len(infos))
+	for _, si := range infos {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(si.ID)), types.NewString(si.Remote), types.NewString(si.Client),
+			types.NewInt(si.Started.UnixNano()), types.NewInt(si.LastActive.UnixNano()),
+			types.NewInt(si.Statements), types.NewInt(si.Errors), types.NewBool(si.InTxn),
+			types.NewInt(si.FramesIn), types.NewInt(si.BytesIn), types.NewInt(si.BytesOut),
+		})
+	}
+	return rows
 }
 
 // Listen binds addr (e.g. ":7687", "127.0.0.1:0") and starts the accept

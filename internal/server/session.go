@@ -26,6 +26,9 @@ type session struct {
 
 	stmts      atomic.Int64
 	errs       atomic.Int64
+	framesIn   atomic.Int64
+	bytesIn    atomic.Int64 // payload + wire.HeaderLen per frame received
+	bytesOut   atomic.Int64 // payload + wire.HeaderLen per frame sent
 	lastActive atomic.Int64 // unix nanos
 
 	// stateMu guards busy/stopping: stop() may only close the socket
@@ -64,7 +67,21 @@ func (ss *session) info() SessionInfo {
 		Statements: ss.stmts.Load(),
 		Errors:     ss.errs.Load(),
 		InTxn:      ss.srv.holder() == ss,
+		FramesIn:   ss.framesIn.Load(),
+		BytesIn:    ss.bytesIn.Load(),
+		BytesOut:   ss.bytesOut.Load(),
 	}
+}
+
+// countIn records one received frame against the session and the server
+// totals. Wire frames are payload plus a 5-byte header (u32 length +
+// type byte).
+func (ss *session) countIn(payload []byte) {
+	n := int64(len(payload)) + wire.HeaderLen
+	ss.framesIn.Add(1)
+	ss.bytesIn.Add(n)
+	ss.srv.mRequests.Inc()
+	ss.srv.mBytesIn.Add(n)
 }
 
 // stop asks the session to exit. Idle sessions (parked in a read) are
@@ -115,6 +132,7 @@ func (ss *session) serve() {
 		if err != nil {
 			return // disconnect, idle timeout, or stop() closed the socket
 		}
+		ss.countIn(payload)
 		if !ss.beginWork() {
 			return
 		}
@@ -136,6 +154,7 @@ func (ss *session) handshake() error {
 	if err != nil {
 		return err
 	}
+	ss.countIn(payload)
 	if typ != wire.FrameHello {
 		return fmt.Errorf("expected HELLO, got frame 0x%02x", typ)
 	}
@@ -214,7 +233,12 @@ func (ss *session) dispatch(typ byte, payload []byte) error {
 func (ss *session) execSerialized(run func() (*engine.Result, error)) (*engine.Result, error) {
 	held := ss.inTxn
 	if !held {
+		// server.txn_wait measures how long writes queue on the baton
+		// while another session's transaction is open — the serialization
+		// cost of the engine's single global transaction.
+		done := ss.srv.reg.Time(ss.srv.mTxnWaitH)
 		ss.srv.txnMu.Lock()
+		done()
 	}
 	res, err := run()
 	nowIn := ss.srv.db.InTxn()
@@ -248,10 +272,14 @@ func (ss *session) cleanup() {
 
 func (ss *session) sendErr(err error) error {
 	ss.errs.Add(1)
+	ss.srv.mErrors.Inc()
 	return ss.reply(wire.FrameError, wire.EncodeError(err.Error()))
 }
 
 func (ss *session) reply(typ byte, payload []byte) error {
+	n := int64(len(payload)) + wire.HeaderLen
+	ss.bytesOut.Add(n)
+	ss.srv.mBytesOut.Add(n)
 	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
 	if err := wire.WriteFrame(ss.w, typ, payload); err != nil {
 		return err

@@ -10,10 +10,63 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ediflow/internal/catalog"
+	"ediflow/internal/metrics"
 	"ediflow/internal/types"
 )
+
+// SyncMode selects how aggressively the WAL is forced to stable storage.
+type SyncMode int
+
+const (
+	// SyncOSCache flushes WAL records to the OS page cache at statement
+	// boundaries but never fsyncs until checkpoint/close. Acknowledged
+	// commits survive a process crash (the kernel holds the data) but can
+	// be lost to a machine crash or power failure. This is the historical
+	// default, kept for benchmarks and tests.
+	SyncOSCache SyncMode = iota
+	// SyncCommit fsyncs the WAL at every statement/commit boundary: an
+	// acknowledged commit is on stable storage before control returns.
+	SyncCommit
+	// SyncInterval group-commits: flushes reach the OS at every boundary,
+	// and an fsync runs at most once per SyncEvery window. Bounded loss
+	// (≤ one window) at a fraction of SyncCommit's cost.
+	SyncInterval
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncCommit:
+		return "commit"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "none"
+	}
+}
+
+// ParseSyncMode maps a flag string ("none", "commit", "interval") to a
+// SyncMode; unknown values fall back to SyncOSCache.
+func ParseSyncMode(s string) SyncMode {
+	switch strings.ToLower(s) {
+	case "commit", "fsync", "full":
+		return SyncCommit
+	case "interval", "group":
+		return SyncInterval
+	default:
+		return SyncOSCache
+	}
+}
+
+// Options configures durability behavior for OpenWith.
+type Options struct {
+	Sync      SyncMode
+	SyncEvery time.Duration // SyncInterval window; defaults to 100ms
+}
+
+const defaultSyncEvery = 100 * time.Millisecond
 
 // MetaEntry is a piece of DDL (view or trigger definition) that the
 // database layer re-registers when re-opening a store.
@@ -36,6 +89,7 @@ type indexDef struct {
 type Store struct {
 	dir     string
 	durable bool
+	opts    Options
 	wal     *walWriter
 
 	tables  map[string]*Table // lower-cased name → table
@@ -44,6 +98,18 @@ type Store struct {
 
 	nextTID     atomic.Int64
 	nextCreated atomic.Int64
+
+	// Observability. The registry is created here (the store opens before
+	// the engine) and adopted upward by engine/database/server so the
+	// whole process shares one metric namespace.
+	reg        *metrics.Registry
+	walAppends *metrics.Counter
+	walBytes   *metrics.Counter
+	walFlushes *metrics.Counter
+	walFsyncs  *metrics.Counter
+	walFlushH  *metrics.Histogram
+	walFsyncH  *metrics.Histogram
+	lastFsync  time.Time // SyncInterval bookkeeping; guarded by engine write lock
 }
 
 const (
@@ -52,13 +118,30 @@ const (
 	snapshotMagic = "EDSNAP1\n"
 )
 
-// Open opens (or creates) a store. dir == "" yields an in-memory store.
+// Open opens (or creates) a store with the historical durability default
+// (SyncOSCache). dir == "" yields an in-memory store.
 func Open(dir string) (*Store, error) {
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith opens (or creates) a store with explicit durability options.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	if opts.Sync == SyncInterval && opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
 	s := &Store{
 		dir:     dir,
 		durable: dir != "",
+		opts:    opts,
 		tables:  map[string]*Table{},
+		reg:     metrics.NewRegistry(),
 	}
+	s.walAppends = s.reg.Counter("wal.appends")
+	s.walBytes = s.reg.Counter("wal.bytes")
+	s.walFlushes = s.reg.Counter("wal.flushes")
+	s.walFsyncs = s.reg.Counter("wal.fsyncs")
+	s.walFlushH = s.reg.Histogram("wal.flush_latency")
+	s.walFsyncH = s.reg.Histogram("wal.fsync_latency")
 	s.nextTID.Store(1)
 	s.nextCreated.Store(1)
 	if !s.durable {
@@ -81,6 +164,13 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// Metrics returns the store-owned metrics registry, shared upward by the
+// engine, server and notifier.
+func (s *Store) Metrics() *metrics.Registry { return s.reg }
+
+// SyncPolicy reports the durability mode the store was opened with.
+func (s *Store) SyncPolicy() SyncMode { return s.opts.Sync }
+
 // Close flushes and closes the WAL.
 func (s *Store) Close() error {
 	if s.wal != nil {
@@ -96,16 +186,58 @@ func (s *Store) log(payload []byte) error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.append(payload)
+	n, err := s.wal.append(payload)
+	if err != nil {
+		return err
+	}
+	s.walAppends.Inc()
+	s.walBytes.Add(int64(n))
+	return nil
 }
 
-// Flush pushes buffered WAL records to the OS (called at statement/commit
-// boundaries by the engine).
+// Flush is the engine's statement/commit boundary hook. It always pushes
+// buffered WAL records to the OS; depending on the SyncMode it then
+// fsyncs (SyncCommit), fsyncs at most once per window (SyncInterval), or
+// leaves durability to checkpoint/close (SyncOSCache — the historical
+// behavior, where an acknowledged commit can be lost to a power failure).
 func (s *Store) Flush() error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.sync()
+	timed := s.reg.Enabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	if err := s.wal.flush(); err != nil {
+		return err
+	}
+	s.walFlushes.Inc()
+	if timed {
+		s.walFlushH.Observe(time.Since(t0))
+	}
+	switch s.opts.Sync {
+	case SyncCommit:
+		return s.fsyncWAL()
+	case SyncInterval:
+		if time.Since(s.lastFsync) >= s.opts.SyncEvery {
+			return s.fsyncWAL()
+		}
+	}
+	return nil
+}
+
+func (s *Store) fsyncWAL() error {
+	t0 := time.Now()
+	if err := s.wal.fsync(); err != nil {
+		return err
+	}
+	s.lastFsync = t0
+	s.walFsyncs.Inc()
+	if s.reg.Enabled() {
+		s.walFsyncH.Observe(time.Since(t0))
+	}
+	return nil
 }
 
 func tkey(name string) string { return strings.ToLower(name) }

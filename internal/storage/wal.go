@@ -55,21 +55,30 @@ func openWAL(path string) (*walWriter, error) {
 	return &walWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
 }
 
-func (w *walWriter) append(payload []byte) error {
+// append frames one record into the write buffer and returns the number
+// of bytes added (header + payload).
+func (w *walWriter) append(payload []byte) (int, error) {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := w.buf.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := w.buf.Write(payload)
-	return err
+	if _, err := w.buf.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(payload), nil
 }
 
-// sync flushes buffered records to the OS. (An fsync per statement would
-// dominate every benchmark; like the paper's Oracle setup we rely on the
-// OS page cache and fsync only on checkpoint/close.)
-func (w *walWriter) sync() error { return w.buf.Flush() }
+// flush pushes buffered records to the OS page cache. This alone is NOT
+// durable against machine crashes — an acknowledged commit survives a
+// process kill but not a power loss until fsync runs. The Store's
+// SyncMode decides when fsync is called (see Store.Flush); the old name
+// of this method ("sync") wrongly suggested it reached the platter.
+func (w *walWriter) flush() error { return w.buf.Flush() }
+
+// fsync forces flushed records to stable storage.
+func (w *walWriter) fsync() error { return w.f.Sync() }
 
 func (w *walWriter) close() error {
 	if err := w.buf.Flush(); err != nil {

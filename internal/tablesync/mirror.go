@@ -23,9 +23,18 @@ import (
 	"ediflow/internal/catalog"
 	"ediflow/internal/database"
 	"ediflow/internal/driver"
+	"ediflow/internal/metrics"
 	"ediflow/internal/notify"
 	"ediflow/internal/types"
 )
+
+// metricsSource is satisfied by both connection kinds a mirror runs
+// over: the embedded database (engine registry) and the network client
+// (client-local registry). Mirror metrics land wherever the connection
+// records its own — next to engine.* embedded, next to client.* remote.
+type metricsSource interface {
+	Metrics() *metrics.Registry
+}
 
 // Row is one mirrored tuple: the user columns plus its tuple id.
 type Row struct {
@@ -48,6 +57,14 @@ type Mirror struct {
 
 	stopAuto chan struct{}
 	autoWG   sync.WaitGroup
+
+	// Refresh telemetry (nil-safe: all zero when db has no registry).
+	reg            *metrics.Registry
+	mRefreshes     *metrics.Counter
+	mNotifications *metrics.Counter
+	mRowsFetched   *metrics.Counter
+	mRowsDropped   *metrics.Counter
+	mRefreshH      *metrics.Histogram
 }
 
 // NewMirror connects the notification client and performs the initial
@@ -59,6 +76,14 @@ func NewMirror(db driver.Conn, user, table string) (*Mirror, error) {
 		return nil, err
 	}
 	m := &Mirror{db: db, cl: cl, table: table, rows: map[int64]types.Row{}}
+	if ms, ok := db.(metricsSource); ok {
+		m.reg = ms.Metrics()
+		m.mRefreshes = m.reg.Counter("tablesync.refreshes")
+		m.mNotifications = m.reg.Counter("tablesync.notifications")
+		m.mRowsFetched = m.reg.Counter("tablesync.rows_fetched")
+		m.mRowsDropped = m.reg.Counter("tablesync.rows_dropped")
+		m.mRefreshH = m.reg.Histogram("tablesync.refresh_latency")
+	}
 	if err := m.initialLoad(); err != nil {
 		cl.Close()
 		return nil, err
@@ -166,6 +191,7 @@ func (m *Mirror) Notifications() <-chan notify.Message { return m.cl.C }
 // redundant work" of protocol step 9), local deletion for deletes.
 // It returns the number of notifications processed.
 func (m *Mirror) Refresh() (int, error) {
+	done := m.reg.Time(m.mRefreshH)
 	msgs, tidLists, err := m.cl.PendingNotifications()
 	if err != nil {
 		return 0, err
@@ -173,6 +199,8 @@ func (m *Mirror) Refresh() (int, error) {
 	if len(msgs) == 0 {
 		return 0, nil
 	}
+	m.mRefreshes.Inc()
+	m.mNotifications.Add(int64(len(msgs)))
 	// Coalesce: collect the set of tids to (re)fetch and to drop. A tid
 	// that is updated then deleted ends up dropped; fetching happens once
 	// per tid regardless of how many notifications mention it.
@@ -216,9 +244,12 @@ func (m *Mirror) Refresh() (int, error) {
 	m.version++
 	cb := m.onChange
 	m.mu.Unlock()
+	m.mRowsFetched.Add(int64(len(fetched)))
+	m.mRowsDropped.Add(int64(len(drop)))
 	if err := m.cl.Ack(msgs[len(msgs)-1].Seq); err != nil {
 		return 0, err
 	}
+	done() // refresh latency includes the Ack round-trip
 	if cb != nil {
 		cb()
 	}

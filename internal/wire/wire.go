@@ -30,6 +30,12 @@ const Version uint16 = 1
 // payload). Both sides refuse larger frames rather than allocate.
 const MaxFrame = 16 << 20
 
+// HeaderLen is the fixed per-frame wire overhead: a u32 length prefix
+// plus the type byte. A frame occupies len(payload) + HeaderLen bytes
+// on the socket — the byte accounting in server and client metrics
+// counts exactly that.
+const HeaderLen = 5
+
 // Frame types. Client→server frames have the high bit clear,
 // server→client responses have it set.
 const (
@@ -56,7 +62,7 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	hdr := make([]byte, 5, 5+len(payload))
+	hdr := make([]byte, HeaderLen, HeaderLen+len(payload))
 	binary.BigEndian.PutUint32(hdr, uint32(n))
 	hdr[4] = typ
 	_, err := w.Write(append(hdr, payload...))
@@ -68,7 +74,7 @@ func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
 	if max <= 0 {
 		max = MaxFrame
 	}
-	var hdr [5]byte
+	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}

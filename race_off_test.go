@@ -1,0 +1,5 @@
+//go:build !race
+
+package ediflow
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ediflow
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under it (every atomic op pays race-runtime calls).
+const raceEnabled = true
