@@ -169,19 +169,19 @@ func (e *Engine) execInsert(s *sqltext.Insert, args []types.Value) (*Result, []C
 }
 
 // matchTable builds the single-table relation for UPDATE/DELETE row
-// selection, honoring the WHERE fast path.
+// selection, using the same planner access paths as SELECT scans.
 func (e *Engine) matchTable(table string, where sqltext.Expr, args []types.Value) (*relation, *binder, error) {
 	sel := &sqltext.Select{
 		Items: []sqltext.SelectItem{{Star: true}},
 		From:  &sqltext.TableRef{Table: table},
 		Where: where,
 	}
-	rel, err := e.buildTableRef(*sel.From, args, nil, sel)
+	rel, whereApplied, err := e.buildTableRef(*sel.From, args, nil, sel)
 	if err != nil {
 		return nil, nil, err
 	}
 	b := newBinder(e, args, rel, nil)
-	if where != nil {
+	if where != nil && !whereApplied {
 		kept := rel.rows[:0:0]
 		for _, r := range rel.rows {
 			ok, err := b.evalBool(where, r)

@@ -103,6 +103,12 @@ type Engine struct {
 	mExecH        *metrics.Histogram
 	mSelectH      *metrics.Histogram
 	mMutationH    *metrics.Histogram
+
+	// plans caches parsed statements keyed by SQL text (see plancache.go);
+	// DDL purges it.
+	plans     *planCache
+	mPlanHit  *metrics.Counter
+	mPlanMiss *metrics.Counter
 }
 
 // AdvanceSeq raises the change-event sequence counter to at least floor.
@@ -143,6 +149,9 @@ func New(store *storage.Store) (*Engine, error) {
 	e.mExecH = e.reg.Histogram("engine.exec_latency")
 	e.mSelectH = e.reg.Histogram("engine.select_latency")
 	e.mMutationH = e.reg.Histogram("engine.mutation_latency")
+	e.plans = newPlanCache(256)
+	e.mPlanHit = e.reg.Counter("engine.plan_cache_hit")
+	e.mPlanMiss = e.reg.Counter("engine.plan_cache_miss")
 	e.registerSystemTables()
 	e.views = newViewSet(e)
 	for _, name := range store.TableNames() {
@@ -212,22 +221,51 @@ func (e *Engine) Checkpoint() error {
 }
 
 // Exec parses and executes one statement. Positional `?` parameters are
-// bound from args left to right.
+// bound from args left to right. Parsed statements are served from the
+// plan cache when the same SQL text repeats.
 func (e *Engine) Exec(sql string, args ...types.Value) (*Result, error) {
-	st, err := sqltext.Parse(sql)
+	st, err := e.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
 	return e.ExecStmt(st, args...)
 }
 
-// ExecScript executes a ';'-separated script, returning the last result.
-func (e *Engine) ExecScript(sql string, args ...types.Value) (*Result, error) {
-	stmts, err := sqltext.ParseScript(sql)
+// parseCached parses one statement through the plan cache.
+func (e *Engine) parseCached(sql string) (sqltext.Statement, error) {
+	if v, ok := e.plans.get("1:" + sql); ok {
+		e.mPlanHit.Inc()
+		return v.(sqltext.Statement), nil
+	}
+	e.mPlanMiss.Inc()
+	st, err := sqltext.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	e.plans.put("1:"+sql, st)
+	return st, nil
+}
+
+// ExecScript executes a ';'-separated script, returning the last result.
+// Whole scripts are cached under a separate key space: parameter indexes
+// run left to right across the script, so per-statement entries cannot
+// be shared with Exec's.
+func (e *Engine) ExecScript(sql string, args ...types.Value) (*Result, error) {
+	var stmts []sqltext.Statement
+	if v, ok := e.plans.get("n:" + sql); ok {
+		e.mPlanHit.Inc()
+		stmts = v.([]sqltext.Statement)
+	} else {
+		e.mPlanMiss.Inc()
+		var err error
+		stmts, err = sqltext.ParseScript(sql)
+		if err != nil {
+			return nil, err
+		}
+		e.plans.put("n:"+sql, stmts)
+	}
 	var last *Result
+	var err error
 	for _, st := range stmts {
 		last, err = e.ExecStmt(st, args...)
 		if err != nil {
@@ -239,7 +277,7 @@ func (e *Engine) ExecScript(sql string, args ...types.Value) (*Result, error) {
 
 // Query is Exec restricted to SELECT (convenience with clearer intent).
 func (e *Engine) Query(sql string, args ...types.Value) (*Result, error) {
-	st, err := sqltext.Parse(sql)
+	st, err := e.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +336,11 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 		res, err := e.evalSelect(s, args)
 		e.mu.RUnlock()
 		return res, err
+	case *sqltext.Explain:
+		e.mu.RLock()
+		res, err := e.evalExplain(s, args)
+		e.mu.RUnlock()
+		return res, err
 	case *sqltext.Begin:
 		return e.begin()
 	case *sqltext.Commit:
@@ -312,6 +355,9 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 	if err != nil {
 		e.mu.Unlock()
 		return nil, err
+	}
+	if isDDL(st) {
+		e.plans.purge()
 	}
 	var fire []ChangeEvent
 	if e.inTxn {

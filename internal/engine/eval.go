@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ediflow/internal/sqltext"
+	"ediflow/internal/storage"
 	"ediflow/internal/types"
 )
 
@@ -15,10 +16,16 @@ type colMeta struct {
 	hidden bool   // system columns (_tid, _created) excluded from `*`
 }
 
-// relation is a materialized intermediate result.
+// relation is an intermediate result. Base-table sources may start lazy
+// (cols known, rows not yet fetched) so joins can probe the table's
+// storage indexes instead of materializing it; materializeRel fills rows
+// on demand.
 type relation struct {
 	cols []colMeta
 	rows []types.Row
+
+	tbl  *storage.Table // backing table for a base-table source, else nil
+	lazy bool           // true until rows are filled from tbl
 }
 
 // binder resolves column references and parameters during evaluation of

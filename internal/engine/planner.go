@@ -1,0 +1,687 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/storage"
+	"ediflow/internal/types"
+)
+
+// The planner chooses an access path for every base-table scan and a
+// strategy for every join. Analysis is purely structural — key
+// expressions stay unevaluated — so the same analysis backs both the
+// executor and EXPLAIN, and EXPLAIN works with unbound parameters.
+
+// tidCol is the pseudo column position of the `_tid` system column in
+// planner equality maps (real schema positions are >= 0).
+const tidCol = -1
+
+// pathKind enumerates the access paths available for one table scan.
+type pathKind int
+
+// Access paths, from most to least preferred.
+const (
+	pathFullScan pathKind = iota
+	pathTIDPoint             // _tid = const
+	pathPKPoint              // pk = const
+	pathUniquePoint          // unique col = const
+	pathIndexPoint           // secondary index, all key columns bound by =
+	pathTIDIn                // _tid IN (consts)
+	pathPKIn                 // pk IN (consts)
+	pathUniqueIn             // unique col IN (consts)
+	pathIndexIn              // single-column secondary index, col IN (consts)
+)
+
+// scanPlan is the planner's choice for one table scan. Key expressions
+// are kept unevaluated; resolveScan binds them against the statement's
+// arguments at execution time.
+type scanPlan struct {
+	kind  pathKind
+	index string         // index name (pathIndexPoint, pathIndexIn)
+	cols  []int          // schema positions of the key, in index-key order
+	keys  []sqltext.Expr // key expressions, parallel to cols
+	list  []sqltext.Expr // IN-list elements for the ...In paths
+}
+
+// label renders the path for EXPLAIN output.
+func (p *scanPlan) label() string {
+	switch p.kind {
+	case pathTIDPoint, pathPKPoint, pathTIDIn, pathPKIn:
+		return "pk-point"
+	case pathUniquePoint, pathUniqueIn:
+		return "unique-point"
+	case pathIndexPoint, pathIndexIn:
+		return "index(" + p.index + ")"
+	default:
+		return "full-scan"
+	}
+}
+
+// constKeyExpr reports whether x can serve as an index key: a literal or
+// a positional parameter. NULL literals qualify (a NULL key matches
+// nothing, which resolveScan handles).
+func constKeyExpr(x sqltext.Expr) bool {
+	switch x.(type) {
+	case *sqltext.Literal, *sqltext.Param:
+		return true
+	}
+	return false
+}
+
+// andConjuncts flattens the top-level AND chain of an expression.
+func andConjuncts(x sqltext.Expr) []sqltext.Expr {
+	var out []sqltext.Expr
+	var collect func(sqltext.Expr)
+	collect = func(x sqltext.Expr) {
+		if bin, ok := x.(*sqltext.Binary); ok && bin.Op == "AND" {
+			collect(bin.L)
+			collect(bin.R)
+			return
+		}
+		out = append(out, x)
+	}
+	collect(x)
+	return out
+}
+
+// analyzeScan picks an access path for a single-table scan with the
+// given WHERE clause. It walks the top-level AND chain collecting
+// equality and IN conjuncts over indexed columns; because any conjunct
+// only *restricts* the result, using one conjunct as the access path and
+// re-checking the full WHERE on the fetched rows is always sound.
+//
+// Ranking: _tid = > pk = > unique = > secondary-index = (most key
+// columns first, then name) > the IN variants in the same order.
+func analyzeScan(where sqltext.Expr, schema *catalog.TableSchema, tbl *storage.Table, qual string) *scanPlan {
+	full := &scanPlan{kind: pathFullScan}
+	if where == nil || tbl == nil {
+		return full
+	}
+
+	colFor := func(cr *sqltext.ColumnRef) (int, bool) {
+		if cr.Table != "" && !strings.EqualFold(cr.Table, qual) {
+			return 0, false
+		}
+		if strings.EqualFold(cr.Column, catalog.SysTID) {
+			return tidCol, true
+		}
+		p := schema.ColIndex(cr.Column)
+		return p, p >= 0
+	}
+
+	eq := map[int]sqltext.Expr{}
+	type inPred struct {
+		col  int
+		list []sqltext.Expr
+	}
+	var ins []inPred
+	for _, c := range andConjuncts(where) {
+		switch x := c.(type) {
+		case *sqltext.Binary:
+			if x.Op != "=" {
+				continue
+			}
+			cr, ok := x.L.(*sqltext.ColumnRef)
+			key := x.R
+			if !ok || !constKeyExpr(key) {
+				cr, ok = x.R.(*sqltext.ColumnRef)
+				key = x.L
+				if !ok || !constKeyExpr(key) {
+					continue
+				}
+			}
+			if col, okc := colFor(cr); okc {
+				if _, dup := eq[col]; !dup {
+					eq[col] = key
+				}
+			}
+		case *sqltext.InExpr:
+			if x.Not || x.Query != nil {
+				continue
+			}
+			cr, ok := x.X.(*sqltext.ColumnRef)
+			if !ok {
+				continue
+			}
+			col, okc := colFor(cr)
+			if !okc {
+				continue
+			}
+			usable := true
+			for _, le := range x.List {
+				if !constKeyExpr(le) {
+					usable = false
+					break
+				}
+			}
+			if usable {
+				ins = append(ins, inPred{col: col, list: x.List})
+			}
+		}
+	}
+
+	if k, ok := eq[tidCol]; ok {
+		return &scanPlan{kind: pathTIDPoint, keys: []sqltext.Expr{k}}
+	}
+	if tbl.HasPK() {
+		if k, ok := eq[tbl.PKCol()]; ok {
+			return &scanPlan{kind: pathPKPoint, cols: []int{tbl.PKCol()}, keys: []sqltext.Expr{k}}
+		}
+	}
+	uniqueBest := -1
+	for col := range eq {
+		if col >= 0 && tbl.HasUnique(col) && (uniqueBest < 0 || col < uniqueBest) {
+			uniqueBest = col
+		}
+	}
+	if uniqueBest >= 0 {
+		return &scanPlan{kind: pathUniquePoint, cols: []int{uniqueBest}, keys: []sqltext.Expr{eq[uniqueBest]}}
+	}
+	// Secondary index with every key column bound by an equality. Prefer
+	// more key columns (more selective); SecondaryIndexes is name-sorted,
+	// so ties resolve deterministically.
+	var best *scanPlan
+	for _, info := range tbl.SecondaryIndexes() {
+		keys := make([]sqltext.Expr, len(info.Cols))
+		covered := true
+		for i, c := range info.Cols {
+			k, bound := eq[c]
+			if !bound {
+				covered = false
+				break
+			}
+			keys[i] = k
+		}
+		if covered && (best == nil || len(info.Cols) > len(best.cols)) {
+			best = &scanPlan{kind: pathIndexPoint, index: info.Name, cols: append([]int{}, info.Cols...), keys: keys}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, in := range ins {
+		if in.col == tidCol {
+			return &scanPlan{kind: pathTIDIn, list: in.list}
+		}
+	}
+	if tbl.HasPK() {
+		for _, in := range ins {
+			if in.col == tbl.PKCol() {
+				return &scanPlan{kind: pathPKIn, cols: []int{in.col}, list: in.list}
+			}
+		}
+	}
+	for _, in := range ins {
+		if in.col >= 0 && tbl.HasUnique(in.col) {
+			return &scanPlan{kind: pathUniqueIn, cols: []int{in.col}, list: in.list}
+		}
+	}
+	for _, in := range ins {
+		if in.col < 0 {
+			continue
+		}
+		if name, ok := tbl.IndexOn(in.col); ok {
+			return &scanPlan{kind: pathIndexIn, index: name, cols: []int{in.col}, list: in.list}
+		}
+	}
+	return full
+}
+
+// constVal binds a planner key expression against the statement's
+// arguments. ok=false (unbound parameter) makes the executor fall back
+// to a streaming full scan.
+func constVal(x sqltext.Expr, args []types.Value) (types.Value, bool) {
+	switch v := x.(type) {
+	case *sqltext.Literal:
+		return v.Value, true
+	case *sqltext.Param:
+		if v.Index < len(args) {
+			return args[v.Index], true
+		}
+	}
+	return types.Null, false
+}
+
+// resolveScan turns a non-full-scan plan into candidate tids. ok=false
+// means the plan could not be applied (unbound parameter, value that
+// cannot be coerced to the column type) and the caller must fall back to
+// a full scan; ok=true with an empty slice means the predicate provably
+// matches nothing. Candidate tids are deduplicated so `pk IN (5, 5)`
+// yields one row, not two.
+func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table, args []types.Value) ([]int64, bool) {
+	coerce := func(col int, v types.Value) (types.Value, bool) {
+		cv, err := v.CoerceTo(schema.Columns[col].Type)
+		if err != nil {
+			return types.Null, false
+		}
+		return cv, true
+	}
+	var tids []int64
+	seen := map[int64]bool{}
+	add := func(tid int64) {
+		if !seen[tid] {
+			seen[tid] = true
+			tids = append(tids, tid)
+		}
+	}
+
+	switch plan.kind {
+	case pathTIDPoint:
+		v, ok := constVal(plan.keys[0], args)
+		if !ok {
+			return nil, false
+		}
+		if v.IsNull() {
+			return nil, true
+		}
+		tid, err := v.AsInt()
+		if err != nil {
+			return nil, false
+		}
+		add(tid)
+
+	case pathPKPoint, pathUniquePoint:
+		v, ok := constVal(plan.keys[0], args)
+		if !ok {
+			return nil, false
+		}
+		if v.IsNull() {
+			return nil, true
+		}
+		cv, ok := coerce(plan.cols[0], v)
+		if !ok {
+			return nil, false
+		}
+		var tid int64
+		var found bool
+		if plan.kind == pathPKPoint {
+			tid, found = tbl.LookupPK(cv)
+		} else {
+			tid, found = tbl.LookupUnique(plan.cols[0], cv)
+		}
+		if found {
+			add(tid)
+		}
+
+	case pathIndexPoint:
+		key := make(types.Row, len(plan.cols))
+		for i, kx := range plan.keys {
+			v, ok := constVal(kx, args)
+			if !ok {
+				return nil, false
+			}
+			if v.IsNull() {
+				return nil, true
+			}
+			cv, ok := coerce(plan.cols[i], v)
+			if !ok {
+				return nil, false
+			}
+			key[i] = cv
+		}
+		if found, ok := tbl.LookupIndex(plan.index, key); ok {
+			for _, tid := range found {
+				add(tid)
+			}
+		}
+
+	case pathTIDIn, pathPKIn, pathUniqueIn, pathIndexIn:
+		for _, le := range plan.list {
+			v, ok := constVal(le, args)
+			if !ok {
+				return nil, false
+			}
+			if v.IsNull() {
+				continue // NULL never matches inside IN
+			}
+			switch plan.kind {
+			case pathTIDIn:
+				tid, err := v.AsInt()
+				if err != nil {
+					return nil, false
+				}
+				add(tid)
+			case pathPKIn:
+				cv, ok := coerce(plan.cols[0], v)
+				if !ok {
+					return nil, false
+				}
+				if tid, found := tbl.LookupPK(cv); found {
+					add(tid)
+				}
+			case pathUniqueIn:
+				cv, ok := coerce(plan.cols[0], v)
+				if !ok {
+					return nil, false
+				}
+				if tid, found := tbl.LookupUnique(plan.cols[0], cv); found {
+					add(tid)
+				}
+			case pathIndexIn:
+				cv, ok := coerce(plan.cols[0], v)
+				if !ok {
+					return nil, false
+				}
+				if found, ok := tbl.LookupIndex(plan.index, types.Row{cv}); ok {
+					for _, tid := range found {
+						add(tid)
+					}
+				}
+			}
+		}
+
+	default:
+		return nil, false
+	}
+	return tids, true
+}
+
+// ----------------------------------------------------------------- joins
+
+// joinPlan is the planner's choice for one JOIN step.
+type joinPlan struct {
+	kind     string         // "hash", "nested" or "cross"
+	eqL, eqR []int          // equality key positions in the left/right relation
+	residual []sqltext.Expr // non-equality ON conjuncts, checked per match
+	// Probe-side shortcuts, set when the right side is an unmaterialized
+	// base table whose storage index covers exactly the join key.
+	index   string // secondary index name, "" if none
+	probePK bool   // single-column key on the right side's primary key
+	perm    []int  // index-key position → position in eqL/eqR
+}
+
+// analyzeJoin classifies one join clause. A hash join applies when ON is
+// an AND chain containing at least one equality between a left-side and
+// a right-side column; the remaining conjuncts become a residual filter
+// evaluated on each candidate match.
+func (e *Engine) analyzeJoin(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row) *joinPlan {
+	if jc.Kind == "CROSS" {
+		return &joinPlan{kind: "cross"}
+	}
+	plan := &joinPlan{kind: "nested"}
+	lb := newBinder(e, args, left, overrides)
+	rb := newBinder(e, args, right, overrides)
+	for _, c := range andConjuncts(jc.On) {
+		eqv, ok := c.(*sqltext.Binary)
+		if !ok || eqv.Op != "=" {
+			plan.residual = append(plan.residual, c)
+			continue
+		}
+		lcr, lok := eqv.L.(*sqltext.ColumnRef)
+		rcr, rok := eqv.R.(*sqltext.ColumnRef)
+		if !lok || !rok {
+			plan.residual = append(plan.residual, c)
+			continue
+		}
+		li, lerr := lb.resolve(lcr)
+		ri, rerr := rb.resolve(rcr)
+		if lerr != nil || rerr != nil {
+			// Maybe the refs are swapped relative to the sides.
+			li2, lerr2 := lb.resolve(rcr)
+			ri2, rerr2 := rb.resolve(lcr)
+			if lerr2 != nil || rerr2 != nil {
+				plan.residual = append(plan.residual, c)
+				continue
+			}
+			li, ri = li2, ri2
+		}
+		plan.eqL = append(plan.eqL, li)
+		plan.eqR = append(plan.eqR, ri)
+	}
+	if len(plan.eqL) == 0 {
+		// Nested loop re-evaluates the whole ON clause; no residual split.
+		plan.residual = nil
+		return plan
+	}
+	plan.kind = "hash"
+
+	// Build on the indexed side: when the right side is a lazy base-table
+	// scan and storage already maintains a hash index over exactly the
+	// join key columns, probe that index per left row instead of
+	// materializing the right side and building a second hash table.
+	if right.lazy && right.tbl != nil {
+		nUser := len(right.tbl.Schema.Columns)
+		cols := make([]int, 0, len(plan.eqR))
+		userOnly := true
+		for _, c := range plan.eqR {
+			if c >= nUser {
+				userOnly = false
+				break
+			}
+			cols = append(cols, c)
+		}
+		if userOnly {
+			if len(cols) == 1 && right.tbl.HasPK() && cols[0] == right.tbl.PKCol() {
+				plan.probePK = true
+				plan.perm = []int{0}
+			} else if name, perm, ok := right.tbl.IndexCovering(cols); ok {
+				plan.index = name
+				plan.perm = perm
+			}
+		}
+	}
+	return plan
+}
+
+// ---------------------------------------------------------------- EXPLAIN
+
+// evalExplain renders the planner's choices for a statement without
+// executing it. The caller holds at least a read lock.
+func (e *Engine) evalExplain(x *sqltext.Explain, args []types.Value) (*Result, error) {
+	var lines []string
+	var err error
+	switch s := x.Stmt.(type) {
+	case *sqltext.Select:
+		lines, err = e.explainSelect(s, "")
+	case *sqltext.Update:
+		lines, err = e.explainMutation("update", s.Table, s.Where)
+	case *sqltext.Delete:
+		lines, err = e.explainMutation("delete", s.Table, s.Where)
+	default:
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT, UPDATE or DELETE")
+	}
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]types.Row, len(lines))
+	for i, l := range lines {
+		rows[i] = types.Row{types.NewString(l)}
+	}
+	return &Result{Columns: []string{"plan"}, Rows: rows}, nil
+}
+
+func (e *Engine) explainSelect(sel *sqltext.Select, indent string) ([]string, error) {
+	var lines []string
+	if sel.From == nil {
+		lines = append(lines, indent+"result: constant")
+	} else {
+		fl, err := e.explainRef(*sel.From, sel, indent)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fl...)
+		left, err := e.refCols(*sel.From)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range sel.Joins {
+			rl, err := e.explainRef(j.Right, nil, indent)
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, rl...)
+			right, err := e.refCols(j.Right)
+			if err != nil {
+				return nil, err
+			}
+			plan := e.analyzeJoin(left, right, j, nil, nil)
+			label := "nested-loop"
+			switch plan.kind {
+			case "cross":
+				label = "cross-join"
+			case "hash":
+				label = "hash-join"
+			}
+			lines = append(lines, indent+"join "+refName(j.Right)+": "+label)
+			left = &relation{cols: append(append([]colMeta{}, left.cols...), right.cols...)}
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		sortLabel := "full"
+		if sel.Limit != nil {
+			if n, ok := staticInt(sel.Limit); ok {
+				k, usable := n, true
+				if sel.Offset != nil {
+					if m, ok2 := staticInt(sel.Offset); ok2 {
+						k += m
+					} else {
+						usable = false
+					}
+				}
+				if usable && k >= 0 {
+					sortLabel = fmt.Sprintf("top-k(%d)", k)
+				}
+			}
+		}
+		lines = append(lines, indent+"sort: "+sortLabel)
+	}
+	return lines, nil
+}
+
+// explainRef renders the scan line for one FROM entry. sel is non-nil
+// only for the first entry of a join-free SELECT — the same condition
+// under which the executor applies index fast paths.
+func (e *Engine) explainRef(tr sqltext.TableRef, sel *sqltext.Select, indent string) ([]string, error) {
+	name := refName(tr)
+	if tr.Subquery != nil {
+		lines := []string{indent + "scan " + name + ": subquery"}
+		sub, err := e.explainSelect(tr.Subquery, indent+"  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(lines, sub...), nil
+	}
+	if vt := e.lookupVirtual(tr.Table); vt != nil {
+		return []string{indent + "scan " + name + ": virtual"}, nil
+	}
+	target := tr.Table
+	if v, ok := e.cat.View(target); ok {
+		target = v.Backing
+	}
+	schema, ok := e.cat.Table(target)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", tr.Table)
+	}
+	label := "full-scan"
+	if sel != nil && len(sel.Joins) == 0 && sel.Where != nil {
+		qual := strings.ToLower(tr.Alias)
+		if qual == "" {
+			qual = strings.ToLower(tr.Table)
+		}
+		label = analyzeScan(sel.Where, schema, e.store.Table(target), qual).label()
+	}
+	return []string{indent + "scan " + name + ": " + label}, nil
+}
+
+func (e *Engine) explainMutation(verb, table string, where sqltext.Expr) ([]string, error) {
+	if _, isView := e.cat.View(table); isView {
+		return nil, fmt.Errorf("engine: cannot %s view %q", strings.ToUpper(verb), table)
+	}
+	schema, ok := e.cat.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", table)
+	}
+	label := "full-scan"
+	if where != nil {
+		label = analyzeScan(where, schema, e.store.Table(table), strings.ToLower(table)).label()
+	}
+	return []string{verb + " " + table + ": " + label}, nil
+}
+
+func refName(tr sqltext.TableRef) string {
+	if tr.Alias != "" {
+		return tr.Alias
+	}
+	if tr.Subquery != nil {
+		return "(subquery)"
+	}
+	return tr.Table
+}
+
+// refCols builds the column shape of one FROM entry without touching any
+// rows (EXPLAIN never materializes).
+func (e *Engine) refCols(tr sqltext.TableRef) (*relation, error) {
+	qual := strings.ToLower(tr.Alias)
+	if tr.Subquery != nil {
+		names, err := e.selectCols(tr.Subquery)
+		if err != nil {
+			return nil, err
+		}
+		rel := &relation{}
+		for _, n := range names {
+			rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(n)})
+		}
+		return rel, nil
+	}
+	if qual == "" {
+		qual = strings.ToLower(tr.Table)
+	}
+	if vt := e.lookupVirtual(tr.Table); vt != nil {
+		rel := &relation{}
+		for _, c := range vt.cols {
+			rel.cols = append(rel.cols, colMeta{qual: qual, name: c})
+		}
+		return rel, nil
+	}
+	name := tr.Table
+	if v, ok := e.cat.View(name); ok {
+		name = v.Backing
+	}
+	schema, ok := e.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", tr.Table)
+	}
+	rel := &relation{tbl: e.store.Table(name), lazy: true}
+	for _, c := range schema.Columns {
+		rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(c.Name)})
+	}
+	rel.cols = append(rel.cols,
+		colMeta{qual: qual, name: catalog.SysTID, hidden: true},
+		colMeta{qual: qual, name: catalog.SysCreated, hidden: true},
+	)
+	return rel, nil
+}
+
+// selectCols computes a SELECT's output column names without executing.
+func (e *Engine) selectCols(sel *sqltext.Select) ([]string, error) {
+	rel := &relation{}
+	if sel.From != nil {
+		left, err := e.refCols(*sel.From)
+		if err != nil {
+			return nil, err
+		}
+		rel = left
+		for _, j := range sel.Joins {
+			right, err := e.refCols(j.Right)
+			if err != nil {
+				return nil, err
+			}
+			rel = &relation{cols: append(append([]colMeta{}, rel.cols...), right.cols...)}
+		}
+	}
+	_, names, err := expandItems(sel, rel)
+	return names, err
+}
+
+// staticInt extracts a non-parameter integer literal (EXPLAIN runs with
+// no bound arguments, so only literals count as statically known).
+func staticInt(x sqltext.Expr) (int, bool) {
+	lit, ok := x.(*sqltext.Literal)
+	if !ok || lit.Value.Kind() != types.KindInt {
+		return 0, false
+	}
+	return int(lit.Value.Int()), true
+}

@@ -30,19 +30,20 @@ func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrid
 	// Build the source relation (FROM + JOINs + WHERE).
 	var rel *relation
 	var b *binder
+	whereApplied := false
 	if sel.From == nil {
 		rel = &relation{rows: []types.Row{nil}} // one empty row: SELECT 1+1
 		b = newBinder(e, args, rel, overrides)
 	} else {
 		var err error
-		rel, b, err = e.buildFrom(sel, args, overrides)
+		rel, b, whereApplied, err = e.buildFrom(sel, args, overrides)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// WHERE.
-	if sel.Where != nil {
+	// WHERE (unless the scan already streamed it — see buildTableRef).
+	if sel.Where != nil && !whereApplied {
 		kept := rel.rows[:0:0]
 		for _, r := range rel.rows {
 			ok, err := b.evalBool(sel.Where, r)
@@ -115,9 +116,10 @@ func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrid
 		srcRows = keptSrc
 	}
 
-	// ORDER BY.
+	// ORDER BY (bounded top-k selection when LIMIT is statically known).
 	if len(sel.OrderBy) > 0 {
-		if err := e.orderRows(sel, items, colNames, out, srcRows, b); err != nil {
+		out, srcRows, err = e.orderRows(sel, items, colNames, out, srcRows, b)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -277,8 +279,11 @@ func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel 
 }
 
 // orderRows sorts output (and keeps srcRows aligned). ORDER BY keys may
-// reference output aliases/columns or source-relation expressions.
-func (e *Engine) orderRows(sel *sqltext.Select, items []projItem, colNames []string, out []types.Row, srcRows []types.Row, b *binder) error {
+// reference output aliases/columns or source-relation expressions. When
+// LIMIT (+ OFFSET) is statically known, a bounded heap keeps only the
+// top limit+offset rows instead of sorting the whole result — O(n log k)
+// comparisons instead of O(n log n), and the returned slices shrink to k.
+func (e *Engine) orderRows(sel *sqltext.Select, items []projItem, colNames []string, out []types.Row, srcRows []types.Row, b *binder) ([]types.Row, []types.Row, error) {
 	type keyFn func(i int) (types.Value, error)
 	fns := make([]keyFn, len(sel.OrderBy))
 	for oi, o := range sel.OrderBy {
@@ -302,7 +307,7 @@ func (e *Engine) orderRows(sel *sqltext.Select, items []projItem, colNames []str
 		if lit, ok := o.Expr.(*sqltext.Literal); ok && lit.Value.Kind() == types.KindInt {
 			p := int(lit.Value.Int()) - 1
 			if p < 0 || p >= len(colNames) {
-				return fmt.Errorf("engine: ORDER BY position %d out of range", p+1)
+				return nil, nil, fmt.Errorf("engine: ORDER BY position %d out of range", p+1)
 			}
 			fns[oi] = func(i int) (types.Value, error) { return out[i][p], nil }
 			continue
@@ -327,19 +332,18 @@ func (e *Engine) orderRows(sel *sqltext.Select, items []projItem, colNames []str
 		for j, fn := range fns {
 			v, err := fn(i)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			keys[i][j] = v
 		}
 	}
-	idx := make([]int, len(out))
-	for i := range idx {
-		idx[i] = i
-	}
+
+	// less orders row indexes by the ORDER BY keys, breaking ties by
+	// original position so the result matches a stable sort.
 	var sortErr error
-	sort.SliceStable(idx, func(a, bIdx int) bool {
+	less := func(a, bb int) bool {
 		for j := range fns {
-			c, err := types.Compare(keys[idx[a]][j], keys[idx[bIdx]][j])
+			c, err := types.Compare(keys[a][j], keys[bb][j])
 			if err != nil {
 				sortErr = err
 				return false
@@ -351,54 +355,147 @@ func (e *Engine) orderRows(sel *sqltext.Select, items []projItem, colNames []str
 				return c < 0
 			}
 		}
-		return false
-	})
-	if sortErr != nil {
-		return sortErr
+		return a < bb
 	}
-	sorted := make([]types.Row, len(out))
+
+	// Bound: LIMIT k (+ OFFSET m) means only the first k+m sorted rows
+	// survive, so a size-k+m heap suffices.
+	k := -1
+	if sel.Limit != nil {
+		if n, ok := constInt(b, sel.Limit); ok && n >= 0 {
+			k = int(n)
+			if sel.Offset != nil {
+				if m, ok := constInt(b, sel.Offset); ok && m >= 0 {
+					k += int(m)
+				} else {
+					k = -1
+				}
+			}
+		}
+	}
+
+	var idx []int
+	if k >= 0 && k < len(out) {
+		idx = topKIndexes(len(out), k, less)
+	} else {
+		idx = make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, bb int) bool { return less(idx[a], idx[bb]) })
+	}
+	if sortErr != nil {
+		return nil, nil, sortErr
+	}
+	sorted := make([]types.Row, len(idx))
 	for i, p := range idx {
 		sorted[i] = out[p]
 	}
-	copy(out, sorted)
+	sortedSrc := srcRows
 	if len(srcRows) == len(out) {
-		sortedSrc := make([]types.Row, len(srcRows))
+		sortedSrc = make([]types.Row, len(idx))
 		for i, p := range idx {
 			sortedSrc[i] = srcRows[p]
 		}
-		copy(srcRows, sortedSrc)
 	}
-	return nil
+	return sorted, sortedSrc, nil
 }
 
-// buildFrom materializes the FROM clause (with joins) into a relation and
-// returns a binder over it. The WHERE clause is used for index fast paths
-// on single-table scans.
-func (e *Engine) buildFrom(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row) (*relation, *binder, error) {
-	left, err := e.buildTableRef(*sel.From, args, overrides, sel)
+// constInt evaluates a LIMIT/OFFSET expression when it is a literal or a
+// bound parameter; anything else is not statically known.
+func constInt(b *binder, x sqltext.Expr) (int64, bool) {
+	v, ok := constVal(x, b.args)
+	if !ok || v.IsNull() {
+		return 0, false
+	}
+	n, err := v.AsInt()
 	if err != nil {
-		return nil, nil, err
+		return 0, false
+	}
+	return n, true
+}
+
+// topKIndexes selects the k smallest (per less) of n row indexes using a
+// bounded max-heap whose root is the worst row kept so far, then sorts
+// the survivors. O(n log k) comparisons, O(k) extra space.
+func topKIndexes(n, k int, less func(a, b int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	h := make([]int, 0, k)
+	worse := func(a, b int) bool { return less(b, a) }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(h) && worse(h[l], h[big]) {
+				big = l
+			}
+			if r < len(h) && worse(h[r], h[big]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(h[i], h[p]) {
+				return
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(h) < k {
+			h = append(h, i)
+			siftUp(len(h) - 1)
+		} else if less(i, h[0]) {
+			h[0] = i
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	return h
+}
+
+// buildFrom builds the FROM clause (with joins) into a relation and
+// returns a binder over it. The returned bool reports whether the WHERE
+// clause was already applied during the scan (streaming full scan).
+func (e *Engine) buildFrom(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row) (*relation, *binder, bool, error) {
+	left, whereApplied, err := e.buildTableRef(*sel.From, args, overrides, sel)
+	if err != nil {
+		return nil, nil, false, err
 	}
 	for _, j := range sel.Joins {
-		right, err := e.buildTableRef(j.Right, args, overrides, nil)
+		right, err := e.buildJoinSource(j.Right, args, overrides)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		left, err = e.join(left, right, j, args, overrides)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 	}
-	return left, newBinder(e, args, left, overrides), nil
+	return left, newBinder(e, args, left, overrides), whereApplied, nil
 }
 
-// buildTableRef materializes one FROM entry. When sel is non-nil (single
-// base table with no joins), WHERE-based index fast paths may prune rows.
-func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row, sel *sqltext.Select) (*relation, error) {
+// buildTableRef builds one FROM entry. When sel is non-nil (single base
+// table with no joins), the planner chooses an access path from the
+// WHERE clause: an index point/IN lookup fetching only candidate rows,
+// or a streaming full scan that evaluates WHERE inside the scan loop so
+// non-matching rows are never copied. The bool reports whether WHERE was
+// fully applied by the scan.
+func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row, sel *sqltext.Select) (*relation, bool, error) {
 	if tr.Subquery != nil {
 		res, err := e.evalSelectWith(tr.Subquery, args, overrides)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		qual := strings.ToLower(tr.Alias)
 		rel := &relation{}
@@ -406,7 +503,7 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 			rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(n)})
 		}
 		rel.rows = res.Rows
-		return rel, nil
+		return rel, false, nil
 	}
 	name := tr.Table
 	qual := strings.ToLower(tr.Alias)
@@ -423,7 +520,7 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 		}
 		rel.rows = vt.fn()
 		e.countScanned(len(rel.rows))
-		return rel, nil
+		return rel, false, nil
 	}
 
 	// View resolution: the backing table holds the materialized rows.
@@ -433,7 +530,7 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 
 	schema, ok := e.cat.Table(name)
 	if !ok {
-		return nil, fmt.Errorf("engine: no such table %q", tr.Table)
+		return nil, false, fmt.Errorf("engine: no such table %q", tr.Table)
 	}
 	rel := &relation{}
 	for _, c := range schema.Columns {
@@ -448,35 +545,71 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 	if rows, ok := overrides[strings.ToLower(tr.Table)]; ok {
 		for _, r := range rows {
 			if len(r) != len(schema.Columns) {
-				return nil, fmt.Errorf("engine: override row arity %d for %s (want %d)", len(r), tr.Table, len(schema.Columns))
+				return nil, false, fmt.Errorf("engine: override row arity %d for %s (want %d)", len(r), tr.Table, len(schema.Columns))
 			}
 			full := make(types.Row, 0, len(r)+2)
 			full = append(full, r...)
 			full = append(full, types.NewInt(0), types.NewInt(0))
 			rel.rows = append(rel.rows, full)
 		}
-		return rel, nil
+		return rel, false, nil
 	}
 
 	tbl := e.store.Table(name)
 	if tbl == nil {
-		return nil, fmt.Errorf("engine: storage missing for table %q", name)
+		return nil, false, fmt.Errorf("engine: storage missing for table %q", name)
+	}
+	rel.tbl = tbl
+
+	var where sqltext.Expr
+	if sel != nil && len(sel.Joins) == 0 {
+		where = sel.Where
 	}
 
-	// Index fast path: single-table query with a point predicate.
-	if sel != nil && len(sel.Joins) == 0 && sel.Where != nil {
-		if tids, ok := e.fastPathTIDs(sel.Where, schema, tbl0{tbl}, qual, args); ok {
-			for _, tid := range tids {
-				if sr, found := tbl.Get(tid); found {
-					full := make(types.Row, 0, len(sr.Values)+2)
-					full = append(full, sr.Values...)
-					full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
-					rel.rows = append(rel.rows, full)
+	// Index access path: fetch only candidate tids, then let the caller
+	// re-apply the full WHERE (a conjunct only restricts, so the
+	// candidate set over-approximates and re-filtering is sound).
+	if where != nil {
+		if plan := analyzeScan(where, schema, tbl, qual); plan.kind != pathFullScan {
+			if tids, ok := resolveScan(plan, schema, tbl, args); ok {
+				for _, tid := range tids {
+					if sr, found := tbl.Get(tid); found {
+						full := make(types.Row, 0, len(sr.Values)+2)
+						full = append(full, sr.Values...)
+						full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
+						rel.rows = append(rel.rows, full)
+					}
 				}
+				e.countScanned(len(tids))
+				return rel, false, nil
 			}
-			e.countScanned(len(rel.rows))
-			return rel, nil
 		}
+	}
+
+	nUser := len(schema.Columns)
+
+	// Streaming full scan: evaluate WHERE against a reused scratch row
+	// inside the loop, copying out only the matches. Allocation becomes
+	// O(result) instead of O(table).
+	if where != nil {
+		b := newBinder(e, args, rel, overrides)
+		scratch := make(types.Row, nUser+2)
+		for _, sr := range tbl.Rows() {
+			copy(scratch, sr.Values)
+			scratch[nUser] = types.NewInt(sr.TID)
+			scratch[nUser+1] = types.NewInt(sr.Created)
+			ok, err := b.evalBool(where, scratch)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				full := make(types.Row, nUser+2)
+				copy(full, scratch)
+				rel.rows = append(rel.rows, full)
+			}
+		}
+		e.countScanned(tbl.Len())
+		return rel, true, nil
 	}
 
 	for _, sr := range tbl.Rows() {
@@ -485,150 +618,59 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 		full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
 		rel.rows = append(rel.rows, full)
 	}
-	e.countScanned(len(rel.rows))
-	return rel, nil
+	e.countScanned(tbl.Len())
+	return rel, false, nil
 }
 
-// countScanned credits base-relation rows materialized for a statement.
+// buildJoinSource builds the right side of a join. Plain base tables
+// stay lazy (columns only) so the join can probe their storage indexes
+// without materializing; everything else falls back to buildTableRef.
+func (e *Engine) buildJoinSource(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row) (*relation, error) {
+	if tr.Subquery == nil && e.lookupVirtual(tr.Table) == nil {
+		if _, hasOverride := overrides[strings.ToLower(tr.Table)]; !hasOverride {
+			name := tr.Table
+			if v, ok := e.cat.View(name); ok {
+				name = v.Backing
+			}
+			if _, ok := e.cat.Table(name); ok {
+				if rel, err := e.refCols(tr); err == nil && rel.tbl != nil {
+					return rel, nil
+				}
+			}
+		}
+	}
+	rel, _, err := e.buildTableRef(tr, args, overrides, nil)
+	return rel, err
+}
+
+// materializeRel fills a lazy base-table relation's rows.
+func (e *Engine) materializeRel(rel *relation) {
+	if !rel.lazy {
+		return
+	}
+	rel.lazy = false
+	for _, sr := range rel.tbl.Rows() {
+		full := make(types.Row, 0, len(sr.Values)+2)
+		full = append(full, sr.Values...)
+		full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
+		rel.rows = append(rel.rows, full)
+	}
+	e.countScanned(rel.tbl.Len())
+}
+
+// countScanned credits base-relation rows examined by a statement —
+// rows the executor actually touched (streamed past, probed or
+// materialized), not rows returned.
 func (e *Engine) countScanned(n int) {
 	if n > 0 && e.reg.Enabled() {
 		e.mRowsScanned.Add(int64(n))
 	}
 }
 
-// tbl0 is a tiny indirection so fastPathTIDs stays testable without
-// importing storage in its signature.
-type tbl0 struct {
-	t interface {
-		LookupPK(types.Value) (int64, bool)
-		HasPK() bool
-		PKCol() int
-	}
-}
-
-// fastPathTIDs recognizes point predicates usable for index access:
-//
-//	pk = <literal/param>         pk IN (<literals>)
-//	_tid = <literal/param>       _tid IN (<literals>)
-//
-// possibly as the left arm of a top-level AND chain. It returns candidate
-// tids (the full WHERE is still applied afterwards, so over-approximation
-// by conjunct is safe — we only use a conjunct that *restricts* rows).
-func (e *Engine) fastPathTIDs(where sqltext.Expr, schema *catalog.TableSchema, tw tbl0, qual string, args []types.Value) ([]int64, bool) {
-	// Walk the top-level AND chain and try each conjunct.
-	var conjuncts []sqltext.Expr
-	var collect func(sqltext.Expr)
-	collect = func(x sqltext.Expr) {
-		if bin, ok := x.(*sqltext.Binary); ok && bin.Op == "AND" {
-			collect(bin.L)
-			collect(bin.R)
-			return
-		}
-		conjuncts = append(conjuncts, x)
-	}
-	collect(where)
-
-	lit := func(x sqltext.Expr) (types.Value, bool) {
-		switch v := x.(type) {
-		case *sqltext.Literal:
-			return v.Value, true
-		case *sqltext.Param:
-			if v.Index < len(args) {
-				return args[v.Index], true
-			}
-		}
-		return types.Null, false
-	}
-	colMatches := func(cr *sqltext.ColumnRef, name string) bool {
-		if !strings.EqualFold(cr.Column, name) {
-			return false
-		}
-		return cr.Table == "" || strings.EqualFold(cr.Table, qual)
-	}
-
-	pkName := ""
-	if tw.t.HasPK() {
-		pkName = schema.Columns[tw.t.PKCol()].Name
-	}
-
-	for _, c := range conjuncts {
-		switch x := c.(type) {
-		case *sqltext.Binary:
-			if x.Op != "=" {
-				continue
-			}
-			cr, ok := x.L.(*sqltext.ColumnRef)
-			val, okV := lit(x.R)
-			if !ok || !okV {
-				// try reversed
-				cr, ok = x.R.(*sqltext.ColumnRef)
-				val, okV = lit(x.L)
-				if !ok || !okV {
-					continue
-				}
-			}
-			if val.IsNull() {
-				return nil, true // col = NULL matches nothing
-			}
-			if colMatches(cr, catalog.SysTID) {
-				tid, err := val.AsInt()
-				if err != nil {
-					continue
-				}
-				return []int64{tid}, true
-			}
-			if pkName != "" && colMatches(cr, pkName) {
-				if tid, found := tw.t.LookupPK(val); found {
-					return []int64{tid}, true
-				}
-				return nil, true
-			}
-		case *sqltext.InExpr:
-			if x.Not || x.Query != nil {
-				continue
-			}
-			cr, ok := x.X.(*sqltext.ColumnRef)
-			if !ok {
-				continue
-			}
-			isTID := colMatches(cr, catalog.SysTID)
-			isPK := pkName != "" && colMatches(cr, pkName)
-			if !isTID && !isPK {
-				continue
-			}
-			var tids []int64
-			usable := true
-			for _, le := range x.List {
-				v, okV := lit(le)
-				if !okV {
-					usable = false
-					break
-				}
-				if v.IsNull() {
-					continue
-				}
-				if isTID {
-					tid, err := v.AsInt()
-					if err != nil {
-						usable = false
-						break
-					}
-					tids = append(tids, tid)
-				} else {
-					if tid, found := tw.t.LookupPK(v); found {
-						tids = append(tids, tid)
-					}
-				}
-			}
-			if usable {
-				return tids, true
-			}
-		}
-	}
-	return nil, false
-}
-
-// join combines two relations according to the join clause.
+// join combines two relations according to the join clause, using the
+// planner's classification: hash join on the equality conjuncts of ON
+// (probing the right side's storage index when one covers the key),
+// otherwise a nested loop.
 func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row) (*relation, error) {
 	out := &relation{cols: append(append([]colMeta{}, left.cols...), right.cols...)}
 
@@ -638,7 +680,10 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 		return append(row, r...)
 	}
 
-	if jc.Kind == "CROSS" {
+	plan := e.analyzeJoin(left, right, jc, args, overrides)
+
+	if plan.kind == "cross" {
+		e.materializeRel(right)
 		for _, lr := range left.rows {
 			for _, rr := range right.rows {
 				out.rows = append(out.rows, concat(lr, rr))
@@ -648,32 +693,117 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 	}
 
 	b := newBinder(e, args, out, overrides)
+	leftOuter := jc.Kind == "LEFT"
 
-	// Hash join fast path: ON is a single equality between one column of
-	// each side.
-	if eq, ok := jc.On.(*sqltext.Binary); ok && eq.Op == "=" {
-		lcr, lok := eq.L.(*sqltext.ColumnRef)
-		rcr, rok := eq.R.(*sqltext.ColumnRef)
-		if lok && rok {
-			lb := newBinder(e, args, left, overrides)
-			rb := newBinder(e, args, right, overrides)
-			li, lerr := lb.resolve(lcr)
-			ri, rerr := rb.resolve(rcr)
-			if lerr != nil || rerr != nil {
-				// Maybe the refs are swapped relative to the sides.
-				li2, lerr2 := lb.resolve(rcr)
-				ri2, rerr2 := rb.resolve(lcr)
-				if lerr2 == nil && rerr2 == nil {
-					li, ri, lerr, rerr = li2, ri2, nil, nil
+	if plan.kind == "hash" {
+		// Residual ON conjuncts (beyond the hash equalities) must hold for
+		// a candidate to count as a match.
+		match := func(row types.Row) (bool, error) {
+			for _, c := range plan.residual {
+				ok, err := b.evalBool(c, row)
+				if err != nil || !ok {
+					return false, err
 				}
 			}
-			if lerr == nil && rerr == nil {
-				return hashJoin(left, right, li, ri, jc.Kind == "LEFT", concat, out), nil
+			return true, nil
+		}
+
+		// Probe the right side's storage index per left row instead of
+		// materializing it and building a second hash table.
+		if right.lazy && (plan.index != "" || plan.probePK) {
+			probed := 0
+			for _, lr := range left.rows {
+				key := make(types.Row, len(plan.perm))
+				null := false
+				for i, p := range plan.perm {
+					v := lr[plan.eqL[p]]
+					if v.IsNull() {
+						null = true
+						break
+					}
+					key[i] = v
+				}
+				matched := false
+				if !null {
+					var tids []int64
+					if plan.probePK {
+						if tid, found := right.tbl.LookupPK(key[0]); found {
+							tids = []int64{tid}
+						}
+					} else if found, ok := right.tbl.LookupIndex(plan.index, key); ok {
+						tids = found
+					}
+					for _, tid := range tids {
+						sr, found := right.tbl.Get(tid)
+						if !found {
+							continue
+						}
+						probed++
+						rrow := make(types.Row, 0, len(sr.Values)+2)
+						rrow = append(rrow, sr.Values...)
+						rrow = append(rrow, types.NewInt(sr.TID), types.NewInt(sr.Created))
+						row := concat(lr, rrow)
+						ok, err := match(row)
+						if err != nil {
+							return nil, err
+						}
+						if ok {
+							matched = true
+							out.rows = append(out.rows, row)
+						}
+					}
+				}
+				if !matched && leftOuter {
+					pad := make(types.Row, len(right.cols))
+					out.rows = append(out.rows, concat(lr, pad))
+				}
+			}
+			e.countScanned(probed)
+			return out, nil
+		}
+
+		e.materializeRel(right)
+		idx := make(map[string][]int, len(right.rows))
+		buildKey := func(row types.Row, cols []int) (string, bool) {
+			key := make(types.Row, len(cols))
+			for j, c := range cols {
+				if row[c].IsNull() {
+					return "", false
+				}
+				key[j] = row[c]
+			}
+			return types.RowKey(key), true
+		}
+		for i, rr := range right.rows {
+			if k, ok := buildKey(rr, plan.eqR); ok {
+				idx[k] = append(idx[k], i)
 			}
 		}
+		for _, lr := range left.rows {
+			matched := false
+			if k, ok := buildKey(lr, plan.eqL); ok {
+				for _, m := range idx[k] {
+					row := concat(lr, right.rows[m])
+					ok2, err := match(row)
+					if err != nil {
+						return nil, err
+					}
+					if ok2 {
+						matched = true
+						out.rows = append(out.rows, row)
+					}
+				}
+			}
+			if !matched && leftOuter {
+				pad := make(types.Row, len(right.cols))
+				out.rows = append(out.rows, concat(lr, pad))
+			}
+		}
+		return out, nil
 	}
 
 	// General nested-loop join.
+	e.materializeRel(right)
 	for _, lr := range left.rows {
 		matched := false
 		for _, rr := range right.rows {
@@ -687,40 +817,10 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 				out.rows = append(out.rows, row)
 			}
 		}
-		if !matched && jc.Kind == "LEFT" {
+		if !matched && leftOuter {
 			pad := make(types.Row, len(right.cols))
 			out.rows = append(out.rows, concat(lr, pad))
 		}
 	}
 	return out, nil
-}
-
-func hashJoin(left, right *relation, li, ri int, leftOuter bool, concat func(l, r types.Row) types.Row, out *relation) *relation {
-	idx := make(map[string][]int, len(right.rows))
-	for i, rr := range right.rows {
-		v := rr[ri]
-		if v.IsNull() {
-			continue
-		}
-		k := v.HashKey()
-		idx[k] = append(idx[k], i)
-	}
-	for _, lr := range left.rows {
-		v := lr[li]
-		var matches []int
-		if !v.IsNull() {
-			matches = idx[v.HashKey()]
-		}
-		if len(matches) == 0 {
-			if leftOuter {
-				pad := make(types.Row, len(right.cols))
-				out.rows = append(out.rows, concat(lr, pad))
-			}
-			continue
-		}
-		for _, m := range matches {
-			out.rows = append(out.rows, concat(lr, right.rows[m]))
-		}
-	}
-	return out
 }

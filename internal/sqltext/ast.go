@@ -144,6 +144,12 @@ type Select struct {
 	Offset   Expr
 }
 
+// Explain is EXPLAIN SELECT/UPDATE/DELETE: report the access paths the
+// planner would choose, without executing the statement.
+type Explain struct {
+	Stmt Statement
+}
+
 // Begin, Commit, Rollback control transactions.
 type Begin struct{}
 
@@ -163,6 +169,7 @@ func (*Insert) stmt()        {}
 func (*Update) stmt()        {}
 func (*Delete) stmt()        {}
 func (*Select) stmt()        {}
+func (*Explain) stmt()       {}
 func (*Begin) stmt()         {}
 func (*Commit) stmt()        {}
 func (*Rollback) stmt()      {}

@@ -177,6 +177,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseCreate()
 	case p.isKeyword("DROP"):
 		return p.parseDrop()
+	case p.isKeyword("EXPLAIN"):
+		return p.parseExplain()
 	case p.isKeyword("BEGIN"):
 		return &Begin{}, p.advance()
 	case p.isKeyword("COMMIT"):
@@ -185,6 +187,28 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return &Rollback{}, p.advance()
 	}
 	return nil, p.errorf("expected statement, got %q", p.tok.Text)
+}
+
+func (p *Parser) parseExplain() (Statement, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	var inner Statement
+	var err error
+	switch {
+	case p.isKeyword("SELECT"):
+		inner, err = p.parseSelect()
+	case p.isKeyword("UPDATE"):
+		inner, err = p.parseUpdate()
+	case p.isKeyword("DELETE"):
+		inner, err = p.parseDelete()
+	default:
+		return nil, p.errorf("EXPLAIN supports SELECT, UPDATE or DELETE")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Stmt: inner}, nil
 }
 
 func (p *Parser) parseCreate() (Statement, error) {

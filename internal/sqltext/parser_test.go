@@ -375,6 +375,9 @@ func TestPrintParseRoundTrip(t *testing.T) {
 		"CREATE TRIGGER g AFTER DELETE ON t CALL 'h'",
 		"SELECT (SELECT COUNT(*) FROM u) AS total FROM t",
 		"SELECT s.a FROM (SELECT a FROM t) AS s",
+		"EXPLAIN SELECT * FROM t WHERE a = 1",
+		"EXPLAIN UPDATE t SET a = 2 WHERE b IN (1, 2)",
+		"EXPLAIN DELETE FROM t WHERE a = ?",
 	}
 	for _, src := range srcs {
 		st1, err := Parse(src)
@@ -489,5 +492,22 @@ func TestKeywordishColumnNames(t *testing.T) {
 	up := mustParse(t, "UPDATE kv SET count = count + 1 WHERE key = 'x'").(*Update)
 	if up.Set[0].Column != "count" {
 		t.Fatalf("%+v", up)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	st := mustParse(t, "EXPLAIN SELECT a FROM t WHERE a = 1")
+	ex, ok := st.(*Explain)
+	if !ok {
+		t.Fatalf("got %T, want *Explain", st)
+	}
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Fatalf("inner statement %T, want *Select", ex.Stmt)
+	}
+	if _, err := Parse("EXPLAIN INSERT INTO t (a) VALUES (1)"); err == nil {
+		t.Error("EXPLAIN INSERT should be rejected")
+	}
+	if _, err := Parse("EXPLAIN"); err == nil {
+		t.Error("bare EXPLAIN should be rejected")
 	}
 }

@@ -228,6 +228,8 @@ func (t *TableRef) String() string {
 	return base
 }
 
+func (s *Explain) String() string { return "EXPLAIN " + s.Stmt.String() }
+
 func (*Begin) String() string    { return "BEGIN" }
 func (*Commit) String() string   { return "COMMIT" }
 func (*Rollback) String() string { return "ROLLBACK" }

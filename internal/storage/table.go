@@ -6,6 +6,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 
 	"ediflow/internal/catalog"
 	"ediflow/internal/types"
@@ -280,13 +281,85 @@ func (t *Table) LookupIndex(name string, key types.Row) ([]int64, bool) {
 	return ix.entries[types.RowKey(key)], true
 }
 
-// IndexOn returns the name of a secondary index whose first column is the
-// given column position, if any.
+// IndexOn returns the name of a secondary index whose only column is the
+// given column position, if any. When several qualify the
+// lexicographically smallest name wins, so planner choices are stable.
 func (t *Table) IndexOn(col int) (string, bool) {
+	best := ""
 	for name, ix := range t.secondary {
-		if len(ix.cols) == 1 && ix.cols[0] == col {
-			return name, true
+		if len(ix.cols) == 1 && ix.cols[0] == col && (best == "" || name < best) {
+			best = name
 		}
 	}
-	return "", false
+	return best, best != ""
+}
+
+// LookupUnique returns the tid of the row whose single-column UNIQUE
+// value at column position col equals v.
+func (t *Table) LookupUnique(col int, v types.Value) (int64, bool) {
+	idx, ok := t.unique[col]
+	if !ok {
+		return 0, false
+	}
+	tid, ok := idx[v.HashKey()]
+	return tid, ok
+}
+
+// HasUnique reports whether column position col carries a single-column
+// UNIQUE constraint (and therefore a unique hash index).
+func (t *Table) HasUnique(col int) bool {
+	_, ok := t.unique[col]
+	return ok
+}
+
+// IndexInfo describes one secondary index for the planner.
+type IndexInfo struct {
+	Name   string
+	Cols   []int // key column positions, in index-key order
+	Unique bool
+}
+
+// SecondaryIndexes returns the table's secondary indexes sorted by name,
+// so planner decisions are deterministic.
+func (t *Table) SecondaryIndexes() []IndexInfo {
+	out := make([]IndexInfo, 0, len(t.secondary))
+	for name, ix := range t.secondary {
+		out = append(out, IndexInfo{Name: name, Cols: ix.cols, Unique: ix.unique})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IndexCovering returns a secondary index whose key columns are exactly
+// the given set (order-insensitive), plus the permutation mapping each
+// index-key position to its position in cols. Ties resolve to the
+// lexicographically smallest index name.
+func (t *Table) IndexCovering(cols []int) (string, []int, bool) {
+	for _, info := range t.SecondaryIndexes() {
+		if len(info.Cols) != len(cols) {
+			continue
+		}
+		perm := make([]int, len(info.Cols))
+		used := make([]bool, len(cols))
+		ok := true
+		for i, ic := range info.Cols {
+			found := -1
+			for j, c := range cols {
+				if c == ic && !used[j] {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				ok = false
+				break
+			}
+			used[found] = true
+			perm[i] = found
+		}
+		if ok {
+			return info.Name, perm, true
+		}
+	}
+	return "", nil, false
 }
