@@ -24,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"log"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"ediflow/internal/database"
+	"ediflow/internal/engine"
 	"ediflow/internal/metrics"
 	"ediflow/internal/notify"
 	"ediflow/internal/server"
@@ -50,6 +52,11 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-every", 0, "minimum window between group fsyncs (0 = default 100ms; only with -fsync interval)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	flag.Parse()
+
+	// A log pipe whose reader died (e.g. `ediserver | tee` torn down by
+	// the same SIGINT) must not SIGPIPE-kill the server between the
+	// drain and the final checkpoint; ignored, the writes just fail.
+	signal.Ignore(syscall.SIGPIPE)
 
 	db, err := database.OpenWith(*dbDir, storage.Options{
 		Sync:      storage.ParseSyncMode(*fsync),
@@ -89,7 +96,12 @@ func main() {
 			t := time.NewTicker(*purge)
 			defer t.Stop()
 			for range t.C {
-				db.Checkpoint()
+				// A transaction being open is routine — the next tick will
+				// land between transactions; anything else (disk full, I/O
+				// error) must reach the log.
+				if err := db.Checkpoint(); err != nil && !errors.Is(err, engine.ErrCheckpointTxnOpen) {
+					log.Printf("ediserver: periodic checkpoint: %v", err)
+				}
 			}
 		}()
 	}

@@ -14,7 +14,9 @@
 package client
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -35,9 +37,16 @@ type Options struct {
 	// DialRetries is how many times a failed dial is retried with
 	// exponential backoff before giving up (default 3).
 	DialRetries int
-	// RetryBackoff is the first retry delay, doubled per attempt
-	// (default 50ms).
+	// RetryBackoff is the first retry delay, doubled per attempt with
+	// full jitter (default 50ms).
 	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the doubling (default 1s). Without a cap,
+	// a long outage pushes the delay into minutes and the driver looks
+	// hung rather than retrying.
+	MaxRetryBackoff time.Duration
+	// Dialer opens the raw transport (default net.DialTimeout over TCP).
+	// Tests inject fault-wrapped dialers here.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 	// ReadTimeout bounds waiting for one response (default 30s).
 	ReadTimeout time.Duration
 	// WriteTimeout bounds writing one request (default 10s).
@@ -62,6 +71,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.MaxRetryBackoff <= 0 {
+		o.MaxRetryBackoff = time.Second
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
 	}
 	if o.ReadTimeout <= 0 {
 		o.ReadTimeout = 30 * time.Second
@@ -96,10 +113,12 @@ type Conn struct {
 	mDials       *metrics.Counter
 	mDialRetries *metrics.Counter
 	mDialErrors  *metrics.Counter
-	mPoolHits    *metrics.Counter
-	mPoolMisses  *metrics.Counter
-	mTxnDiscards *metrics.Counter
-	mRoundTripH  *metrics.Histogram
+	mPoolHits     *metrics.Counter
+	mPoolMisses   *metrics.Counter
+	mStaleConns   *metrics.Counter
+	mWriteRetries *metrics.Counter
+	mTxnDiscards  *metrics.Counter
+	mRoundTripH   *metrics.Histogram
 }
 
 // Metrics returns the driver-side metrics registry for this connection.
@@ -122,6 +141,8 @@ func Dial(addr string, opts Options) (*Conn, error) {
 	c.mDialErrors = c.reg.Counter("client.dial_errors")
 	c.mPoolHits = c.reg.Counter("client.pool_hits")
 	c.mPoolMisses = c.reg.Counter("client.pool_misses")
+	c.mStaleConns = c.reg.Counter("client.stale_conns")
+	c.mWriteRetries = c.reg.Counter("client.write_retries")
 	c.mTxnDiscards = c.reg.Counter("client.txn_discards")
 	c.mRoundTripH = c.reg.Histogram("client.roundtrip_latency")
 	wc, err := c.dial()
@@ -132,20 +153,49 @@ func Dial(addr string, opts Options) (*Conn, error) {
 	return c, nil
 }
 
+// transientDialError reports whether a dial failure could plausibly
+// clear up on retry. A malformed address or a name that does not exist
+// will fail identically every time — retrying those only delays the
+// real error.
+func transientDialError(err error) bool {
+	var addrErr *net.AddrError
+	if errors.As(err, &addrErr) {
+		return false
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) && dnsErr.IsNotFound {
+		return false
+	}
+	return true
+}
+
+// jitterBackoff picks a uniformly random delay in [d/2, d] ("full
+// jitter"): a fleet of clients reconnecting after a server restart
+// spreads out instead of stampeding in lockstep.
+func jitterBackoff(d time.Duration) time.Duration {
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
 // dial opens and handshakes one wire connection, retrying transient
-// failures with exponential backoff.
+// failures with capped, jittered exponential backoff.
 func (c *Conn) dial() (*wireConn, error) {
 	backoff := c.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
 		if attempt > 0 {
 			c.mDialRetries.Inc()
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(jitterBackoff(backoff))
+			if backoff *= 2; backoff > c.opts.MaxRetryBackoff {
+				backoff = c.opts.MaxRetryBackoff
+			}
 		}
-		nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		nc, err := c.opts.Dialer(c.addr, c.opts.DialTimeout)
 		if err != nil {
 			lastErr = err
+			if !transientDialError(err) {
+				break
+			}
 			continue
 		}
 		wc := &wireConn{c: nc}
@@ -163,7 +213,7 @@ func (c *Conn) dial() (*wireConn, error) {
 }
 
 func (c *Conn) handshake(wc *wireConn) error {
-	typ, payload, err := c.roundTripOn(wc, wire.FrameHello,
+	typ, payload, _, err := c.roundTripOn(wc, wire.FrameHello,
 		wire.EncodeHello(wire.Version, c.opts.ClientName))
 	if err != nil {
 		return fmt.Errorf("client: handshake: %w", err)
@@ -186,29 +236,44 @@ func (c *Conn) handshake(wc *wireConn) error {
 }
 
 // get checks out a connection: the pinned transaction connection if one
-// is open, an idle pooled one, or a fresh dial.
-func (c *Conn) get() (*wireConn, bool, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, false, fmt.Errorf("client: connection closed")
-	}
-	if c.txn != nil {
-		wc := c.txn
-		c.mu.Unlock()
-		return wc, true, nil
-	}
-	if n := len(c.idle); n > 0 {
+// is open, an idle pooled one that still looks alive, or a fresh dial.
+// pinned means the transaction connection; pooled means the connection
+// sat idle in the pool (and so may have silently died — the caller may
+// safely retry a request whose frame never got out on one of those).
+func (c *Conn) get() (wc *wireConn, pinned, pooled bool, err error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false, false, fmt.Errorf("client: connection closed")
+		}
+		if c.txn != nil {
+			wc := c.txn
+			c.mu.Unlock()
+			return wc, true, false, nil
+		}
+		n := len(c.idle)
+		if n == 0 {
+			c.mu.Unlock()
+			break
+		}
 		wc := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		c.mPoolHits.Inc()
-		return wc, false, nil
+		// A pooled connection may have outlived the server. The probe
+		// catches peers that already sent FIN/RST; it cannot catch a
+		// server that died without a trace (the write-retry in roundTrip
+		// covers that).
+		if connAlive(wc.c) {
+			c.mPoolHits.Inc()
+			return wc, false, true, nil
+		}
+		c.mStaleConns.Inc()
+		wc.c.Close()
 	}
-	c.mu.Unlock()
 	c.mPoolMisses.Inc()
-	wc, err := c.dial()
-	return wc, false, err
+	wc, err = c.dial()
+	return wc, false, false, err
 }
 
 // put returns a healthy connection to the idle pool.
@@ -227,43 +292,58 @@ func (c *Conn) put(wc *wireConn) {
 }
 
 // roundTrip sends one request and reads its response, managing pool
-// checkout and dead-connection disposal.
+// checkout and dead-connection disposal. When the request frame never
+// made it onto a pooled (never transaction-pinned) connection, the
+// request provably did not execute, so one retry on a fresh connection
+// is safe even for non-idempotent statements — this is what lets a
+// driver survive a server restart transparently. A failure after the
+// frame was written is never retried: the server may have executed the
+// statement and only the response was lost.
 func (c *Conn) roundTrip(reqType byte, payload []byte) (byte, []byte, error) {
-	wc, pinned, err := c.get()
-	if err != nil {
-		return 0, nil, err
-	}
-	done := c.reg.Time(c.mRoundTripH)
-	typ, resp, err := c.roundTripOn(wc, reqType, payload)
-	done()
-	if err != nil {
-		// The stream is in an unknown state: drop the connection. If it
-		// was the transaction pin, the transaction is gone with it (the
-		// server rolls back on disconnect).
-		wc.c.Close()
-		c.mu.Lock()
-		if c.txn == wc {
-			c.txn = nil
+	for attempt := 0; ; attempt++ {
+		wc, pinned, pooled, err := c.get()
+		if err != nil {
+			return 0, nil, err
 		}
-		c.mu.Unlock()
-		return 0, nil, err
+		done := c.reg.Time(c.mRoundTripH)
+		typ, resp, wrote, err := c.roundTripOn(wc, reqType, payload)
+		done()
+		if err != nil {
+			// The stream is in an unknown state: drop the connection. If
+			// it was the transaction pin, the transaction is gone with it
+			// (the server rolls back on disconnect).
+			wc.c.Close()
+			c.mu.Lock()
+			if c.txn == wc {
+				c.txn = nil
+			}
+			c.mu.Unlock()
+			if pooled && !wrote && attempt == 0 {
+				c.mWriteRetries.Inc()
+				continue
+			}
+			return 0, nil, err
+		}
+		if !pinned {
+			c.put(wc)
+		}
+		return typ, resp, nil
 	}
-	if !pinned {
-		c.put(wc)
-	}
-	return typ, resp, nil
 }
 
-// roundTripOn performs one framed request/response on wc.
-func (c *Conn) roundTripOn(wc *wireConn, reqType byte, payload []byte) (byte, []byte, error) {
+// roundTripOn performs one framed request/response on wc. wrote reports
+// whether the request frame was fully written — once it is, the server
+// may have executed the request, and the caller must not retry.
+func (c *Conn) roundTripOn(wc *wireConn, reqType byte, payload []byte) (typ byte, resp []byte, wrote bool, err error) {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
 	wc.c.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
 	if err := wire.WriteFrame(wc.c, reqType, payload); err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	wc.c.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
-	return wire.ReadFrame(wc.c, c.opts.MaxFrameBytes)
+	typ, resp, err = wire.ReadFrame(wc.c, c.opts.MaxFrameBytes)
+	return typ, resp, true, err
 }
 
 // expect unwraps a response, converting Error frames into Go errors.
@@ -403,7 +483,7 @@ func (c *Conn) Begin() error {
 		return fmt.Errorf("client: transaction already open")
 	}
 	c.mu.Unlock()
-	wc, _, err := c.get()
+	wc, _, _, err := c.get()
 	if err != nil {
 		return err
 	}

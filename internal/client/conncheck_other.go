@@ -1,0 +1,10 @@
+//go:build !unix
+
+package client
+
+import "net"
+
+// connAlive cannot probe the socket without unix raw-conn support;
+// assume alive and rely on roundTrip's safe write-retry to recover
+// from a stale pooled connection.
+func connAlive(net.Conn) bool { return true }

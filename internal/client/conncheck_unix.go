@@ -1,0 +1,50 @@
+//go:build unix
+
+package client
+
+import (
+	"io"
+	"net"
+	"syscall"
+)
+
+// connAlive reports whether an idle connection's peer is still there,
+// without consuming protocol bytes. It issues a non-blocking 1-byte
+// read on the raw socket: EAGAIN means the socket is quiet but open
+// (alive); EOF or any other error means the peer closed or reset it; a
+// successful read means the server sent unsolicited bytes, which the
+// wire protocol never does, so the stream is out of sync and the
+// connection is discarded as dead.
+//
+// Go's deadline-based reads cannot express this probe — a past-due
+// read deadline fails before reaching the kernel — hence syscall.RawConn.
+func connAlive(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return true // not a raw socket (e.g. a test wrapper): assume alive
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := true
+	var buf [1]byte
+	rerr := raw.Read(func(fd uintptr) bool {
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case n > 0:
+			alive = false // unsolicited bytes: stream out of sync
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			// quiet and open
+		case n == 0 && err == nil:
+			alive = false // orderly shutdown (EOF)
+		default:
+			alive = false // RST or other socket error
+		}
+		return true // never block
+	})
+	if rerr != nil && rerr != io.EOF {
+		return false
+	}
+	return alive
+}

@@ -1,0 +1,274 @@
+package client
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/fault"
+	"ediflow/internal/server"
+	"ediflow/internal/wire"
+)
+
+// TestPooledConnSurvivesServerRestart is the driver-side durability
+// drill: the server restarts between two statements on the same client,
+// and the second statement must succeed transparently — the stale pooled
+// connection is either caught by the liveness probe or retried once
+// (the request frame never got out, so the retry is provably safe).
+func TestPooledConnSurvivesServerRestart(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	conn, err := Dial(addr, Options{DialRetries: 10, RetryBackoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same database, same address, new server process.
+	srv.Close()
+	srv2 := server.New(db, server.Config{})
+	var lerr error
+	for i := 0; i < 50; i++ { // the freed port can take a moment to rebind
+		if lerr = srv2.Listen(addr); lerr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lerr != nil {
+		t.Fatalf("rebinding %s: %v", addr, lerr)
+	}
+	defer srv2.Close()
+
+	if _, err := conn.Exec("INSERT INTO t (id) VALUES (2)"); err != nil {
+		t.Fatalf("statement across server restart: %v", err)
+	}
+	n, err := conn.QueryInt("SELECT COUNT(*) FROM t")
+	if err != nil || n != 2 {
+		t.Fatalf("count after restart: %d, %v", n, err)
+	}
+	stale := conn.Metrics().Counter("client.stale_conns").Value()
+	retries := conn.Metrics().Counter("client.write_retries").Value()
+	if stale+retries == 0 {
+		t.Fatalf("restart went unnoticed: stale_conns=%d write_retries=%d", stale, retries)
+	}
+}
+
+// TestDialBackoffIsCapped: with a tight cap, six failed attempts must
+// complete far sooner than uncapped doubling would allow.
+func TestDialBackoffIsCapped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nobody listening: every dial fails fast with ECONNREFUSED
+
+	start := time.Now()
+	_, err = Dial(addr, Options{
+		DialTimeout:     200 * time.Millisecond,
+		DialRetries:     6,
+		RetryBackoff:    10 * time.Millisecond,
+		MaxRetryBackoff: 20 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	// Uncapped: 10+20+40+80+160+320 = 630ms of backoff (≥315ms after
+	// jitter). Capped at 20ms: at most 10+20·5 = 110ms.
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("backoff not capped: 6 retries took %v", elapsed)
+	}
+}
+
+// A structurally broken address can never succeed; retrying it with
+// backoff only hides the real error for seconds.
+func TestNonTransientDialErrorFailsFast(t *testing.T) {
+	start := time.Now()
+	_, err := Dial("127.0.0.1", Options{ // missing port: *net.AddrError
+		DialRetries:  5,
+		RetryBackoff: 300 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial without port succeeded")
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("non-transient dial error was retried: took %v", elapsed)
+	}
+}
+
+// A server that speaks the wrong protocol version rejects us on every
+// connection; the handshake failure must not be retried.
+func TestVersionMismatchNotRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, _, err := wire.ReadFrame(c, wire.MaxFrame); err != nil {
+					return
+				}
+				wire.WriteFrame(c, wire.FrameWelcome, wire.EncodeWelcome(wire.Version+1, 1))
+			}(c)
+		}
+	}()
+
+	start := time.Now()
+	_, err = Dial(ln.Addr().String(), Options{
+		DialRetries:  5,
+		RetryBackoff: 300 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "protocol version") {
+		t.Fatalf("want version-mismatch error, got %v", err)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("version mismatch was retried: took %v", elapsed)
+	}
+}
+
+// TestBlackholeRecoveryNoLeaks: a silent packet-eating network stalls a
+// request until its read deadline; the driver must fail that statement,
+// recover on the healed network, close every connection at most once,
+// and leak no goroutines.
+func TestBlackholeRecoveryNoLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	db := database.MustOpenMemory()
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	faults := &fault.Faults{}
+	dialer := &fault.Dialer{Faults: faults}
+
+	conn, err := Dial(srv.Addr(), Options{
+		ReadTimeout: 200 * time.Millisecond,
+		DialRetries: 3,
+		Dialer:      dialer.Dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.SetBlackhole(true)
+	if _, err := conn.Exec("INSERT INTO t (id) VALUES (1)"); err == nil {
+		t.Fatal("statement through a blackhole succeeded")
+	}
+	faults.SetBlackhole(false)
+	if _, err := conn.Exec("INSERT INTO t (id) VALUES (2)"); err != nil {
+		t.Fatalf("statement after network healed: %v", err)
+	}
+
+	conn.Close()
+	srv.Close()
+	db.Close()
+	for _, wc := range dialer.Conns() {
+		if got := wc.CloseCalls(); got > 1 {
+			t.Errorf("connection closed %d times", got)
+		}
+	}
+	if got := fault.Settle(baseline, 2*time.Second); got > baseline {
+		t.Errorf("goroutines leaked: %d, baseline %d", got, baseline)
+	}
+}
+
+// TestDropRecovery: a hard partition (every op errors immediately) drops
+// the pooled connection; once the partition heals the driver dials fresh
+// and continues.
+func TestDropRecovery(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	faults := &fault.Faults{}
+	dialer := &fault.Dialer{Faults: faults}
+	conn, err := Dial(srv.Addr(), Options{DialRetries: 2, RetryBackoff: 10 * time.Millisecond, Dialer: dialer.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.SetDrop(true)
+	// Both the pooled conn and fresh dials are dropped: the statement
+	// fails with a bounded number of retries rather than hanging.
+	done := make(chan error, 1)
+	go func() { done <- conn.Ping() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ping through hard partition succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ping did not return under partition: retries unbounded?")
+	}
+
+	faults.SetDrop(false)
+	if err := conn.Ping(); err != nil {
+		t.Fatalf("ping after partition healed: %v", err)
+	}
+	if mp := conn.Metrics().Counter("client.pool_misses").Value(); mp == 0 {
+		t.Error("recovery should have dialed a fresh connection")
+	}
+}
+
+// The liveness probe must keep a healthy idle pool intact (no false
+// positives that would churn connections).
+func TestProbeKeepsHealthyConns(t *testing.T) {
+	db := database.MustOpenMemory()
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		if err := conn.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stale := conn.Metrics().Counter("client.stale_conns").Value(); stale != 0 {
+		t.Fatalf("probe falsely declared %d healthy conns dead", stale)
+	}
+	if dials := conn.Metrics().Counter("client.dials").Value(); dials != 1 {
+		t.Fatalf("healthy sequential pings dialed %d times, want 1", dials)
+	}
+}

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -213,10 +214,23 @@ func (e *Engine) Close() error {
 	return e.store.Close()
 }
 
-// Checkpoint snapshots the store and truncates the WAL.
+// ErrCheckpointTxnOpen is returned by Checkpoint while a transaction is
+// open. The engine holds uncommitted rows directly in the store (the
+// undo log reverses them on ROLLBACK), so a mid-transaction snapshot
+// would persist uncommitted data and then discard the WAL — after a
+// crash the transaction could neither be rolled back nor distinguished
+// from committed work. Callers (e.g. a periodic checkpoint loop) should
+// treat this as "try again later".
+var ErrCheckpointTxnOpen = errors.New("engine: checkpoint refused: transaction open")
+
+// Checkpoint snapshots the store and truncates the WAL. It refuses to
+// run while a transaction is open (see ErrCheckpointTxnOpen).
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.inTxn {
+		return ErrCheckpointTxnOpen
+	}
 	return e.store.Checkpoint()
 }
 
@@ -363,7 +377,13 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 	if e.inTxn {
 		e.pending = append(e.pending, events...)
 	} else {
-		e.store.Flush()
+		// A Flush failure means the statement may not be durable; report
+		// it instead of acknowledging, and hold back the change events —
+		// downstream observers must not act on writes the disk refused.
+		if err := e.store.Flush(); err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("engine: flush: %w", err)
+		}
 		fire = events
 	}
 	e.mu.Unlock()
@@ -417,7 +437,12 @@ func (e *Engine) commit() (*Result, error) {
 	e.undo = nil
 	fire := e.pending
 	e.pending = nil
-	e.store.Flush()
+	// COMMIT is the durability point: a Flush failure must surface as a
+	// failed COMMIT, and the pent-up change events must not fire.
+	if err := e.store.Flush(); err != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: commit flush: %w", err)
+	}
 	e.mu.Unlock()
 	e.dispatch(fire)
 	return &Result{}, nil
@@ -454,6 +479,9 @@ func (e *Engine) rollback() (*Result, error) {
 	e.inTxn = false
 	e.undo = nil
 	e.pending = nil
+	if err := e.store.Flush(); err != nil {
+		return nil, fmt.Errorf("engine: rollback flush: %w", err)
+	}
 	return &Result{}, nil
 }
 

@@ -1,0 +1,382 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------- MemFS
+
+func TestMemFSUnsyncedFileLostAtPowerCycle(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	f.Close()
+	m.PowerCycle()
+	if m.Exists("a") {
+		t.Fatal("file with no fsync and no dir fsync survived power cycle")
+	}
+}
+
+func TestMemFSFsyncWithoutSyncDirStillLosesName(t *testing.T) {
+	// The rename-durability trap: fsyncing content does not persist the
+	// directory entry pointing at it.
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m.PowerCycle()
+	if m.Exists("a") {
+		t.Fatal("file whose directory entry was never synced survived power cycle")
+	}
+}
+
+func TestMemFSSyncPlusSyncDirIsDurable(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("hello"))
+	f.Sync()
+	f.Close()
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCycle()
+	got, err := m.ReadFile("a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("durable file lost: %q, %v", got, err)
+	}
+}
+
+func TestMemFSSyncDirDoesNotSyncContent(t *testing.T) {
+	// SyncDir persists names, not bytes: unsynced content is still lost.
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("hello"))
+	f.Close()
+	m.SyncDir(".")
+	m.PowerCycle()
+	got, err := m.ReadFile("a")
+	if err != nil {
+		t.Fatalf("name should survive: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unsynced content survived: %q", got)
+	}
+}
+
+func TestMemFSRenameRevertsWithoutSyncDir(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("v1"))
+	f.Sync()
+	f.Close()
+	m.SyncDir(".")
+	if err := m.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("a") || !m.Exists("b") {
+		t.Fatal("rename not visible in live view")
+	}
+	m.PowerCycle()
+	if m.Exists("b") {
+		t.Fatal("un-fsynced rename survived power cycle")
+	}
+	got, err := m.ReadFile("a")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("old name lost: %q, %v", got, err)
+	}
+}
+
+func TestMemFSTruncateRevertsWithoutSync(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("hello"))
+	f.Sync()
+	f.Close()
+	m.SyncDir(".")
+	if err := m.Truncate("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadFile("a"); string(got) != "he" {
+		t.Fatalf("live view after truncate: %q", got)
+	}
+	m.PowerCycle()
+	if got, _ := m.ReadFile("a"); string(got) != "hello" {
+		t.Fatalf("un-fsynced truncate survived: %q", got)
+	}
+}
+
+func TestMemFSNotExistErrors(t *testing.T) {
+	m := NewMemFS()
+	if _, err := m.Open("missing"); !os.IsNotExist(err) {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := m.ReadFile("missing"); !os.IsNotExist(err) {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := m.Rename("missing", "x"); !os.IsNotExist(err) {
+		t.Fatalf("Rename: %v", err)
+	}
+}
+
+func TestMemFSOldHandleDetachedAfterPowerCycle(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("before"))
+	f.Sync()
+	m.SyncDir(".")
+	m.PowerCycle()
+	// The pre-cycle handle writes into a detached inode.
+	f.Write([]byte("AFTER!"))
+	f.Sync()
+	if got, _ := m.ReadFile("a"); string(got) != "before" {
+		t.Fatalf("write through stale handle reached the filesystem: %q", got)
+	}
+}
+
+// -------------------------------------------------------------- InjectFS
+
+func TestInjectCrashAfter(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInject(m)
+	f, err := inj.Create("a") // step 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.CrashAfter(2)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) { // step 2: crash
+		t.Fatalf("write at crash point: %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() false after crash point fired")
+	}
+	// Everything after the crash fails, including reads.
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if _, err := inj.ReadFile("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if err := inj.SyncDir("."); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir after crash: %v", err)
+	}
+	// The crashed write never landed.
+	m.PowerCycle()
+	if m.Exists("a") {
+		t.Fatal("un-persisted file survived")
+	}
+}
+
+func TestInjectTraceAndSteps(t *testing.T) {
+	inj := NewInject(NewMemFS())
+	f, _ := inj.Create("a")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	inj.Rename("a", "b")
+	inj.SyncDir(".")
+	want := []Op{OpCreate, OpWrite, OpSync, OpClose, OpRename, OpSyncDir}
+	tr := inj.Trace()
+	if inj.Steps() != len(want) || len(tr) != len(want) {
+		t.Fatalf("steps=%d trace=%v", inj.Steps(), tr)
+	}
+	for i, p := range tr {
+		if p.Op != want[i] || p.N != i+1 {
+			t.Fatalf("trace[%d] = %v, want %v", i, p, want[i])
+		}
+	}
+}
+
+func TestInjectReadsAreNotCrashPoints(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("a")
+	f.Write([]byte("x"))
+	f.Close()
+	inj := NewInject(m)
+	before := inj.Steps()
+	rf, err := inj.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(rf)
+	rf.Close()
+	inj.ReadFile("a")
+	if inj.Steps() != before {
+		t.Fatalf("read path advanced the step counter: %d -> %d", before, inj.Steps())
+	}
+}
+
+func TestInjectFailNext(t *testing.T) {
+	inj := NewInject(NewMemFS())
+	f, _ := inj.Create("data.wal")
+	inj.FailNext(OpWrite, "wal", syscall.ENOSPC)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected ENOSPC missing: %v", err)
+	}
+	// One-shot: the next write succeeds and the filesystem is alive.
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("fs dead after one-shot failure: %v", err)
+	}
+	if inj.Crashed() {
+		t.Fatal("FailNext must not crash the filesystem")
+	}
+}
+
+func TestInjectShortWrite(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInject(m)
+	f, _ := inj.Create("a") // step 1
+	inj.ShortWrites(true)
+	inj.CrashAfter(2)
+	payload := []byte("0123456789")
+	if _, err := f.Write(payload); !errors.Is(err, ErrCrashed) {
+		t.Fatal("crash point did not fire")
+	}
+	// Half the payload landed in the volatile view: a torn write.
+	got, _ := m.ReadFile("a")
+	if len(got) != len(payload)/2 {
+		t.Fatalf("torn write landed %d bytes, want %d", len(got), len(payload)/2)
+	}
+}
+
+// ------------------------------------------------------------- network
+
+// pipePair returns a wrapped client end and the raw server end of an
+// in-process TCP connection.
+func pipePair(t *testing.T, f *Faults) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { cc.Close(); r.c.Close() })
+	return WrapConn(cc, f), r.c
+}
+
+func TestConnDrop(t *testing.T) {
+	f := &Faults{}
+	wc, _ := pipePair(t, f)
+	f.SetDrop(true)
+	if _, err := wc.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write under drop: %v", err)
+	}
+	if _, err := wc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("read under drop: %v", err)
+	}
+	// Healing the fault heals the connection.
+	f.SetDrop(false)
+	if _, err := wc.Write([]byte("x")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+func TestConnBlackhole(t *testing.T) {
+	f := &Faults{}
+	wc, srv := pipePair(t, f)
+	f.SetBlackhole(true)
+	if n, err := wc.Write([]byte("swallowed")); n != 9 || err != nil {
+		t.Fatalf("blackhole write: %d, %v", n, err)
+	}
+	// Nothing reached the peer.
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, _ := srv.Read(make([]byte, 16)); n != 0 {
+		t.Fatalf("blackholed bytes reached the peer: %d", n)
+	}
+	// A blackholed read blocks until the conn is closed.
+	done := make(chan error, 1)
+	go func() {
+		_, err := wc.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blackholed read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	wc.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("blackholed read after close: %v", err)
+	}
+}
+
+func TestConnResetAfterBytes(t *testing.T) {
+	f := &Faults{}
+	wc, srv := pipePair(t, f)
+	go io.Copy(io.Discard, srv)
+	f.SetResetAfterBytes(4)
+	if _, err := wc.Write([]byte("1234")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := wc.Write([]byte("5")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write past budget: %v", err)
+	}
+	if wc.CloseCalls() == 0 {
+		t.Fatal("reset did not close the connection")
+	}
+}
+
+func TestConnCloseCounting(t *testing.T) {
+	wc, _ := pipePair(t, nil)
+	wc.Close()
+	wc.Close()
+	if got := wc.CloseCalls(); got != 2 {
+		t.Fatalf("CloseCalls = %d, want 2", got)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	f := &Faults{}
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, f)
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	deadline := time.Now().Add(time.Second)
+	for len(ln.Conns()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(ln.Conns()); got != 1 {
+		t.Fatalf("accepted conns retained: %d", got)
+	}
+}

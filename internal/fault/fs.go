@@ -1,0 +1,105 @@
+// Package fault provides injectable failure layers for the two
+// boundaries where EdiFlow's durability and availability claims are
+// actually decided: the filesystem under the storage engine and the
+// network under the wire stack.
+//
+// The filesystem side is an FS interface the storage layer performs all
+// of its I/O through. In production it is backed by OS (direct
+// passthrough to the os package, including the directory fsyncs POSIX
+// requires to make renames and creates durable). In tests it can be a
+// MemFS — an in-memory filesystem that models the OS page cache by
+// keeping a volatile and a durable view of every file, so a simulated
+// power failure (PowerCycle) discards exactly the writes that were never
+// fsynced — optionally wrapped in an InjectFS, which counts every
+// mutating operation and can crash, short-write, or error (ENOSPC/EIO)
+// at any one of them. Enumerating those operation indices yields a
+// crash-point matrix: the store is killed at every point of the
+// WAL-append → fsync → checkpoint pipeline and reopened, and recovery is
+// checked against the invariant "every acknowledged commit is present
+// exactly once, no unacknowledged commit is visible".
+//
+// The network side wraps net.Conn/net.Listener with a shared mutable
+// fault plan (delay, drop, black-hole, reset-after-N-bytes) so client
+// pool and notifier behavior under partitions and resets is testable
+// in-process.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage layer writes through.
+type File interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	io.Closer
+	// Sync forces written data to stable storage (fsync).
+	Sync() error
+}
+
+// FS abstracts every filesystem operation the storage layer performs.
+// *All* of the store's I/O goes through one of these methods, so an
+// injecting implementation sees — and can fail — every point at which a
+// real machine could lose power or return an I/O error.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// Create truncates (or creates) a file for writing.
+	Create(name string) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// OpenFile is the general open (append/truncate/create flags).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making renames, creates, and removes
+	// inside it durable. Without it a power loss can revert a completed
+	// rename to the old directory entry.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: direct passthrough to the os package.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS by fsyncing the directory file descriptor.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op classifies one filesystem operation for injection rules and traces.
+type Op string
+
+// Operation classes. Mutating operations (everything except OpOpen and
+// OpRead) advance the step counter and are eligible crash points.
+const (
+	OpMkdir    Op = "mkdir"
+	OpCreate   Op = "create"
+	OpOpenFile Op = "openfile"
+	OpOpen     Op = "open" // read-only open
+	OpRead     Op = "read" // ReadFile / handle reads
+	OpWrite    Op = "write"
+	OpWriteAt  Op = "writeat"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpTruncate Op = "truncate"
+	OpRemove   Op = "remove"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrCrashed is returned by every operation on an InjectFS after its
+// crash point fired: the machine is "off" until the test power-cycles
+// the underlying MemFS and builds a fresh InjectFS.
+var ErrCrashed = errors.New("fault: simulated crash")
+
+// Point is one recorded mutating operation: the N-th step was Op on Path.
+type Point struct {
+	N    int
+	Op   Op
+	Path string
+}
+
+func (p Point) String() string { return fmt.Sprintf("#%d %s(%s)", p.N, p.Op, p.Path) }
+
+// InjectFS wraps an FS, counting every mutating operation and optionally
+// failing one of them. Two failure shapes:
+//
+//   - CrashAfter(n): the n-th mutating operation (1-based) fails with
+//     ErrCrashed without being applied, and so does everything after it —
+//     a power failure at that exact point. With ShortWrites enabled, a
+//     crashing Write first lands a prefix of its bytes (a torn write).
+//   - FailAt / FailNext: one operation returns an injected error
+//     (ENOSPC, EIO, ...) without being applied; the filesystem stays
+//     alive, modeling a transient I/O failure the caller must survive.
+type InjectFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	step        int
+	crashAt     int
+	crashed     bool
+	shortWrites bool
+	failAt      int
+	failNextOp  Op
+	failPathSub string
+	failErr     error
+	trace       []Point
+}
+
+// NewInject wraps inner (typically a MemFS) in an injection layer.
+func NewInject(inner FS) *InjectFS { return &InjectFS{inner: inner} }
+
+// CrashAfter arms the crash point: mutating operation number n (1-based)
+// and everything after it fail with ErrCrashed. 0 disarms.
+func (f *InjectFS) CrashAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// ShortWrites makes a crashing Write land the first half of its payload
+// before failing, modeling a torn write at the crash point.
+func (f *InjectFS) ShortWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWrites = on
+}
+
+// FailAt makes mutating operation number n (1-based) return err once,
+// without crashing the filesystem.
+func (f *InjectFS) FailAt(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = n
+	f.failErr = err
+}
+
+// FailNext makes the next mutating operation of class op whose path
+// contains pathSub return err once, without crashing the filesystem.
+func (f *InjectFS) FailNext(op Op, pathSub string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNextOp = op
+	f.failPathSub = pathSub
+	f.failErr = err
+}
+
+// Steps returns how many mutating operations have run (or been refused
+// at the crash point) so far.
+func (f *InjectFS) Steps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.step
+}
+
+// Trace returns the recorded mutating operations in order.
+func (f *InjectFS) Trace() []Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Point(nil), f.trace...)
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *InjectFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// enter gates one operation. For mutating ops it advances the step
+// counter and applies the armed rules; for reads it only honors an
+// already-fired crash. The returned short flag (only ever true for
+// writes with ShortWrites armed) asks the caller to land half the
+// payload before reporting the error.
+func (f *InjectFS) enter(op Op, path string) (short bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	if op == OpOpen || op == OpRead {
+		return false, nil
+	}
+	f.step++
+	f.trace = append(f.trace, Point{N: f.step, Op: op, Path: path})
+	if f.crashAt > 0 && f.step >= f.crashAt {
+		f.crashed = true
+		return f.shortWrites && (op == OpWrite || op == OpWriteAt), ErrCrashed
+	}
+	if f.failErr != nil {
+		if f.failAt > 0 && f.step == f.failAt {
+			err := f.failErr
+			f.failAt, f.failErr = 0, nil
+			return false, err
+		}
+		if f.failNextOp == op && strings.Contains(path, f.failPathSub) {
+			err := f.failErr
+			f.failNextOp, f.failPathSub, f.failErr = "", "", nil
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// MkdirAll implements FS.
+func (f *InjectFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.enter(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Create implements FS.
+func (f *InjectFS) Create(name string) (File, error) {
+	if _, err := f.enter(OpCreate, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, inner: file, name: name}, nil
+}
+
+// Open implements FS.
+func (f *InjectFS) Open(name string) (File, error) {
+	if _, err := f.enter(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, inner: file, name: name, readOnly: true}, nil
+}
+
+// OpenFile implements FS.
+func (f *InjectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpOpenFile
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) == 0 {
+		op = OpOpen
+	}
+	if _, err := f.enter(op, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{fs: f, inner: file, name: name, readOnly: op == OpOpen}, nil
+}
+
+// ReadFile implements FS.
+func (f *InjectFS) ReadFile(name string) ([]byte, error) {
+	if _, err := f.enter(OpRead, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+// Rename implements FS.
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	if _, err := f.enter(OpRename, oldpath+"->"+newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Truncate implements FS.
+func (f *InjectFS) Truncate(name string, size int64) error {
+	if _, err := f.enter(OpTruncate, name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// Remove implements FS.
+func (f *InjectFS) Remove(name string) error {
+	if _, err := f.enter(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// SyncDir implements FS.
+func (f *InjectFS) SyncDir(dir string) error {
+	if _, err := f.enter(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// injectFile routes handle operations through the injection gate.
+type injectFile struct {
+	fs       *InjectFS
+	inner    File
+	name     string
+	readOnly bool
+}
+
+func (h *injectFile) Write(p []byte) (int, error) {
+	short, err := h.fs.enter(OpWrite, h.name)
+	if err != nil {
+		if short && len(p) > 1 {
+			n, _ := h.inner.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return h.inner.Write(p)
+}
+
+func (h *injectFile) WriteAt(p []byte, off int64) (int, error) {
+	short, err := h.fs.enter(OpWriteAt, h.name)
+	if err != nil {
+		if short && len(p) > 1 {
+			n, _ := h.inner.WriteAt(p[:len(p)/2], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+func (h *injectFile) Read(p []byte) (int, error) {
+	if _, err := h.fs.enter(OpRead, h.name); err != nil {
+		return 0, err
+	}
+	return h.inner.Read(p)
+}
+
+func (h *injectFile) Sync() error {
+	if _, err := h.fs.enter(OpSync, h.name); err != nil {
+		return err
+	}
+	return h.inner.Sync()
+}
+
+func (h *injectFile) Close() error {
+	// Closing a read handle is not a crash point: it cannot lose data.
+	op := OpClose
+	if h.readOnly {
+		op = OpRead
+	}
+	if _, err := h.fs.enter(op, h.name); err != nil {
+		return err
+	}
+	return h.inner.Close()
+}

@@ -1,0 +1,284 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// MemFS is an in-memory filesystem that models the durability behavior
+// of a real OS under power failure:
+//
+//   - Every file has a volatile view (what the page cache holds, what
+//     readers see) and a durable view (what is on the platter). Writes
+//     land in the volatile view; File.Sync copies it to the durable view.
+//   - The directory itself has the same split: Create, Rename, Truncate
+//     and Remove update the volatile name→inode mapping immediately, but
+//     the durable mapping only changes at SyncDir. A file that was
+//     written and fsynced but whose directory entry was never synced is
+//     LOST at power failure — the classic rename-durability trap.
+//   - PowerCycle simulates pulling the plug: the volatile state is
+//     replaced by the durable state, and everything un-fsynced is gone.
+//
+// This is the conservative (adversarial) model: real journaling
+// filesystems persist some metadata earlier than required, but code that
+// recovers correctly under MemFS recovers correctly on anything POSIX.
+type MemFS struct {
+	mu   sync.Mutex
+	vdir map[string]*memInode // volatile directory view (current truth)
+	ddir map[string]*memInode // durable directory view (survives PowerCycle)
+}
+
+type memInode struct {
+	volatile []byte
+	durable  []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{vdir: map[string]*memInode{}, ddir: map[string]*memInode{}}
+}
+
+// PowerCycle simulates a power failure and reboot: all volatile state
+// (un-fsynced file contents, un-SyncDir'd directory operations) is
+// discarded. Handles open before the cycle keep writing into detached
+// inodes and can no longer affect the filesystem.
+func (m *MemFS) PowerCycle() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nv := make(map[string]*memInode, len(m.ddir))
+	nd := make(map[string]*memInode, len(m.ddir))
+	for name, ino := range m.ddir {
+		fresh := &memInode{
+			volatile: append([]byte(nil), ino.durable...),
+			durable:  append([]byte(nil), ino.durable...),
+		}
+		nv[name] = fresh
+		nd[name] = fresh
+	}
+	m.vdir = nv
+	m.ddir = nd
+}
+
+// Exists reports whether name is present in the volatile (live) view.
+func (m *MemFS) Exists(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.vdir[filepath.Clean(name)]
+	return ok
+}
+
+// DurableLen returns the durable byte length of name, or -1 if the name
+// would not survive a power cycle.
+func (m *MemFS) DurableLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.ddir[filepath.Clean(name)]
+	if !ok {
+		return -1
+	}
+	return len(ino.durable)
+}
+
+func notExist(op, name string) error {
+	return &os.PathError{Op: op, Path: name, Err: os.ErrNotExist}
+}
+
+// MkdirAll implements FS. Directories are implicit in MemFS (the store
+// uses a single data directory); the call always succeeds.
+func (m *MemFS) MkdirAll(string, os.FileMode) error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	return m.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	return m.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.vdir[name]
+	switch {
+	case ok && flag&os.O_TRUNC != 0:
+		// Truncation is a volatile act: the durable content of the old
+		// inode comes back at PowerCycle unless the new content is
+		// fsynced over it. Modeled by giving the name a fresh inode that
+		// inherits the old durable bytes.
+		ino = &memInode{durable: append([]byte(nil), ino.durable...)}
+		m.vdir[name] = ino
+		if _, dok := m.ddir[name]; dok {
+			m.ddir[name] = ino
+		}
+	case !ok && flag&os.O_CREATE != 0:
+		ino = &memInode{}
+		m.vdir[name] = ino
+	case !ok:
+		return nil, notExist("open", name)
+	}
+	return &memFile{fs: m, ino: ino, name: name, appendMode: flag&os.O_APPEND != 0,
+		readOnly: flag&(os.O_WRONLY|os.O_RDWR) == 0}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.vdir[name]
+	if !ok {
+		return nil, notExist("open", name)
+	}
+	return append([]byte(nil), ino.volatile...), nil
+}
+
+// Rename implements FS. The new name is volatile until SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.vdir[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	m.vdir[newpath] = ino
+	delete(m.vdir, oldpath)
+	return nil
+}
+
+// Truncate implements FS. The durable length only changes at Sync.
+func (m *MemFS) Truncate(name string, size int64) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.vdir[name]
+	if !ok {
+		return notExist("truncate", name)
+	}
+	if int(size) > len(ino.volatile) {
+		ino.volatile = append(ino.volatile, make([]byte, int(size)-len(ino.volatile))...)
+	} else {
+		ino.volatile = ino.volatile[:size]
+	}
+	return nil
+}
+
+// Remove implements FS. Durable removal requires SyncDir.
+func (m *MemFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.vdir[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(m.vdir, name)
+	return nil
+}
+
+// SyncDir implements FS: the durable directory view catches up with the
+// volatile one. (MemFS models a single directory, so the argument is
+// not consulted.) Note this persists which names exist and which inodes
+// they point at — not file contents, which remain governed by Sync.
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nd := make(map[string]*memInode, len(m.vdir))
+	for name, ino := range m.vdir {
+		nd[name] = ino
+	}
+	m.ddir = nd
+	return nil
+}
+
+// memFile is one open handle on a MemFS inode.
+type memFile struct {
+	fs         *MemFS
+	ino        *memInode
+	name       string
+	pos        int
+	appendMode bool
+	readOnly   bool
+	closed     bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.readOnly {
+		return 0, fmt.Errorf("fault: write on read-only handle %s", f.name)
+	}
+	if f.appendMode {
+		f.pos = len(f.ino.volatile)
+	}
+	f.ino.volatile = writeAt(f.ino.volatile, p, f.pos)
+	f.pos += len(p)
+	return len(p), nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.readOnly {
+		return 0, fmt.Errorf("fault: write on read-only handle %s", f.name)
+	}
+	f.ino.volatile = writeAt(f.ino.volatile, p, int(off))
+	return len(p), nil
+}
+
+func writeAt(dst, p []byte, off int) []byte {
+	if need := off + len(p); need > len(dst) {
+		dst = append(dst, make([]byte, need-len(dst))...)
+	}
+	copy(dst[off:], p)
+	return dst
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.pos >= len(f.ino.volatile) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.volatile[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+// Sync implements File: the inode's volatile content becomes durable.
+// Like a real fsync it does NOT persist the directory entry — a fresh
+// file still needs SyncDir to survive power loss.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.ino.durable = append([]byte(nil), f.ino.volatile...)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,259 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned by a wrapped connection whose fault plan
+// reset it (connection abruptly torn down mid-stream).
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// ErrInjectedDrop is returned by a wrapped connection whose fault plan
+// drops all traffic outright (hard partition with RST semantics).
+var ErrInjectedDrop = errors.New("fault: injected connection drop")
+
+// Faults is a shared, mutable network fault plan. One Faults value is
+// consulted live by every Conn wrapped with it, so a test can flip
+// behaviors mid-flight: let a handshake through clean, then black-hole
+// the established connection.
+type Faults struct {
+	mu         sync.Mutex
+	delay      time.Duration
+	drop       bool
+	blackhole  bool
+	resetAfter int64 // bytes through each conn before reset; 0 = off
+}
+
+// SetDelay adds d of latency before every Read and Write.
+func (f *Faults) SetDelay(d time.Duration) { f.mu.Lock(); f.delay = d; f.mu.Unlock() }
+
+// SetDrop makes every Read and Write fail immediately (hard partition).
+func (f *Faults) SetDrop(on bool) { f.mu.Lock(); f.drop = on; f.mu.Unlock() }
+
+// SetBlackhole makes Writes vanish (reported as successful) and Reads
+// block until the connection is closed — a silent packet-eating network.
+func (f *Faults) SetBlackhole(on bool) { f.mu.Lock(); f.blackhole = on; f.mu.Unlock() }
+
+// SetResetAfterBytes resets each connection once n bytes have been
+// written through it. 0 disables.
+func (f *Faults) SetResetAfterBytes(n int64) { f.mu.Lock(); f.resetAfter = n; f.mu.Unlock() }
+
+func (f *Faults) snapshot() (delay time.Duration, drop, blackhole bool, resetAfter int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delay, f.drop, f.blackhole, f.resetAfter
+}
+
+// Conn wraps a net.Conn with a live fault plan. It also counts Close
+// calls so tests can assert no code path double-closes a connection.
+type Conn struct {
+	net.Conn
+	faults *Faults
+
+	closeOnce  sync.Once
+	closedCh   chan struct{}
+	closeCalls int32
+	written    int64
+
+	deadlineMu   sync.Mutex
+	readDeadline time.Time
+}
+
+// WrapConn wraps c with the fault plan f (which may be shared among
+// many connections and mutated mid-flight).
+func WrapConn(c net.Conn, f *Faults) *Conn {
+	if f == nil {
+		f = &Faults{}
+	}
+	return &Conn{Conn: c, faults: f, closedCh: make(chan struct{})}
+}
+
+// CloseCalls returns how many times Close was invoked on this wrapper.
+func (c *Conn) CloseCalls() int { return int(atomic.LoadInt32(&c.closeCalls)) }
+
+// Close implements net.Conn. Every call is counted; the underlying
+// connection is closed on the first.
+func (c *Conn) Close() error {
+	atomic.AddInt32(&c.closeCalls, 1)
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+func (c *Conn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// SetReadDeadline implements net.Conn, also recording the deadline so a
+// blackholed Read can honor it (a real blackholed socket still times
+// out — it is the kernel's poller, not the peer, that enforces it).
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.readDeadline = t
+	c.deadlineMu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.readDeadline = t
+	c.deadlineMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	delay, drop, blackhole, _ := c.faults.snapshot()
+	if !c.sleep(delay) {
+		return 0, net.ErrClosed
+	}
+	if drop {
+		return 0, ErrInjectedDrop
+	}
+	if blackhole {
+		c.deadlineMu.Lock()
+		deadline := c.readDeadline
+		c.deadlineMu.Unlock()
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			t := time.NewTimer(time.Until(deadline))
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case <-c.closedCh:
+			return 0, net.ErrClosed
+		case <-timeout:
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	delay, drop, blackhole, resetAfter := c.faults.snapshot()
+	if !c.sleep(delay) {
+		return 0, net.ErrClosed
+	}
+	if drop {
+		return 0, ErrInjectedDrop
+	}
+	if blackhole {
+		return len(p), nil // swallowed by the network
+	}
+	if resetAfter > 0 && atomic.LoadInt64(&c.written) >= resetAfter {
+		c.Close()
+		return 0, ErrInjectedReset
+	}
+	n, err := c.Conn.Write(p)
+	atomic.AddInt64(&c.written, int64(n))
+	return n, err
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// shared fault plan. Accepted wrappers are retained for assertions.
+type Listener struct {
+	net.Listener
+	faults *Faults
+
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// WrapListener wraps ln with the fault plan f.
+func WrapListener(ln net.Listener, f *Faults) *Listener {
+	if f == nil {
+		f = &Faults{}
+	}
+	return &Listener{Listener: ln, faults: f}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	wc := WrapConn(c, l.faults)
+	l.mu.Lock()
+	l.conns = append(l.conns, wc)
+	l.mu.Unlock()
+	return wc, nil
+}
+
+// Conns returns every connection accepted so far.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// Dialer dials real TCP connections and wraps each in the fault plan,
+// retaining the wrappers for assertions. Its Dial method matches the
+// dialer-injection hooks in the client driver and the notifier.
+type Dialer struct {
+	Faults *Faults
+
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// Dial connects to addr within timeout and wraps the connection.
+func (d *Dialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if d.Faults == nil {
+		d.Faults = &Faults{}
+	}
+	wc := WrapConn(c, d.Faults)
+	d.mu.Lock()
+	d.conns = append(d.conns, wc)
+	d.mu.Unlock()
+	return wc, nil
+}
+
+// Conns returns every connection dialed so far.
+func (d *Dialer) Conns() []*Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*Conn(nil), d.conns...)
+}
+
+// Settle polls until the process goroutine count drops to at most
+// target or timeout elapses, and returns the final count. Tests use it
+// to assert fault handling leaks no goroutines: capture the count
+// before the scenario, tear everything down, then Settle back to it.
+func Settle(target int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.Gosched()
+		n := runtime.NumGoroutine()
+		if n <= target || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

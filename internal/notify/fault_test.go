@@ -1,0 +1,144 @@
+package notify
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"ediflow/internal/database"
+	"ediflow/internal/fault"
+	"ediflow/internal/types"
+)
+
+// A dial-back whose connection drops right after the handshake (mid-
+// flight network failure) must retire the registration, close the
+// connection exactly once, and leak no goroutines — however many paths
+// (write failure, read failure) race to tear it down.
+func TestDialBackDropRemovesRegistration(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	db := database.MustOpenMemory()
+	faults := &fault.Faults{}
+	dialer := &fault.Dialer{Faults: faults}
+	n, err := NewNotifier(db,
+		WithDialer(dialer.Dial),
+		WithWriteTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE authors (id INT PRIMARY KEY, name STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Connect(db, "viz", "authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO authors VALUES (1, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, cl)
+
+	// The network dies under the established dial-back. The next NOTIFY
+	// write fails; the notifier must drop the client and its row.
+	faults.SetDrop(true)
+	if _, err := db.Exec("INSERT INTO authors VALUES (2, 'b')"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		cnt, err := db.QueryInt("SELECT COUNT(*) FROM " + database.TableConnectedUser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dropped dial-back's registration never removed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	n.Close()
+	cl.CloseAbrupt()
+	db.Close()
+	for _, wc := range dialer.Conns() {
+		if got := wc.CloseCalls(); got > 1 {
+			t.Errorf("dial-back connection closed %d times", got)
+		}
+	}
+	if got := fault.Settle(baseline, 2*time.Second); got > baseline {
+		t.Errorf("goroutines leaked: %d, baseline %d", got, baseline)
+	}
+}
+
+// A blackholed dial-back (TCP connects, but the HELLO never arrives)
+// must fail at the handshake deadline and remove the stale registration.
+func TestBlackholedDialBackTimesOutAndCleansUp(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	db := database.MustOpenMemory()
+	faults := &fault.Faults{}
+	faults.SetBlackhole(true)
+	dialer := &fault.Dialer{Faults: faults}
+	n, err := NewNotifier(db,
+		WithDialer(dialer.Dial),
+		WithDialTimeout(150*time.Millisecond),
+		WithWriteTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE authors (id INT PRIMARY KEY, name STRING)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A listener that accepts (so TCP succeeds) backs the registration;
+	// the blackhole eats its HELLO.
+	hole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	go func() {
+		for {
+			c, err := hole.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	port := hole.Addr().(*net.TCPAddr).Port
+	id, _ := db.NextID(database.TableConnectedUser)
+	if _, err := db.Exec("INSERT INTO "+database.TableConnectedUser+
+		" (id, username, host, port, tbl, last_seq) VALUES (?, 'hole', '127.0.0.1', ?, 'authors', 0)",
+		types.NewInt(id), types.NewInt(int64(port))); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		cnt, err := db.QueryInt("SELECT COUNT(*) FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blackholed registration never removed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n.reg.Counter("notify.dial_errors").Value() == 0 {
+		t.Error("dial_errors not counted for the blackholed dial-back")
+	}
+
+	n.Close()
+	db.Close()
+	hole.Close() // stop the accept goroutine before counting
+	if got := fault.Settle(baseline, 2*time.Second); got > baseline {
+		t.Errorf("goroutines leaked: %d, baseline %d", got, baseline)
+	}
+}

@@ -32,6 +32,7 @@ type Notifier struct {
 
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
+	dialFn       func(addr string, timeout time.Duration) (net.Conn, error)
 
 	mu     sync.Mutex
 	conns  map[int64]*serverConn // ConnectedUser id → connection
@@ -63,6 +64,12 @@ func WithWriteTimeout(d time.Duration) NotifierOption {
 	return func(n *Notifier) { n.writeTimeout = d }
 }
 
+// WithDialer replaces the transport used for dial-backs (default
+// net.DialTimeout over TCP). Tests inject fault-wrapped dialers here.
+func WithDialer(fn func(addr string, timeout time.Duration) (net.Conn, error)) NotifierOption {
+	return func(n *Notifier) { n.dialFn = fn }
+}
+
 type serverConn struct {
 	id    int64
 	table string
@@ -92,6 +99,9 @@ func NewNotifier(db *database.DB, opts ...NotifierOption) (*Notifier, error) {
 		conns:        map[int64]*serverConn{},
 		dialTimeout:  defaultDialTimeout,
 		writeTimeout: defaultWriteTimeout,
+		dialFn: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		},
 	}
 	for _, o := range opts {
 		o(n)
@@ -306,10 +316,19 @@ func (n *Notifier) writeLoop(sc *serverConn) {
 	}
 }
 
-// dial connects back to a registered client and performs the
-// HELLO/REPLY handshake (protocol steps 5–6) under the connect timeout.
+// dial connects back to a registered client, counting failures.
 func (n *Notifier) dial(id int64, host string, port int64, table string) error {
-	c, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", host, port), n.dialTimeout)
+	err := n.dialBack(id, host, port, table)
+	if err != nil {
+		n.mDialErrors.Inc()
+	}
+	return err
+}
+
+// dialBack connects back to a registered client and performs the
+// HELLO/REPLY handshake (protocol steps 5–6) under the connect timeout.
+func (n *Notifier) dialBack(id int64, host string, port int64, table string) error {
+	c, err := n.dialFn(fmt.Sprintf("%s:%d", host, port), n.dialTimeout)
 	if err != nil {
 		return err
 	}

@@ -146,6 +146,13 @@ func (s *Server) Listen(addr string) error {
 	if err != nil {
 		return err
 	}
+	return s.Serve(ln)
+}
+
+// Serve adopts an already-bound listener and starts the accept loop in
+// a background goroutine. The server takes ownership of ln (Close
+// closes it). Tests use this to interpose fault-injecting listeners.
+func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ediflow/internal/catalog"
+	"ediflow/internal/fault"
 	"ediflow/internal/metrics"
 	"ediflow/internal/types"
 )
@@ -64,6 +65,9 @@ func ParseSyncMode(s string) SyncMode {
 type Options struct {
 	Sync      SyncMode
 	SyncEvery time.Duration // SyncInterval window; defaults to 100ms
+	// FS is the filesystem all store I/O goes through. nil means the
+	// real OS; tests substitute fault-injecting implementations.
+	FS fault.FS
 }
 
 const defaultSyncEvery = 100 * time.Millisecond
@@ -90,7 +94,13 @@ type Store struct {
 	dir     string
 	durable bool
 	opts    Options
+	fs      fault.FS
 	wal     *walWriter
+	// epoch ties the installed snapshot and the live WAL together: both
+	// carry it, Checkpoint bumps it, and replay ignores a WAL whose
+	// epoch predates the snapshot's (a leftover from a crash inside
+	// checkpoint whose records the snapshot already contains).
+	epoch uint64
 
 	tables  map[string]*Table // lower-cased name → table
 	indexes []indexDef
@@ -115,7 +125,7 @@ type Store struct {
 const (
 	snapshotFile  = "ediflow.snapshot"
 	walFile       = "ediflow.wal"
-	snapshotMagic = "EDSNAP1\n"
+	snapshotMagic = "EDSNAP2\n" // v2: header carries the checkpoint epoch
 )
 
 // Open opens (or creates) a store with the historical durability default
@@ -129,10 +139,14 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	if opts.Sync == SyncInterval && opts.SyncEvery <= 0 {
 		opts.SyncEvery = defaultSyncEvery
 	}
+	if opts.FS == nil {
+		opts.FS = fault.OS{}
+	}
 	s := &Store{
 		dir:     dir,
 		durable: dir != "",
 		opts:    opts,
+		fs:      opts.FS,
 		tables:  map[string]*Table{},
 		reg:     metrics.NewRegistry(),
 	}
@@ -147,22 +161,45 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	if !s.durable {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if err := s.loadSnapshot(filepath.Join(dir, snapshotFile)); err != nil {
 		return nil, err
 	}
-	if err := replayWAL(filepath.Join(dir, walFile), s.applyWAL); err != nil {
+	walPath := filepath.Join(dir, walFile)
+	info, err := replayWAL(s.fs, walPath, s.epoch, s.applyWAL)
+	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(filepath.Join(dir, walFile))
+	var w *walWriter
+	switch {
+	case info.replayed && info.torn:
+		// Cut the torn tail off before appending: records written after
+		// garbage would be unreachable on the next replay (it stops at
+		// the first bad frame), silently losing acknowledged commits.
+		if err := s.fs.Truncate(walPath, info.goodLen); err != nil {
+			return nil, err
+		}
+		if w, err = openWALAppend(s.fs, walPath); err == nil {
+			err = w.fsync() // make the truncation itself durable
+		}
+	case info.replayed:
+		w, err = openWALAppend(s.fs, walPath)
+	default:
+		// Absent, unrecognized, or stale-epoch log: start a fresh one
+		// stamped with the snapshot's epoch.
+		w, err = createWAL(s.fs, dir, walPath, s.epoch)
+	}
 	if err != nil {
 		return nil, err
 	}
 	s.wal = w
 	return s, nil
 }
+
+// Epoch returns the current checkpoint epoch (0 before any checkpoint).
+func (s *Store) Epoch() uint64 { return s.epoch }
 
 // Metrics returns the store-owned metrics registry, shared upward by the
 // engine, server and notifier.
@@ -584,54 +621,74 @@ func (s *Store) applyWAL(payload []byte) error {
 // ------------------------------------------------------------- snapshots
 
 // Checkpoint writes a full snapshot and truncates the WAL, bounding
-// recovery time.
+// recovery time. The sequence is crash-safe at every step:
+//
+//  1. Write the snapshot to a temp file under the NEXT epoch, fsync it.
+//  2. Rename it over the live snapshot, then fsync the directory — until
+//     the directory entry is durable, a power loss simply reverts to the
+//     old snapshot + old WAL, which replays to the same state.
+//  3. Truncate the WAL and stamp its fresh header with the new epoch.
+//     A crash in this window leaves the new snapshot next to the OLD
+//     WAL; the epoch mismatch makes replay skip it instead of
+//     double-applying rows the snapshot already contains.
+//
+// A failure before step 2 completes (e.g. ENOSPC writing the snapshot)
+// leaves the store fully usable on its existing WAL. A failure after it
+// leaves the store unable to log further writes — statements start
+// failing loudly — but the directory reopens to a consistent state.
 func (s *Store) Checkpoint() error {
 	if !s.durable {
 		return nil
 	}
+	newEpoch := s.epoch + 1
 	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
-	f, err := os.Create(tmp)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
-	if err := s.writeSnapshot(w); err != nil {
-		f.Close()
+	err = s.writeSnapshot(w, newEpoch)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.fs.Remove(tmp) // best effort; the store stays on its old WAL
 		return err
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		s.fs.Remove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
-		return err
-	}
-	// Truncate the WAL: everything is in the snapshot now.
+	// The new snapshot is durably installed; its epoch supersedes every
+	// record in the old WAL even if we crash before truncating it.
+	s.epoch = newEpoch
 	if s.wal != nil {
-		if err := s.wal.close(); err != nil {
+		if err := s.wal.discard(); err != nil {
 			return err
 		}
 	}
-	if err := os.Truncate(filepath.Join(s.dir, walFile), 0); err != nil {
-		return err
-	}
-	nw, err := openWAL(filepath.Join(s.dir, walFile))
+	nw, err := createWAL(s.fs, s.dir, filepath.Join(s.dir, walFile), newEpoch)
 	if err != nil {
+		// s.wal still points at the closed writer: subsequent appends
+		// fail loudly rather than silently dropping durability.
 		return err
 	}
 	s.wal = nw
 	return nil
 }
 
-func (s *Store) writeSnapshot(w io.Writer) error {
+func (s *Store) writeSnapshot(w io.Writer, epoch uint64) error {
 	buf := []byte(snapshotMagic)
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(s.nextTID.Load()))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(s.nextCreated.Load()))
 	// Metas.
@@ -689,7 +746,7 @@ func (s *Store) writeSnapshot(w io.Writer) error {
 }
 
 func (s *Store) loadSnapshot(path string) error {
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -700,12 +757,13 @@ func (s *Store) loadSnapshot(path string) error {
 		return fmt.Errorf("storage: bad snapshot magic")
 	}
 	buf := data[len(snapshotMagic):]
-	if len(buf) < 16 {
+	if len(buf) < 24 {
 		return fmt.Errorf("storage: short snapshot header")
 	}
-	s.nextTID.Store(int64(binary.BigEndian.Uint64(buf)))
-	s.nextCreated.Store(int64(binary.BigEndian.Uint64(buf[8:])))
-	buf = buf[16:]
+	s.epoch = binary.BigEndian.Uint64(buf)
+	s.nextTID.Store(int64(binary.BigEndian.Uint64(buf[8:])))
+	s.nextCreated.Store(int64(binary.BigEndian.Uint64(buf[16:])))
+	buf = buf[24:]
 	// Metas.
 	nm, w := binary.Uvarint(buf)
 	if w <= 0 {

@@ -9,17 +9,29 @@ import (
 	"os"
 
 	"ediflow/internal/catalog"
+	"ediflow/internal/fault"
 	"ediflow/internal/types"
 )
 
 // Write-ahead log and snapshot formats.
 //
-// The WAL is a sequence of framed records:
+// The WAL opens with a 16-byte file header:
+//
+//	[8-byte magic "EDIWAL1\n"][u64 epoch]
+//
+// The epoch ties the log to the snapshot it extends (see
+// Store.Checkpoint): a log whose epoch predates the installed snapshot's
+// is a leftover from a crash inside checkpoint and is ignored on replay —
+// replaying it would double-apply records already in the snapshot.
+//
+// After the header, the WAL is a sequence of framed records:
 //
 //	[u32 payload length][u32 crc32(payload)][payload]
 //
 // Replay stops cleanly at a truncated or corrupted tail (the standard
-// crash-recovery contract: a torn final record is discarded).
+// crash-recovery contract: a torn final record is discarded), and the
+// store physically truncates that tail before appending again so new
+// records are never hidden behind garbage.
 //
 // Payloads begin with a 1-byte opcode:
 //
@@ -42,13 +54,47 @@ const (
 	opDelMeta     byte = 8
 )
 
+const (
+	walMagic     = "EDIWAL1\n"
+	walHeaderLen = 16 // magic + big-endian epoch
+)
+
 type walWriter struct {
-	f   *os.File
+	f   fault.File
 	buf *bufio.Writer
 }
 
-func openWAL(path string) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// createWAL truncates (or creates) the log at path and stamps a fresh
+// header carrying epoch. The header is fsynced and the directory entry
+// is fsynced too, so a power loss immediately afterwards can neither
+// lose the file nor resurrect the pre-truncation content.
+func createWAL(fs fault.FS, dir, path string, epoch uint64) (*walWriter, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:8], walMagic)
+	binary.BigEndian.PutUint64(hdr[8:], epoch)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// openWALAppend opens an existing log — header already validated by
+// replayWAL — for appending.
+func openWALAppend(fs fault.FS, path string) (*walWriter, error) {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -90,38 +136,80 @@ func (w *walWriter) close() error {
 	return w.f.Close()
 }
 
-// replayWAL reads records from path and applies them via apply. A
-// truncated or corrupt tail terminates replay without error.
-func replayWAL(path string, apply func(payload []byte) error) error {
-	f, err := os.Open(path)
+// discard closes the file without flushing buffered records — the
+// checkpoint path, where everything buffered is already contained in the
+// snapshot being installed.
+func (w *walWriter) discard() error { return w.f.Close() }
+
+// walInfo is what replayWAL learned about the on-disk log.
+type walInfo struct {
+	epoch    uint64
+	replayed bool  // header valid, epoch current, records applied
+	torn     bool  // trailing garbage after the last valid record
+	goodLen  int64 // header + valid records, in bytes
+}
+
+// replayWAL validates the log header against the snapshot epoch and, if
+// it is current, applies every intact record via apply. A truncated or
+// corrupt tail terminates replay without error (torn is set so the
+// caller can cut it off). A log whose epoch predates the snapshot's is
+// skipped entirely: it is a leftover from a crash between the snapshot
+// rename and the log truncation, and every record in it is already in
+// the snapshot. A log from a *later* epoch than the snapshot is a hard
+// error — it means an installed snapshot was lost.
+func replayWAL(fs fault.FS, path string, snapEpoch uint64, apply func(payload []byte) error) (walInfo, error) {
+	var info walInfo
+	f, err := fs.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return info, nil
 		}
-		return err
+		return info, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
+	var fh [walHeaderLen]byte
+	if _, err := io.ReadFull(r, fh[:]); err != nil {
+		return info, nil // empty file or torn header: treat as no log
+	}
+	if string(fh[:8]) != walMagic {
+		return info, nil // unrecognized: recreate
+	}
+	info.epoch = binary.BigEndian.Uint64(fh[8:])
+	info.goodLen = walHeaderLen
+	if info.epoch < snapEpoch {
+		return info, nil // stale epoch: skip (see function comment)
+	}
+	if info.epoch > snapEpoch {
+		return info, fmt.Errorf("storage: WAL epoch %d ahead of snapshot epoch %d (snapshot lost?)",
+			info.epoch, snapEpoch)
+	}
+	info.replayed = true
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // clean EOF or torn header: stop
+			info.torn = err != io.EOF // clean EOF vs. torn header
+			return info, nil
 		}
 		n := binary.BigEndian.Uint32(hdr[0:4])
 		want := binary.BigEndian.Uint32(hdr[4:8])
 		if n > 1<<30 {
-			return nil // implausible length: corrupt tail
+			info.torn = true // implausible length: corrupt tail
+			return info, nil
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn record
+			info.torn = true // torn record
+			return info, nil
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return nil // corrupt record
+			info.torn = true // corrupt record
+			return info, nil
 		}
 		if err := apply(payload); err != nil {
-			return fmt.Errorf("storage: WAL replay: %w", err)
+			return info, fmt.Errorf("storage: WAL replay: %w", err)
 		}
+		info.goodLen += 8 + int64(n)
 	}
 }
 
