@@ -1,0 +1,45 @@
+package ediflow
+
+import (
+	"testing"
+
+	"ediflow/internal/benchkit"
+)
+
+// BenchmarkConcurrentCommit{1,4,16} measure the multi-session write
+// path under fsync-on-commit durability — the critical path of the
+// paper's premise that *all* state lives in the DBMS yet refreshes at
+// interactive rates (§IV, §VI-C). One number per concurrency level so
+// the scaling curve (and any regression back toward the serialized
+// one-fsync-per-statement design) is visible at a glance. The Wire
+// variants run the same workload with each writer on its own TCP
+// session. See internal/benchkit for the workload definition and
+// cmd/benchjson for the machine-readable results/BENCH_5.json emitter.
+
+func benchConcurrentCommit(b *testing.B, sessions int, overWire bool) {
+	st := benchkit.ConcurrentCommit(b, sessions, overWire)
+	if st.Commits > 0 {
+		b.ReportMetric(float64(st.Fsyncs)/float64(st.Commits), "fsyncs/commit")
+	}
+}
+
+func BenchmarkConcurrentCommit1(b *testing.B)  { benchConcurrentCommit(b, 1, false) }
+func BenchmarkConcurrentCommit4(b *testing.B)  { benchConcurrentCommit(b, 4, false) }
+func BenchmarkConcurrentCommit16(b *testing.B) { benchConcurrentCommit(b, 16, false) }
+
+func BenchmarkConcurrentCommitWire1(b *testing.B)  { benchConcurrentCommit(b, 1, true) }
+func BenchmarkConcurrentCommitWire4(b *testing.B)  { benchConcurrentCommit(b, 4, true) }
+func BenchmarkConcurrentCommitWire16(b *testing.B) { benchConcurrentCommit(b, 16, true) }
+
+// The Batch variants send the same INSERTs over ONE session as pipelined
+// ExecBatch frames (n statements per round trip); Batch1 is the
+// one-statement-per-frame cost of the same code path.
+func benchBatchCommit(b *testing.B, size int) {
+	st := benchkit.BatchCommit(b, size)
+	if st.Commits > 0 {
+		b.ReportMetric(float64(st.Fsyncs)/float64(st.Commits), "fsyncs/commit")
+	}
+}
+
+func BenchmarkBatchCommit1(b *testing.B)  { benchBatchCommit(b, 1) }
+func BenchmarkBatchCommit16(b *testing.B) { benchBatchCommit(b, 16) }

@@ -1,0 +1,83 @@
+// Command benchjson runs the concurrent-commit benchmark suite through
+// testing.Benchmark and writes machine-readable results to a JSON file
+// (results/BENCH_5.json by convention). It drives exactly the workload
+// behind BenchmarkConcurrentCommit{1,4,16} at the repository root — see
+// internal/benchkit — so the JSON numbers are the numbers `go test
+// -bench` prints, minus the formatting.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out results/BENCH_5.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"ediflow/internal/benchkit"
+)
+
+// Result is one benchmark line: the standard ns/op and B/op plus the
+// suite's fsyncs-per-commit ratio (the group-commit amortization factor;
+// 1.0 means every commit paid its own fsync).
+type Result struct {
+	Bench           string  `json:"bench"`
+	N               int     `json:"n"`
+	NsPerOp         float64 `json:"ns/op"`
+	BytesPerOp      int64   `json:"B/op"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+}
+
+func main() {
+	out := flag.String("out", "results/BENCH_5.json", "output JSON path")
+	flag.Parse()
+
+	type spec struct {
+		name string
+		run  func(b *testing.B) benchkit.CommitStats
+	}
+	specs := []spec{
+		{"ConcurrentCommit1", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 1, false) }},
+		{"ConcurrentCommit4", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 4, false) }},
+		{"ConcurrentCommit16", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 16, false) }},
+		{"ConcurrentCommitWire1", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 1, true) }},
+		{"ConcurrentCommitWire4", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 4, true) }},
+		{"ConcurrentCommitWire16", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 16, true) }},
+		{"BatchCommit16", func(b *testing.B) benchkit.CommitStats { return benchkit.BatchCommit(b, 16) }},
+	}
+
+	var results []Result
+	for _, sp := range specs {
+		var stats benchkit.CommitStats
+		r := testing.Benchmark(func(b *testing.B) { stats = sp.run(b) })
+		ratio := 0.0
+		if stats.Commits > 0 {
+			ratio = float64(stats.Fsyncs) / float64(stats.Commits)
+		}
+		res := Result{
+			Bench:           sp.name,
+			N:               r.N,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			FsyncsPerCommit: ratio,
+		}
+		fmt.Printf("%-24s %10d iters  %12.0f ns/op  %8d B/op  %.4f fsyncs/commit\n",
+			res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.FsyncsPerCommit)
+		results = append(results, res)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

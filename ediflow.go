@@ -91,6 +91,9 @@ type (
 	RemoteConn = client.Conn
 	// RemoteOptions tunes Dial (timeouts, pool size, retry backoff).
 	RemoteOptions = client.Options
+	// BatchStmt is one statement of a pipelined RemoteConn.ExecBatch
+	// frame: many statements per network round trip.
+	BatchStmt = client.BatchStmt
 	// Server serves this platform's database over TCP.
 	Server = server.Server
 	// ServerConfig tunes Serve.

@@ -1,0 +1,165 @@
+// Package benchkit is the shared harness behind the concurrent-commit
+// benchmark suite (BenchmarkConcurrentCommit{1,4,16} at the repository
+// root) and the cmd/benchjson runner that emits machine-readable
+// results/BENCH_N.json files. Both drive exactly the same workload, so
+// a number in a JSON result file is the number `go test -bench` prints.
+//
+// The workload is the write-path critical section of the paper's §VI-C
+// refresh chain measured under multi-session load: N writers issue
+// single-row autocommit INSERTs against a disk-backed store opened with
+// fsync-on-commit, either embedded (in-process engine calls) or over
+// the wire (one TCP session per writer through internal/server). Under
+// the pre-group-commit design every statement paid one fsync and all
+// writers serialized behind one lock, so N sessions got 1/N of a single
+// disk's fsync throughput; the suite exists to keep that regression
+// visible.
+package benchkit
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ediflow/internal/client"
+	"ediflow/internal/database"
+	"ediflow/internal/engine"
+	"ediflow/internal/server"
+	"ediflow/internal/storage"
+	"ediflow/internal/types"
+)
+
+// Execer is the statement surface shared by the embedded database and
+// the network client driver.
+type Execer interface {
+	Exec(sql string, args ...types.Value) (*engine.Result, error)
+}
+
+// CommitStats summarizes the WAL side of one benchmark run, for the
+// fsyncs-per-commit assertion (amortization means the ratio is « 1
+// under concurrent load).
+type CommitStats struct {
+	Commits int64
+	Fsyncs  int64
+}
+
+// ConcurrentCommit runs b.N autocommit INSERTs spread over `sessions`
+// concurrent writers against a SyncCommit store in a fresh directory.
+// With overWire set, each writer is one TCP session through a loopback
+// server; otherwise writers call the embedded database directly. It
+// returns the WAL commit/fsync counts observed during the timed region.
+func ConcurrentCommit(b *testing.B, sessions int, overWire bool) CommitStats {
+	b.Helper()
+	db, err := database.OpenWith(b.TempDir(), storage.Options{Sync: storage.SyncCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE bench_commit (id INT PRIMARY KEY, v STRING)"); err != nil {
+		b.Fatal(err)
+	}
+
+	workers := make([]Execer, sessions)
+	if overWire {
+		srv := server.New(db, server.Config{})
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		for i := range workers {
+			conn, err := client.Dial(srv.Addr(), client.Options{PoolSize: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			workers[i] = conn
+		}
+	} else {
+		for i := range workers {
+			workers[i] = db
+		}
+	}
+
+	reg := db.Metrics()
+	fsyncs0 := reg.Counter("wal.fsyncs").Value()
+	var next atomic.Int64
+	var firstErr atomic.Value
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w Execer) {
+			defer wg.Done()
+			for {
+				id := next.Add(1)
+				if id > int64(b.N) {
+					return
+				}
+				if _, err := w.Exec(
+					"INSERT INTO bench_commit (id, v) VALUES (?, 'w')", types.NewInt(id)); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+	return CommitStats{
+		Commits: int64(b.N),
+		Fsyncs:  reg.Counter("wal.fsyncs").Value() - fsyncs0,
+	}
+}
+
+// BatchCommit runs b.N autocommit INSERTs over ONE wire session, grouped
+// into pipelined ExecBatch frames of `batchSize` statements: one round
+// trip and (typically) one group fsync per frame instead of per
+// statement. The single-statement cost of the same path is batchSize=1.
+func BatchCommit(b *testing.B, batchSize int) CommitStats {
+	b.Helper()
+	db, err := database.OpenWith(b.TempDir(), storage.Options{Sync: storage.SyncCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE bench_commit (id INT PRIMARY KEY, v STRING)"); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := client.Dial(srv.Addr(), client.Options{PoolSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	reg := db.Metrics()
+	fsyncs0 := reg.Counter("wal.fsyncs").Value()
+	stmts := make([]client.BatchStmt, 0, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for id := 1; id <= b.N; {
+		stmts = stmts[:0]
+		for len(stmts) < batchSize && id <= b.N {
+			stmts = append(stmts, client.BatchStmt{
+				SQL:  "INSERT INTO bench_commit (id, v) VALUES (?, 'w')",
+				Args: []types.Value{types.NewInt(int64(id))},
+			})
+			id++
+		}
+		if _, err := conn.ExecBatch(stmts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	return CommitStats{
+		Commits: int64(b.N),
+		Fsyncs:  reg.Counter("wal.fsyncs").Value() - fsyncs0,
+	}
+}

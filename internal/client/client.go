@@ -385,6 +385,34 @@ func (c *Conn) exec(script bool, sql string, args []types.Value) (*engine.Result
 	return wire.DecodeResult(p)
 }
 
+// BatchStmt is one statement of an ExecBatch pipeline (re-exported from
+// the wire package so callers need not import it).
+type BatchStmt = wire.BatchStmt
+
+// ExecBatch ships a pipelined multi-statement frame: every statement
+// travels in one request and executes in order on this client's
+// session, so bulk loaders pay one network round trip — and, on the
+// server, one baton acquisition feeding the engine's group-commit
+// pipeline — instead of N. Results come back positionally. Execution
+// stops at the first statement error, which is returned alongside the
+// results of the statements that preceded it; wire-level failures
+// return a nil slice.
+func (c *Conn) ExecBatch(stmts []BatchStmt) ([]*engine.Result, error) {
+	typ, payload, err := c.roundTrip(wire.FrameExecBatch, wire.EncodeExecBatch(stmts))
+	p, err := expect(wire.FrameBatchResult, typ, payload, err)
+	if err != nil {
+		return nil, err
+	}
+	results, errMsg, err := wire.DecodeBatchResult(p)
+	if err != nil {
+		return nil, err
+	}
+	if errMsg != "" {
+		return results, fmt.Errorf("%s", errMsg)
+	}
+	return results, nil
+}
+
 // Query runs a SELECT on the server.
 func (c *Conn) Query(sql string, args ...types.Value) (*engine.Result, error) {
 	typ, payload, err := c.roundTrip(wire.FrameQuery, wire.EncodeQuery(sql, args))

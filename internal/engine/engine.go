@@ -6,9 +6,15 @@
 //
 // Concurrency model: a single RWMutex serializes writers; readers run
 // concurrently and copy result rows out before the lock is released.
+// The write lock covers apply + WAL append only — the durability wait
+// (the store's group-commit fsync) happens after the lock is released,
+// so concurrent autocommit writers share one fsync instead of
+// serializing behind it. Commit order equals WAL append order.
 // Statement-level change events are dispatched to observers *after* the
-// lock is released (and, inside a transaction, only after COMMIT), so
-// observers may re-enter the engine.
+// durability wait succeeds (and, inside a transaction, only after
+// COMMIT), so observers never see writes the disk refused and may
+// re-enter the engine. Delivery runs through a combining queue (see
+// dispatch): one goroutine at a time drains events in sequence order.
 package engine
 
 import (
@@ -81,6 +87,16 @@ type Engine struct {
 	handlers map[string]TriggerFunc
 	// Global observers, invoked for every change event.
 	observers []TriggerFunc
+	// Batch observers, invoked once per drained dispatch batch with the
+	// whole event slice (the notifier coalesces NOTIFY flushes from it).
+	batchObservers []func([]ChangeEvent)
+
+	// Combining dispatch queue (see dispatch): the first goroutine to
+	// enqueue becomes the dispatcher and drains everything, so delivery
+	// stays single-threaded even when autocommit writers are concurrent.
+	dispatchMu  sync.Mutex
+	dispatchQ   []ChangeEvent
+	dispatching bool
 
 	views *viewSet
 
@@ -205,6 +221,20 @@ func (e *Engine) Observe(fn TriggerFunc) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.observers = append(e.observers, fn)
+}
+
+// ObserveBatch installs a batch observer: it receives every drained
+// dispatch batch (one slice per drain, events in sequence order) after
+// the per-event triggers and observers ran for each event. Under
+// concurrent load a batch carries many statements' events at once, so a
+// batch observer can amortize per-flush work — the notification layer
+// uses this to send one NOTIFY per (table, batch) instead of one per
+// statement (§VI-C). The slice is shared; observers must not retain or
+// mutate it.
+func (e *Engine) ObserveBatch(fn func([]ChangeEvent)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchObservers = append(e.batchObservers, fn)
 }
 
 // Close flushes the store.
@@ -363,7 +393,10 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 		return e.rollback()
 	}
 
-	// Mutating statements.
+	// Mutating statements: apply + WAL append under the write lock, then
+	// release it BEFORE the durability wait so other sessions can apply
+	// their statements (and join the same group-commit batch) while this
+	// one waits on the shared fsync.
 	e.mu.Lock()
 	res, events, err := e.execMutation(st, args)
 	if err != nil {
@@ -373,27 +406,59 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 	if isDDL(st) {
 		e.plans.purge()
 	}
-	var fire []ChangeEvent
 	if e.inTxn {
 		e.pending = append(e.pending, events...)
-	} else {
-		// A Flush failure means the statement may not be durable; report
-		// it instead of acknowledging, and hold back the change events —
-		// downstream observers must not act on writes the disk refused.
-		if err := e.store.Flush(); err != nil {
-			e.mu.Unlock()
-			return nil, fmt.Errorf("engine: flush: %w", err)
-		}
-		fire = events
+		e.mu.Unlock()
+		return res, nil
 	}
 	e.mu.Unlock()
-	e.dispatch(fire)
+	// A Commit failure means the statement may not be durable; report it
+	// instead of acknowledging, and hold back the change events —
+	// downstream observers must not act on writes the disk refused.
+	if err := e.store.Commit(); err != nil {
+		return nil, fmt.Errorf("engine: flush: %w", err)
+	}
+	e.dispatch(events)
 	return res, nil
 }
 
 // dispatch delivers change events to catalog triggers and observers,
-// outside the engine lock so handlers may re-enter.
+// outside the engine lock so handlers may re-enter. Delivery runs
+// through a combining queue: the first goroutine to enqueue becomes the
+// dispatcher and drains everything — including events that other
+// goroutines, or re-entrant handlers on this one, enqueue while it is
+// delivering. When no other writer is active this reduces to the old
+// behavior (a statement's full trigger cascade delivers before its Exec
+// returns); under concurrent load writers hand their events to the
+// active dispatcher instead of racing, which keeps delivery
+// single-threaded in sequence order and gives batch observers whole
+// batches to coalesce.
 func (e *Engine) dispatch(events []ChangeEvent) {
+	if len(events) == 0 {
+		return
+	}
+	e.dispatchMu.Lock()
+	e.dispatchQ = append(e.dispatchQ, events...)
+	if e.dispatching {
+		e.dispatchMu.Unlock()
+		return // the active dispatcher delivers these promptly
+	}
+	e.dispatching = true
+	for len(e.dispatchQ) > 0 {
+		batch := e.dispatchQ
+		e.dispatchQ = nil
+		e.dispatchMu.Unlock()
+		e.deliver(batch)
+		e.dispatchMu.Lock()
+	}
+	e.dispatching = false
+	e.dispatchMu.Unlock()
+}
+
+// deliver fires one drained batch: per-event triggers and observers in
+// sequence order, then each batch observer once with the whole slice.
+func (e *Engine) deliver(events []ChangeEvent) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	for _, ev := range events {
 		e.mu.RLock()
 		trigs := e.cat.Triggers(ev.Table, string(ev.Op))
@@ -412,6 +477,13 @@ func (e *Engine) dispatch(events []ChangeEvent) {
 		for _, fn := range obs {
 			fn(ev)
 		}
+	}
+	e.mu.RLock()
+	bobs := make([]func([]ChangeEvent), len(e.batchObservers))
+	copy(bobs, e.batchObservers)
+	e.mu.RUnlock()
+	for _, fn := range bobs {
+		fn(events)
 	}
 }
 
@@ -437,49 +509,53 @@ func (e *Engine) commit() (*Result, error) {
 	e.undo = nil
 	fire := e.pending
 	e.pending = nil
-	// COMMIT is the durability point: a Flush failure must surface as a
-	// failed COMMIT, and the pent-up change events must not fire.
-	if err := e.store.Flush(); err != nil {
-		e.mu.Unlock()
+	e.mu.Unlock()
+	// COMMIT is the durability point. The wait happens outside the write
+	// lock (the records are already appended in order); a Commit failure
+	// must surface as a failed COMMIT, and the pent-up change events must
+	// not fire.
+	if err := e.store.Commit(); err != nil {
 		return nil, fmt.Errorf("engine: commit flush: %w", err)
 	}
-	e.mu.Unlock()
 	e.dispatch(fire)
 	return &Result{}, nil
 }
 
 func (e *Engine) rollback() (*Result, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if !e.inTxn {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: no open transaction")
 	}
 	// Apply undo entries in reverse. Undo operations also refresh the
 	// affected materialized views.
 	for i := len(e.undo) - 1; i >= 0; i-- {
 		u := e.undo[i]
+		var err error
 		switch u.op {
 		case OpInsert:
-			if _, err := e.store.Delete(u.table, u.tid); err != nil {
-				return nil, fmt.Errorf("engine: rollback: %w", err)
+			if _, err = e.store.Delete(u.table, u.tid); err == nil {
+				e.views.applyDelta(u.table, nil, []types.Row{u.newRow})
 			}
-			e.views.applyDelta(u.table, nil, []types.Row{u.newRow})
 		case OpUpdate:
-			if _, err := e.store.Update(u.table, u.tid, u.oldRow); err != nil {
-				return nil, fmt.Errorf("engine: rollback: %w", err)
+			if _, err = e.store.Update(u.table, u.tid, u.oldRow); err == nil {
+				e.views.applyDelta(u.table, []types.Row{u.oldRow}, []types.Row{u.newRow})
 			}
-			e.views.applyDelta(u.table, []types.Row{u.oldRow}, []types.Row{u.newRow})
 		case OpDelete:
-			if err := e.store.InsertAt(u.table, u.tid, u.created, u.oldRow); err != nil {
-				return nil, fmt.Errorf("engine: rollback: %w", err)
+			if err = e.store.InsertAt(u.table, u.tid, u.created, u.oldRow); err == nil {
+				e.views.applyDelta(u.table, []types.Row{u.oldRow}, nil)
 			}
-			e.views.applyDelta(u.table, []types.Row{u.oldRow}, nil)
+		}
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("engine: rollback: %w", err)
 		}
 	}
 	e.inTxn = false
 	e.undo = nil
 	e.pending = nil
-	if err := e.store.Flush(); err != nil {
+	e.mu.Unlock()
+	if err := e.store.Commit(); err != nil {
 		return nil, fmt.Errorf("engine: rollback flush: %w", err)
 	}
 	return &Result{}, nil

@@ -47,6 +47,7 @@ type Notifier struct {
 	mSent         *metrics.Counter
 	mDroppedLines *metrics.Counter
 	mDroppedConns *metrics.Counter
+	mCoalesced    *metrics.Counter
 	mAcks         *metrics.Counter
 	mRefreshLagH  *metrics.Histogram
 }
@@ -112,6 +113,7 @@ func NewNotifier(db *database.DB, opts ...NotifierOption) (*Notifier, error) {
 	n.mSent = n.reg.Counter("notify.sent")
 	n.mDroppedLines = n.reg.Counter("notify.dropped_lines")
 	n.mDroppedConns = n.reg.Counter("notify.dropped_conns")
+	n.mCoalesced = n.reg.Counter("notify.coalesced")
 	n.mAcks = n.reg.Counter("tablesync.acks")
 	n.mRefreshLagH = n.reg.Histogram("tablesync.refresh_lag")
 	n.reg.RegisterGauge("notify.connections", func() int64 {
@@ -129,7 +131,7 @@ func NewNotifier(db *database.DB, opts ...NotifierOption) (*Notifier, error) {
 		return depth
 	})
 	n.restoreSeqFloor()
-	db.Observe(n.onChange)
+	db.ObserveBatch(n.onBatch)
 	if err := n.reconnectExisting(); err != nil {
 		return nil, err
 	}
@@ -188,75 +190,107 @@ func skipTable(name string) bool {
 	return strings.HasPrefix(lower, "ef_") || strings.HasPrefix(lower, "__")
 }
 
-// onChange is the engine observer: the paper's statement-level trigger
-// body (§VI-B compiles UP statements into triggers; the notifier is the
-// always-on trigger feeding visualization clients). It must return
-// quickly — registration dial-backs run in their own goroutine and
-// NOTIFY delivery only enqueues onto per-connection send queues.
-func (n *Notifier) onChange(ev engine.ChangeEvent) {
+// onBatch is the engine batch observer: the paper's statement-level
+// trigger body (§VI-B compiles UP statements into triggers; the notifier
+// is the always-on trigger feeding visualization clients). One call
+// covers a whole dispatch batch — a single statement's events when the
+// system is idle, many statements' when autocommit writers are
+// concurrent — and pushes at most one NOTIFY per (table, batch).
+// Coalescing is safe because NOTIFY is only a doorbell: mirrors refresh
+// by reading everything past their last_seq cursor from the Notification
+// table, so the newest seq subsumes the per-statement lines an
+// uncoalesced notifier would have sent (counted in notify.coalesced).
+// It must return quickly — registration dial-backs run in their own
+// goroutine and NOTIFY delivery only enqueues onto per-connection send
+// queues.
+func (n *Notifier) onBatch(events []engine.ChangeEvent) {
 	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
-	}
+	closed := n.closed
 	n.mu.Unlock()
+	if closed {
+		return
+	}
 
-	// New registration: the DBMS connects back to the client (step 5 of
-	// the paper's protocol). The dial happens off the observer path so a
-	// dead address (connect timeout) cannot stall statement dispatch or
-	// delivery to healthy clients.
-	if strings.EqualFold(ev.Table, database.TableConnectedUser) {
-		if ev.Op == engine.OpInsert {
-			for _, row := range ev.Rows {
-				// Schema: id, username, host, port, tbl, last_seq.
-				id := row[0].Int()
-				host := row[2].Str()
-				port := row[3].Int()
-				table := row[4].Str()
-				n.wg.Add(1)
-				go func() {
-					defer n.wg.Done()
-					if err := n.dial(id, host, port, table); err != nil {
-						n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
-					}
-				}()
+	// Per-event bookkeeping, remembering the newest event per table.
+	var order []string
+	latest := map[string]engine.ChangeEvent{}
+	coalesced := 0
+	for _, ev := range events {
+		// New registration: the DBMS connects back to the client (step 5
+		// of the paper's protocol). The dial happens off the observer path
+		// so a dead address (connect timeout) cannot stall statement
+		// dispatch or delivery to healthy clients.
+		if strings.EqualFold(ev.Table, database.TableConnectedUser) {
+			if ev.Op == engine.OpInsert {
+				for _, row := range ev.Rows {
+					// Schema: id, username, host, port, tbl, last_seq.
+					id := row[0].Int()
+					host := row[2].Str()
+					port := row[3].Int()
+					table := row[4].Str()
+					n.wg.Add(1)
+					go func() {
+						defer n.wg.Done()
+						if err := n.dial(id, host, port, table); err != nil {
+							n.db.Exec("DELETE FROM "+database.TableConnectedUser+" WHERE id = ?", types.NewInt(id))
+						}
+					}()
+				}
 			}
+			if ev.Op == engine.OpUpdate {
+				n.observeAcks(ev)
+			}
+			continue
 		}
-		if ev.Op == engine.OpUpdate {
-			n.observeAcks(ev)
+		if skipTable(ev.Table) {
+			continue
 		}
-		return
-	}
-	if skipTable(ev.Table) {
-		return
-	}
 
-	// Record the compact notification tuple.
-	_, err := n.db.Exec(
-		"INSERT INTO "+database.TableNotification+" (seq_no, ts, tbl, op, tids) VALUES (?, ?, ?, ?, ?)",
-		types.NewInt(ev.Seq),
-		types.NewInt(time.Now().UnixNano()),
-		types.NewString(ev.Table),
-		types.NewString(string(ev.Op)),
-		types.NewString(EncodeTIDs(ev.TIDs)),
-	)
-	if err != nil {
+		// Record the compact notification tuple (one per event — the
+		// refresh protocol's source of truth is never coalesced).
+		_, err := n.db.Exec(
+			"INSERT INTO "+database.TableNotification+" (seq_no, ts, tbl, op, tids) VALUES (?, ?, ?, ?, ?)",
+			types.NewInt(ev.Seq),
+			types.NewInt(time.Now().UnixNano()),
+			types.NewString(ev.Table),
+			types.NewString(string(ev.Op)),
+			types.NewString(EncodeTIDs(ev.TIDs)),
+		)
+		if err != nil {
+			continue
+		}
+		key := strings.ToLower(ev.Table)
+		if prev, ok := latest[key]; ok {
+			coalesced++
+			if ev.Seq > prev.Seq {
+				latest[key] = ev
+			}
+		} else {
+			order = append(order, key)
+			latest[key] = ev
+		}
+	}
+	if len(order) == 0 {
 		return
 	}
+	n.mCoalesced.Add(int64(coalesced))
 
-	// Push NOTIFY to each client watching this table. Enqueue is
+	// Push one NOTIFY per table to each client watching it. Enqueue is
 	// non-blocking: if a client's queue is full (stalled reader), the
 	// line is dropped — safe, because mirrors re-read everything past
 	// their last_seq from the Notification table on the next refresh.
-	msg := Message{Verb: MsgNotify, Table: ev.Table, Seq: ev.Seq, Op: string(ev.Op)}
-	line := msg.Format() + "\n"
 	n.mu.Lock()
-	for _, sc := range n.conns {
-		if strings.EqualFold(sc.table, ev.Table) {
-			select {
-			case sc.out <- line:
-			default:
-				n.mDroppedLines.Inc()
+	for _, key := range order {
+		ev := latest[key]
+		msg := Message{Verb: MsgNotify, Table: ev.Table, Seq: ev.Seq, Op: string(ev.Op)}
+		line := msg.Format() + "\n"
+		for _, sc := range n.conns {
+			if strings.EqualFold(sc.table, ev.Table) {
+				select {
+				case sc.out <- line:
+				default:
+					n.mDroppedLines.Inc()
+				}
 			}
 		}
 	}

@@ -8,11 +8,14 @@
 // statements before closing sockets.
 //
 // Transactions: the embedded engine has a single global transaction, so
-// the server serializes them — BEGIN takes a server-wide write baton
-// that is released at COMMIT/ROLLBACK (or forcibly rolled back when the
-// holding session disconnects). Writes from other sessions queue on the
-// baton while a transaction is open, which keeps their effects out of
-// the open transaction's undo log.
+// the server serializes them — a statement that can open one (it
+// contains a BEGIN) takes a server-wide write baton exclusively, held
+// until COMMIT/ROLLBACK (or forcibly rolled back when the holding
+// session disconnects). Autocommit writes only *share* the baton: they
+// run concurrently with one another — entering the engine's group-commit
+// pipeline together, so N sessions share fsyncs instead of queueing for
+// N of them — and are excluded only while a transaction is open, which
+// keeps their effects out of the open transaction's undo log.
 package server
 
 import (
@@ -86,10 +89,12 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	// txnMu is the write baton (see package comment). txnHolder is the
-	// session currently holding an open engine transaction, nil if the
-	// baton is only held for the duration of one statement.
-	txnMu     sync.Mutex
+	// txnMu is the write baton (see package comment): exclusive for
+	// statements that may open a transaction, shared for autocommit
+	// writes so they reach the engine's group-commit pipeline
+	// concurrently. txnHolder is the session currently holding an open
+	// engine transaction, nil if no transaction is open.
+	txnMu     sync.RWMutex
 	holderMu  sync.Mutex
 	txnHolder *session
 

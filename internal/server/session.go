@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,7 +186,7 @@ func (ss *session) dispatch(typ byte, payload []byte) error {
 		if err != nil {
 			return ss.sendErr(err)
 		}
-		res, err := ss.execSerialized(func() (*engine.Result, error) {
+		res, err := ss.execSerialized(mayOpenTxn(sql), func() (*engine.Result, error) {
 			if script {
 				return ss.srv.db.ExecScript(sql, args...)
 			}
@@ -195,6 +196,45 @@ func (ss *session) dispatch(typ byte, payload []byte) error {
 			return ss.sendErr(err)
 		}
 		return ss.reply(wire.FrameResult, wire.EncodeResult(res))
+
+	case wire.FrameExecBatch:
+		stmts, err := wire.DecodeExecBatch(payload)
+		if err != nil {
+			return ss.sendErr(err)
+		}
+		// The whole batch runs under one baton acquisition (exclusive if
+		// any statement could open a transaction), so its statements
+		// pipeline back-to-back into the engine without per-statement
+		// round trips — group commit batches their fsyncs.
+		mayTxn := false
+		for _, st := range stmts {
+			if mayOpenTxn(st.SQL) {
+				mayTxn = true
+				break
+			}
+		}
+		results := make([]*engine.Result, 0, len(stmts))
+		var execErr error
+		ss.execSerialized(mayTxn, func() (*engine.Result, error) {
+			for _, st := range stmts {
+				res, err := ss.srv.db.Exec(st.SQL, st.Args...)
+				if err != nil {
+					execErr = err
+					return nil, err
+				}
+				results = append(results, res)
+			}
+			return nil, nil
+		})
+		if execErr != nil {
+			ss.errs.Add(1)
+			ss.srv.mErrors.Inc()
+		}
+		errMsg := ""
+		if execErr != nil {
+			errMsg = execErr.Error()
+		}
+		return ss.reply(wire.FrameBatchResult, wire.EncodeBatchResult(results, errMsg))
 
 	case wire.FrameQuery:
 		sql, args, err := wire.DecodeQuery(payload)
@@ -224,34 +264,53 @@ func (ss *session) dispatch(typ byte, payload []byte) error {
 	return ss.sendErr(fmt.Errorf("server: unknown frame type 0x%02x", typ))
 }
 
-// execSerialized runs a mutating statement under the transaction baton.
-// If this session already holds the baton (open transaction), it runs
-// directly; otherwise the baton is taken for the statement and kept iff
-// the statement opened a transaction (BEGIN, or a script ending inside
-// one). The engine's InTxn is the single source of truth, so scripts
-// containing BEGIN/COMMIT behave correctly too.
-func (ss *session) execSerialized(run func() (*engine.Result, error)) (*engine.Result, error) {
-	held := ss.inTxn
-	if !held {
-		// server.txn_wait measures how long writes queue on the baton
-		// while another session's transaction is open — the serialization
-		// cost of the engine's single global transaction.
-		done := ss.srv.reg.Time(ss.srv.mTxnWaitH)
-		ss.srv.txnMu.Lock()
-		done()
-	}
-	res, err := run()
-	nowIn := ss.srv.db.InTxn()
-	if !held {
-		if nowIn {
-			ss.srv.setHolder(ss)
-			ss.inTxn = true // keep txnMu locked until commit/rollback
-		} else {
+// mayOpenTxn conservatively reports whether sql could open an engine
+// transaction. Only a BEGIN can, and any statement or script containing
+// one necessarily contains the token, so substring matching never
+// under-approximates; over-matching (a string literal or identifier
+// containing "begin") merely runs that one statement under the
+// exclusive baton instead of the shared one — correct, just slower.
+func mayOpenTxn(sql string) bool {
+	return strings.Contains(strings.ToLower(sql), "begin")
+}
+
+// execSerialized runs a mutating statement under the write baton. A
+// statement that cannot open a transaction (mayTxn false: no BEGIN
+// anywhere in it) takes the baton *shared*, so autocommit writers from
+// different sessions reach the engine concurrently and its group-commit
+// pipeline batches their fsyncs. A statement that may open one takes
+// the baton exclusively and keeps it iff it actually left a transaction
+// open (BEGIN, or a script ending inside one). The engine's InTxn is
+// the single source of truth, so scripts containing BEGIN/COMMIT behave
+// correctly too.
+func (ss *session) execSerialized(mayTxn bool, run func() (*engine.Result, error)) (*engine.Result, error) {
+	if ss.inTxn {
+		res, err := run()
+		if !ss.srv.db.InTxn() {
+			ss.srv.setHolder(nil)
+			ss.inTxn = false
 			ss.srv.txnMu.Unlock()
 		}
-	} else if !nowIn {
-		ss.srv.setHolder(nil)
-		ss.inTxn = false
+		return res, err
+	}
+	// server.txn_wait measures how long writes queue on the baton while
+	// another session's transaction is open — the residual serialization
+	// cost of the engine's single global transaction.
+	done := ss.srv.reg.Time(ss.srv.mTxnWaitH)
+	if !mayTxn {
+		ss.srv.txnMu.RLock()
+		done()
+		res, err := run()
+		ss.srv.txnMu.RUnlock()
+		return res, err
+	}
+	ss.srv.txnMu.Lock()
+	done()
+	res, err := run()
+	if ss.srv.db.InTxn() {
+		ss.srv.setHolder(ss)
+		ss.inTxn = true // keep txnMu locked until commit/rollback
+	} else {
 		ss.srv.txnMu.Unlock()
 	}
 	return res, err

@@ -81,6 +81,11 @@ func crashWorkload(fs fault.FS) wlResult {
 		res.err = err
 		return res
 	}
+	// Crashed runs bail out mid-workload; close anyway so the flusher
+	// goroutine exits. Post-crash fs ops return ErrCrashed without
+	// advancing the injector's step counter, so the deterministic op
+	// trace is unchanged (Close is a no-op second time on clean runs).
+	defer s.Close()
 	flushed := func(err error) error {
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"ediflow/internal/catalog"
 	"ediflow/internal/fault"
@@ -60,7 +61,14 @@ const (
 )
 
 type walWriter struct {
-	f   fault.File
+	f fault.File
+	// mu guards buf: with the group-commit pipeline, appends (engine
+	// goroutines holding the engine write lock) and buffer flushes (the
+	// store's flusher goroutine) are concurrent. fsync needs no lock —
+	// it only touches the file, and racing an fsync with a write is safe
+	// (the batch's own flush+fsync happens-after its appends via the
+	// commit-ticket handoff).
+	mu  sync.Mutex
 	buf *bufio.Writer
 }
 
@@ -107,6 +115,8 @@ func (w *walWriter) append(payload []byte) (int, error) {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if _, err := w.buf.Write(hdr[:]); err != nil {
 		return 0, err
 	}
@@ -121,12 +131,18 @@ func (w *walWriter) append(payload []byte) (int, error) {
 // process kill but not a power loss until fsync runs. The Store's
 // SyncMode decides when fsync is called (see Store.Flush); the old name
 // of this method ("sync") wrongly suggested it reached the platter.
-func (w *walWriter) flush() error { return w.buf.Flush() }
+func (w *walWriter) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Flush()
+}
 
 // fsync forces flushed records to stable storage.
 func (w *walWriter) fsync() error { return w.f.Sync() }
 
 func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.buf.Flush(); err != nil {
 		return err
 	}

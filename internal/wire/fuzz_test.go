@@ -31,6 +31,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeExec(payload)
 		DecodeQuery(payload)
 		DecodeResult(payload)
+		DecodeExecBatch(payload)
+		DecodeBatchResult(payload)
 		DecodeError(payload)
 		DecodeID(payload)
 		DecodeNames(payload)

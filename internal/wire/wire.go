@@ -39,18 +39,20 @@ const HeaderLen = 5
 // Frame types. Client→server frames have the high bit clear,
 // server→client responses have it set.
 const (
-	FrameHello    byte = 0x01 // u16 version, string client name
-	FrameExec     byte = 0x02 // u8 flags (1 = script), string sql, row of args
-	FrameQuery    byte = 0x03 // string sql, row of args
-	FrameNextID   byte = 0x04 // string table
-	FramePing     byte = 0x05 // empty
-	FrameTables   byte = 0x06 // empty
-	FrameWelcome  byte = 0x81 // u16 version, u64 session id
-	FrameResult   byte = 0x82 // columns, rows, affected, tids
-	FrameError    byte = 0x83 // string message
-	FrameID       byte = 0x84 // varint id
-	FramePong     byte = 0x85 // empty
-	FrameNames    byte = 0x86 // uvarint count, strings
+	FrameHello       byte = 0x01 // u16 version, string client name
+	FrameExec        byte = 0x02 // u8 flags (1 = script), string sql, row of args
+	FrameQuery       byte = 0x03 // string sql, row of args
+	FrameNextID      byte = 0x04 // string table
+	FramePing        byte = 0x05 // empty
+	FrameTables      byte = 0x06 // empty
+	FrameExecBatch   byte = 0x07 // uvarint count, then per stmt: string sql, row of args
+	FrameWelcome     byte = 0x81 // u16 version, u64 session id
+	FrameResult      byte = 0x82 // columns, rows, affected, tids
+	FrameError       byte = 0x83 // string message
+	FrameID          byte = 0x84 // varint id
+	FramePong        byte = 0x85 // empty
+	FrameNames       byte = 0x86 // uvarint count, strings
+	FrameBatchResult byte = 0x87 // uvarint count, per result uvarint len + Result, string error
 )
 
 // ExecFlagScript marks an Exec frame as a ';'-separated script.
@@ -211,6 +213,54 @@ func DecodeQuery(p []byte) (sql string, args []types.Value, err error) {
 	return sql, row, nil
 }
 
+// BatchStmt is one statement of an ExecBatch frame: a pipelined batch
+// executes in order on one session, amortizing network round trips the
+// way the engine's group-commit pipeline amortizes fsyncs.
+type BatchStmt struct {
+	SQL  string
+	Args []types.Value
+}
+
+// EncodeExecBatch encodes an ExecBatch frame payload.
+func EncodeExecBatch(stmts []BatchStmt) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(stmts)))
+	for _, st := range stmts {
+		dst = AppendString(dst, st.SQL)
+		dst = types.AppendRow(dst, st.Args)
+	}
+	return dst
+}
+
+// DecodeExecBatch decodes an ExecBatch payload.
+func DecodeExecBatch(p []byte) ([]BatchStmt, error) {
+	n, w, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("wire: ExecBatch count: %w", err)
+	}
+	off := w
+	// Each statement costs at least two bytes (sql header + empty args
+	// row); reject counts larger than the remaining input before
+	// allocating.
+	if n > uint64(len(p)-off) {
+		return nil, fmt.Errorf("wire: ExecBatch claims %d statements in %d bytes", n, len(p)-off)
+	}
+	out := make([]BatchStmt, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sql, used, err := readString(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: ExecBatch sql %d: %w", i, err)
+		}
+		off += used
+		args, used, err := types.DecodeRow(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: ExecBatch args %d: %w", i, err)
+		}
+		off += used
+		out = append(out, BatchStmt{SQL: sql, Args: args})
+	}
+	return out, nil
+}
+
 // ------------------------------------------------------------ responses
 
 // EncodeResult encodes an engine result (nil is encoded as empty).
@@ -297,6 +347,54 @@ func DecodeResult(p []byte) (*engine.Result, error) {
 		off += n
 	}
 	return res, nil
+}
+
+// EncodeBatchResult encodes an ExecBatch response: the results of the
+// statements that executed (in order), plus the error message that
+// stopped execution ("" when the whole batch succeeded). Each result is
+// length-prefixed because EncodeResult's output is not self-delimiting.
+func EncodeBatchResult(results []*engine.Result, errMsg string) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(results)))
+	for _, res := range results {
+		enc := EncodeResult(res)
+		dst = binary.AppendUvarint(dst, uint64(len(enc)))
+		dst = append(dst, enc...)
+	}
+	return AppendString(dst, errMsg)
+}
+
+// DecodeBatchResult decodes an ExecBatch response payload.
+func DecodeBatchResult(p []byte) ([]*engine.Result, string, error) {
+	n, w, err := readUvarint(p)
+	if err != nil {
+		return nil, "", fmt.Errorf("wire: BatchResult count: %w", err)
+	}
+	off := w
+	if n > uint64(len(p)-off) {
+		return nil, "", fmt.Errorf("wire: BatchResult claims %d results in %d bytes", n, len(p)-off)
+	}
+	out := make([]*engine.Result, 0, n)
+	for i := uint64(0); i < n; i++ {
+		size, w, err := readUvarint(p[off:])
+		if err != nil {
+			return nil, "", fmt.Errorf("wire: BatchResult size %d: %w", i, err)
+		}
+		off += w
+		if size > uint64(len(p)-off) {
+			return nil, "", fmt.Errorf("wire: BatchResult %d claims %d bytes in %d", i, size, len(p)-off)
+		}
+		res, err := DecodeResult(p[off : off+int(size)])
+		if err != nil {
+			return nil, "", fmt.Errorf("wire: BatchResult %d: %w", i, err)
+		}
+		out = append(out, res)
+		off += int(size)
+	}
+	errMsg, _, err := readString(p[off:])
+	if err != nil {
+		return nil, "", fmt.Errorf("wire: BatchResult error: %w", err)
+	}
+	return out, errMsg, nil
 }
 
 // EncodeError encodes an Error payload.
