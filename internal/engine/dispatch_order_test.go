@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ediflow/internal/storage"
+)
+
+// TestDispatchGlobalSeqOrder: with concurrent autocommit writers, change
+// events must reach observers (and batch observers) in global Seq order —
+// not merely ordered within one drain. Regression for the review finding
+// where a committer descheduled between releasing the engine lock and
+// enqueueing its events could deliver seq N after seq N+1 had fully
+// drained, making the notifier insert ef_notification rows out of order
+// and permanently hiding them from "WHERE seq_no > last_seq" mirrors.
+// The durable SyncCommit store makes the post-lock durability wait real,
+// so committers genuinely interleave around the shared fsync.
+func TestDispatchGlobalSeqOrder(t *testing.T) {
+	st, err := storage.OpenWith(t.TempDir(), storage.Options{Sync: storage.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE evts (id INT PRIMARY KEY, w INT)")
+
+	var mu sync.Mutex
+	var perEvent []int64
+	var viaBatches []int64
+	e.Observe(func(ev ChangeEvent) {
+		mu.Lock()
+		perEvent = append(perEvent, ev.Seq)
+		mu.Unlock()
+	})
+	e.ObserveBatch(func(evs []ChangeEvent) {
+		mu.Lock()
+		for _, ev := range evs {
+			viaBatches = append(viaBatches, ev.Seq)
+		}
+		mu.Unlock()
+	})
+
+	const writers, per = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sql := fmt.Sprintf("INSERT INTO evts VALUES (%d, %d)", w*per+i, w)
+				if _, err := e.Exec(sql); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every Exec returns only after its settle; the last active
+	// dispatcher drained all settled entries before returning, so
+	// delivery is complete here.
+
+	check := func(name string, seqs []int64) {
+		t.Helper()
+		if len(seqs) != writers*per {
+			t.Fatalf("%s: delivered %d events, want %d", name, len(seqs), writers*per)
+		}
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] <= seqs[i-1] {
+				t.Fatalf("%s: seq %d delivered at position %d after seq %d — events out of global seq order",
+					name, seqs[i], i, seqs[i-1])
+			}
+		}
+	}
+	check("per-event observer", perEvent)
+	check("batch observer", viaBatches)
+}
+
+// TestDispatchHoldsBackAbortedEntries: an entry whose durability wait
+// failed must be skipped by the dispatcher without blocking delivery of
+// later durable entries (events held back on flush error, PR-4
+// contract). Exercised indirectly here via the in-memory fast path plus
+// a direct settle of a synthetic aborted entry ahead of a durable one.
+func TestDispatchHoldsBackAbortedEntries(t *testing.T) {
+	e := newTestDB(t)
+	var got []int64
+	e.Observe(func(ev ChangeEvent) { got = append(got, ev.Seq) })
+
+	e.mu.Lock()
+	bad := e.enqueueLocked([]ChangeEvent{{Seq: 1, Table: "t", Op: OpInsert}})
+	good := e.enqueueLocked([]ChangeEvent{{Seq: 2, Table: "t", Op: OpInsert}})
+	e.mu.Unlock()
+
+	// The later entry resolves first: nothing may deliver while the
+	// unresolved head blocks the queue.
+	e.settle(good, true)
+	if len(got) != 0 {
+		t.Fatalf("delivered %v before the queue head resolved", got)
+	}
+	// The head aborts: it must be dropped and the durable successor
+	// delivered.
+	e.settle(bad, false)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("delivered %v, want exactly the durable entry's seq [2]", got)
+	}
+}

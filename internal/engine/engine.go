@@ -13,8 +13,11 @@
 // Statement-level change events are dispatched to observers *after* the
 // durability wait succeeds (and, inside a transaction, only after
 // COMMIT), so observers never see writes the disk refused and may
-// re-enter the engine. Delivery runs through a combining queue (see
-// dispatch): one goroutine at a time drains events in sequence order.
+// re-enter the engine. Delivery runs through an ordered queue (see
+// settle): events claim their queue position under the write lock, in
+// seq/WAL-append order, and one goroutine at a time drains resolved
+// entries from the head — so observers see events in global seq order
+// no matter how concurrent committers' fsync waits interleave.
 package engine
 
 import (
@@ -91,11 +94,13 @@ type Engine struct {
 	// whole event slice (the notifier coalesces NOTIFY flushes from it).
 	batchObservers []func([]ChangeEvent)
 
-	// Combining dispatch queue (see dispatch): the first goroutine to
-	// enqueue becomes the dispatcher and drains everything, so delivery
-	// stays single-threaded even when autocommit writers are concurrent.
+	// Ordered dispatch queue (see settle): entries are enqueued under the
+	// engine write lock — queue order is WAL append (seq) order — and
+	// delivered by a single dispatcher only once resolved, so observers
+	// see events in global seq order even when the durability waits of
+	// concurrent committers finish out of order.
 	dispatchMu  sync.Mutex
-	dispatchQ   []ChangeEvent
+	dispatchQ   []*dispatchEntry
 	dispatching bool
 
 	views *viewSet
@@ -411,42 +416,82 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 		e.mu.Unlock()
 		return res, nil
 	}
+	// Enqueue the events into the ordered dispatch queue BEFORE releasing
+	// the write lock: queue position is claimed in seq/WAL-append order,
+	// so however the durability waits below interleave, delivery (and the
+	// notifier's ef_notification inserts) happens in global seq order.
+	entry := e.enqueueLocked(events)
 	e.mu.Unlock()
 	// A Commit failure means the statement may not be durable; report it
 	// instead of acknowledging, and hold back the change events —
 	// downstream observers must not act on writes the disk refused.
 	if err := e.store.Commit(); err != nil {
+		e.settle(entry, false)
 		return nil, fmt.Errorf("engine: flush: %w", err)
 	}
-	e.dispatch(events)
+	e.settle(entry, true)
 	return res, nil
 }
 
-// dispatch delivers change events to catalog triggers and observers,
-// outside the engine lock so handlers may re-enter. Delivery runs
-// through a combining queue: the first goroutine to enqueue becomes the
-// dispatcher and drains everything — including events that other
-// goroutines, or re-entrant handlers on this one, enqueue while it is
-// delivering. When no other writer is active this reduces to the old
-// behavior (a statement's full trigger cascade delivers before its Exec
-// returns); under concurrent load writers hand their events to the
-// active dispatcher instead of racing, which keeps delivery
-// single-threaded in sequence order and gives batch observers whole
-// batches to coalesce.
-func (e *Engine) dispatch(events []ChangeEvent) {
+// dispatchEntry is one committer's claim on a dispatch-queue position.
+// It is enqueued pending (under the engine write lock, so queue order is
+// seq order), then resolved — durable or aborted — after the durability
+// wait. Aborted entries are skipped: their writes never became durable,
+// so observers must not see them.
+type dispatchEntry struct {
+	events  []ChangeEvent
+	durable bool
+	settled bool
+}
+
+// enqueueLocked claims the next dispatch-queue position for events.
+// Callers MUST hold e.mu (the write lock): that is what makes queue
+// order equal seq order. Returns nil when there is nothing to deliver.
+func (e *Engine) enqueueLocked(events []ChangeEvent) *dispatchEntry {
 	if len(events) == 0 {
+		return nil
+	}
+	entry := &dispatchEntry{events: events}
+	e.dispatchMu.Lock()
+	e.dispatchQ = append(e.dispatchQ, entry)
+	e.dispatchMu.Unlock()
+	return entry
+}
+
+// settle resolves a queued entry after its durability wait and delivers
+// every leading resolved entry, outside the engine lock so handlers may
+// re-enter. The first goroutine to find deliverable work becomes the
+// dispatcher and drains until the queue is empty or its head is an
+// unresolved entry (a concurrent committer still waiting on its fsync —
+// its own settle will resume delivery, preserving global seq order).
+// When no other writer is active this reduces to the old behavior: a
+// statement's full trigger cascade delivers before its Exec returns.
+// Under concurrent load, batches carry many statements' events at once
+// for batch observers to coalesce.
+func (e *Engine) settle(entry *dispatchEntry, durable bool) {
+	if entry == nil {
 		return
 	}
 	e.dispatchMu.Lock()
-	e.dispatchQ = append(e.dispatchQ, events...)
+	entry.durable = durable
+	entry.settled = true
 	if e.dispatching {
 		e.dispatchMu.Unlock()
 		return // the active dispatcher delivers these promptly
 	}
 	e.dispatching = true
-	for len(e.dispatchQ) > 0 {
-		batch := e.dispatchQ
-		e.dispatchQ = nil
+	for {
+		var batch []ChangeEvent
+		for len(e.dispatchQ) > 0 && e.dispatchQ[0].settled {
+			head := e.dispatchQ[0]
+			e.dispatchQ = e.dispatchQ[1:]
+			if head.durable {
+				batch = append(batch, head.events...)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
 		e.dispatchMu.Unlock()
 		e.deliver(batch)
 		e.dispatchMu.Lock()
@@ -456,7 +501,8 @@ func (e *Engine) dispatch(events []ChangeEvent) {
 }
 
 // deliver fires one drained batch: per-event triggers and observers in
-// sequence order, then each batch observer once with the whole slice.
+// sequence order (guaranteed by queue construction; the sort is a cheap
+// invariant net), then each batch observer once with the whole slice.
 func (e *Engine) deliver(events []ChangeEvent) {
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	for _, ev := range events {
@@ -509,15 +555,17 @@ func (e *Engine) commit() (*Result, error) {
 	e.undo = nil
 	fire := e.pending
 	e.pending = nil
+	entry := e.enqueueLocked(fire)
 	e.mu.Unlock()
 	// COMMIT is the durability point. The wait happens outside the write
 	// lock (the records are already appended in order); a Commit failure
 	// must surface as a failed COMMIT, and the pent-up change events must
 	// not fire.
 	if err := e.store.Commit(); err != nil {
+		e.settle(entry, false)
 		return nil, fmt.Errorf("engine: commit flush: %w", err)
 	}
-	e.dispatch(fire)
+	e.settle(entry, true)
 	return &Result{}, nil
 }
 

@@ -265,13 +265,30 @@ func (ss *session) dispatch(typ byte, payload []byte) error {
 }
 
 // mayOpenTxn conservatively reports whether sql could open an engine
-// transaction. Only a BEGIN can, and any statement or script containing
-// one necessarily contains the token, so substring matching never
-// under-approximates; over-matching (a string literal or identifier
-// containing "begin") merely runs that one statement under the
-// exclusive baton instead of the shared one — correct, just slower.
+// transaction. Only a BEGIN statement can, and BEGIN is always the
+// leading keyword of a ';'-separated statement (the dialect has no
+// comments), so checking each piece's leading identifier never
+// under-approximates. A ';' inside a string literal only adds split
+// points, and a false positive there (a literal like '; begin x')
+// merely runs that one statement under the exclusive baton instead of
+// the shared one — correct, just slower. Identifiers or literals that
+// contain "begin" elsewhere (a begin_ts column in every INSERT) no
+// longer defeat group commit.
 func mayOpenTxn(sql string) bool {
-	return strings.Contains(strings.ToLower(sql), "begin")
+	for _, stmt := range strings.Split(sql, ";") {
+		s := strings.TrimSpace(stmt)
+		if len(s) < 5 || !strings.EqualFold(s[:5], "begin") {
+			continue
+		}
+		if len(s) == 5 || !isIdentChar(s[5]) {
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
 
 // execSerialized runs a mutating statement under the write baton. A

@@ -1,0 +1,36 @@
+package server
+
+import "testing"
+
+// TestMayOpenTxnKeywordScope: only a statement whose LEADING keyword is
+// BEGIN takes the baton exclusively. Regression for the review finding
+// where substring matching made any workload mentioning "begin" in an
+// identifier or literal (a begin_ts column on every INSERT) serialize
+// behind the exclusive baton, silently defeating group commit.
+func TestMayOpenTxnKeywordScope(t *testing.T) {
+	for _, tc := range []struct {
+		sql  string
+		want bool
+	}{
+		{"BEGIN", true},
+		{"begin", true},
+		{"  Begin  ", true},
+		{"BEGIN; INSERT INTO t VALUES (1); COMMIT", true},
+		{"INSERT INTO t VALUES (1); begin", true},
+		{"INSERT INTO t VALUES (1);   BEGIN ;COMMIT", true},
+		// Over-approximation from a ';' inside a literal: acceptable.
+		{"INSERT INTO t VALUES ('x;begin y')", true},
+
+		{"INSERT INTO t (begin_ts) VALUES (1)", false},
+		{"UPDATE t SET beginning = 2", false},
+		{"SELECT begin_ts FROM t; SELECT beginning FROM t", false},
+		{"INSERT INTO t VALUES ('begin')", false},
+		{"COMMIT", false},
+		{"", false},
+		{";;", false},
+	} {
+		if got := mayOpenTxn(tc.sql); got != tc.want {
+			t.Errorf("mayOpenTxn(%q) = %v, want %v", tc.sql, got, tc.want)
+		}
+	}
+}

@@ -231,10 +231,22 @@ func (s *Store) Metrics() *metrics.Registry { return s.reg }
 // SyncPolicy reports the durability mode the store was opened with.
 func (s *Store) SyncPolicy() SyncMode { return s.opts.Sync }
 
+// errClosed surfaces a Commit that raced Close: the statement may be
+// durable (close flushes and fsyncs the WAL), but with the writer gone
+// that cannot be confirmed, and a commit must never be acknowledged on
+// a maybe.
+var errClosed = fmt.Errorf("storage: store is closed")
+
 // Close stops the flusher (draining any queued commit tickets), then
-// flushes and closes the WAL. Safe to call twice.
+// flushes and closes the WAL. Safe to call twice. cycleMu covers the
+// close and the nil assignment: Commit runs outside the engine write
+// lock now, so a late committer can reach syncNow concurrently — it
+// serializes on cycleMu and finds s.wal nil (an errClosed failure)
+// instead of flushing a closing file or panicking on the nil writer.
 func (s *Store) Close() error {
 	s.stopFlusher()
+	s.cycleMu.Lock()
+	defer s.cycleMu.Unlock()
 	if s.wal != nil {
 		err := s.wal.close()
 		s.wal = nil
@@ -282,7 +294,10 @@ func (s *Store) log(payload []byte) error {
 // SyncOSCache keeps the historical behavior: flush to the OS page cache,
 // durability deferred to checkpoint/close.
 func (s *Store) Commit() error {
-	if s.wal == nil {
+	// durable (immutable after open) rather than s.wal: Commit runs
+	// outside the engine lock, so reading the wal pointer here would race
+	// Close nil'ing it. The cycleMu-guarded paths below re-check it.
+	if !s.durable {
 		return nil
 	}
 	switch s.opts.Sync {
@@ -454,6 +469,9 @@ func (s *Store) flushOS() error {
 }
 
 func (s *Store) flushOSLocked() error {
+	if s.wal == nil {
+		return errClosed
+	}
 	timed := s.reg.Enabled()
 	var t0 time.Time
 	if timed {
@@ -470,6 +488,9 @@ func (s *Store) flushOSLocked() error {
 }
 
 func (s *Store) fsyncLocked() error {
+	if s.wal == nil {
+		return errClosed
+	}
 	t0 := time.Now()
 	if err := s.wal.fsync(); err != nil {
 		return err
