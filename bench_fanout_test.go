@@ -1,0 +1,19 @@
+package ediflow
+
+import (
+	"testing"
+
+	"ediflow/internal/benchkit"
+)
+
+// The replica fan-out suite: one edit stream, 8 or 16 mirror
+// connections, either all on the primary (Direct) or sharded across two
+// WAL-shipping read replicas (Sharded2x). One op is an INSERT confirmed
+// by every mirror's NOTIFY. cmd/benchjson runs the same workloads into
+// results/BENCH_6.json.
+func BenchmarkReplicaFanoutDirect8(b *testing.B)    { benchkit.ReplicaFanout(b, 0, 8) }
+func BenchmarkReplicaFanoutSharded2x8(b *testing.B) { benchkit.ReplicaFanout(b, 2, 8) }
+func BenchmarkReplicaFanoutDirect16(b *testing.B)   { benchkit.ReplicaFanout(b, 0, 16) }
+func BenchmarkReplicaFanoutSharded2x16(b *testing.B) {
+	benchkit.ReplicaFanout(b, 2, 16)
+}

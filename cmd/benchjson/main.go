@@ -1,13 +1,18 @@
-// Command benchjson runs the concurrent-commit benchmark suite through
-// testing.Benchmark and writes machine-readable results to a JSON file
-// (results/BENCH_5.json by convention). It drives exactly the workload
-// behind BenchmarkConcurrentCommit{1,4,16} at the repository root — see
+// Command benchjson runs a benchmark suite through testing.Benchmark
+// and writes machine-readable results to a JSON file. It drives exactly
+// the workloads behind the repository-root benchmarks — see
 // internal/benchkit — so the JSON numbers are the numbers `go test
 // -bench` prints, minus the formatting.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -out results/BENCH_5.json
+//	go run ./cmd/benchjson -suite commit -out results/BENCH_5.json
+//	go run ./cmd/benchjson -suite fanout -out results/BENCH_6.json
+//
+// The commit suite is the concurrent group-commit workload
+// (BenchmarkConcurrentCommit{1,4,16}); the fanout suite is the §VI-C
+// mirror fan-out of one edit stream, direct vs sharded across
+// WAL-shipping read replicas (BenchmarkReplicaFanout*).
 package main
 
 import (
@@ -20,53 +25,99 @@ import (
 	"ediflow/internal/benchkit"
 )
 
-// Result is one benchmark line: the standard ns/op and B/op plus the
-// suite's fsyncs-per-commit ratio (the group-commit amortization factor;
-// 1.0 means every commit paid its own fsync).
+// Result is one benchmark line: the standard ns/op and B/op plus one
+// suite-specific ratio — fsyncs-per-commit for the commit suite (the
+// group-commit amortization factor; 1.0 means every commit paid its own
+// fsync) or notifies-per-edit for the fanout suite (how many NOTIFY
+// deliveries one edit cost across all mirrors).
 type Result struct {
 	Bench           string  `json:"bench"`
 	N               int     `json:"n"`
 	NsPerOp         float64 `json:"ns/op"`
 	BytesPerOp      int64   `json:"B/op"`
-	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
+	NotifiesPerEdit float64 `json:"notifies_per_edit,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "results/BENCH_5.json", "output JSON path")
+	suite := flag.String("suite", "commit", "benchmark suite: commit or fanout")
+	out := flag.String("out", "", "output JSON path (default results/BENCH_5.json or results/BENCH_6.json by suite)")
 	flag.Parse()
 
-	type spec struct {
-		name string
-		run  func(b *testing.B) benchkit.CommitStats
-	}
-	specs := []spec{
-		{"ConcurrentCommit1", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 1, false) }},
-		{"ConcurrentCommit4", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 4, false) }},
-		{"ConcurrentCommit16", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 16, false) }},
-		{"ConcurrentCommitWire1", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 1, true) }},
-		{"ConcurrentCommitWire4", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 4, true) }},
-		{"ConcurrentCommitWire16", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 16, true) }},
-		{"BatchCommit16", func(b *testing.B) benchkit.CommitStats { return benchkit.BatchCommit(b, 16) }},
-	}
-
 	var results []Result
-	for _, sp := range specs {
-		var stats benchkit.CommitStats
-		r := testing.Benchmark(func(b *testing.B) { stats = sp.run(b) })
-		ratio := 0.0
-		if stats.Commits > 0 {
-			ratio = float64(stats.Fsyncs) / float64(stats.Commits)
+	switch *suite {
+	case "commit":
+		if *out == "" {
+			*out = "results/BENCH_5.json"
 		}
-		res := Result{
-			Bench:           sp.name,
-			N:               r.N,
-			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:      r.AllocedBytesPerOp(),
-			FsyncsPerCommit: ratio,
+		type spec struct {
+			name string
+			run  func(b *testing.B) benchkit.CommitStats
 		}
-		fmt.Printf("%-24s %10d iters  %12.0f ns/op  %8d B/op  %.4f fsyncs/commit\n",
-			res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.FsyncsPerCommit)
-		results = append(results, res)
+		specs := []spec{
+			{"ConcurrentCommit1", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 1, false) }},
+			{"ConcurrentCommit4", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 4, false) }},
+			{"ConcurrentCommit16", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 16, false) }},
+			{"ConcurrentCommitWire1", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 1, true) }},
+			{"ConcurrentCommitWire4", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 4, true) }},
+			{"ConcurrentCommitWire16", func(b *testing.B) benchkit.CommitStats { return benchkit.ConcurrentCommit(b, 16, true) }},
+			{"BatchCommit16", func(b *testing.B) benchkit.CommitStats { return benchkit.BatchCommit(b, 16) }},
+		}
+		for _, sp := range specs {
+			var stats benchkit.CommitStats
+			r := testing.Benchmark(func(b *testing.B) { stats = sp.run(b) })
+			ratio := 0.0
+			if stats.Commits > 0 {
+				ratio = float64(stats.Fsyncs) / float64(stats.Commits)
+			}
+			res := Result{
+				Bench:           sp.name,
+				N:               r.N,
+				NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:      r.AllocedBytesPerOp(),
+				FsyncsPerCommit: ratio,
+			}
+			fmt.Printf("%-24s %10d iters  %12.0f ns/op  %8d B/op  %.4f fsyncs/commit\n",
+				res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.FsyncsPerCommit)
+			results = append(results, res)
+		}
+	case "fanout":
+		if *out == "" {
+			*out = "results/BENCH_6.json"
+		}
+		type spec struct {
+			name              string
+			replicas, mirrors int
+		}
+		specs := []spec{
+			{"ReplicaFanoutDirect8", 0, 8},
+			{"ReplicaFanoutSharded2x8", 2, 8},
+			{"ReplicaFanoutDirect16", 0, 16},
+			{"ReplicaFanoutSharded2x16", 2, 16},
+			{"ReplicaFanoutDirect32", 0, 32},
+			{"ReplicaFanoutSharded4x32", 4, 32},
+		}
+		for _, sp := range specs {
+			var stats benchkit.FanoutStats
+			r := testing.Benchmark(func(b *testing.B) { stats = benchkit.ReplicaFanout(b, sp.replicas, sp.mirrors) })
+			ratio := 0.0
+			if stats.Edits > 0 {
+				ratio = float64(stats.Notifies) / float64(stats.Edits)
+			}
+			res := Result{
+				Bench:           sp.name,
+				N:               r.N,
+				NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:      r.AllocedBytesPerOp(),
+				NotifiesPerEdit: ratio,
+			}
+			fmt.Printf("%-26s %10d iters  %12.0f ns/op  %8d B/op  %.2f notifies/edit\n",
+				res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.NotifiesPerEdit)
+			results = append(results, res)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit or fanout)\n", *suite)
+		os.Exit(2)
 	}
 
 	data, err := json.MarshalIndent(results, "", "  ")

@@ -7,6 +7,12 @@
 //
 //	ediserver [-db /path/to/dbdir] [-addr :7687] [-idle-timeout 0]
 //	          [-fsync none|commit|interval] [-metrics-addr :6060]
+//	          [-replica-of primary:7687]
+//
+// With -replica-of the server runs as a WAL-shipping read replica: it
+// keeps an in-memory copy of the primary converged via snapshot+delta
+// catch-up, serves SELECTs and §VI-C mirror registrations locally, and
+// rejects writes. See internal/repl and DESIGN.md §12.
 //
 // Clients connect with the internal/client driver, e.g.
 //
@@ -39,6 +45,7 @@ import (
 	"ediflow/internal/engine"
 	"ediflow/internal/metrics"
 	"ediflow/internal/notify"
+	"ediflow/internal/repl"
 	"ediflow/internal/server"
 	"ediflow/internal/storage"
 )
@@ -51,7 +58,12 @@ func main() {
 	fsync := flag.String("fsync", "none", "WAL durability: none, commit, or interval (group fsync)")
 	fsyncEvery := flag.Duration("fsync-every", 0, "minimum window between group fsyncs (0 = default 100ms; only with -fsync interval)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of this primary (host:port); implies in-memory state")
 	flag.Parse()
+
+	if *replicaOf != "" && *dbDir != "" {
+		log.Fatalf("ediserver: -replica-of and -db are mutually exclusive: a replica's state is a copy of the primary's, rebuilt by snapshot on restart")
+	}
 
 	// A log pipe whose reader died (e.g. `ediserver | tee` torn down by
 	// the same SIGINT) must not SIGPIPE-kill the server between the
@@ -89,7 +101,10 @@ func main() {
 		log.Fatalf("ediserver: attaching notifier: %v", err)
 	}
 	defer notifier.Close()
-	if *purge > 0 {
+	// Replicas neither purge the notification journal nor checkpoint:
+	// both are writes, and both are the primary's job — the journal
+	// truncation replicates over like any other delete.
+	if *purge > 0 && *replicaOf == "" {
 		stop := notifier.AutoPurge(*purge)
 		defer stop()
 		go func() {
@@ -110,6 +125,24 @@ func main() {
 		ReadTimeout: *idle,
 		Logf:        log.Printf,
 	})
+	if *replicaOf != "" {
+		// Replica mode: stream from the primary, serve reads and mirror
+		// registrations locally, reject everything else with
+		// engine.ErrReadOnlyReplica. The replica does not re-export a
+		// replication feed (no cascading).
+		rep := repl.NewReplica(db, repl.ReplicaConfig{
+			PrimaryAddr: *replicaOf,
+			OnNotify:    notifier.PushNotify,
+			Logf:        log.Printf,
+		})
+		rep.Start()
+		defer rep.Stop()
+		log.Printf("ediserver: replica of %s", *replicaOf)
+	} else {
+		// Primary mode always enables the feed: replicas can show up at
+		// any time, and an idle feed costs one in-memory ring.
+		srv.SetRepl(repl.NewPrimary(db))
+	}
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("ediserver: %v", err)
 	}
@@ -119,8 +152,10 @@ func main() {
 	s := <-sig
 	log.Printf("ediserver: %v — draining %d session(s)", s, srv.SessionCount())
 	srv.Close()
-	if err := db.Checkpoint(); err != nil {
-		log.Printf("ediserver: final checkpoint: %v", err)
+	if *replicaOf == "" {
+		if err := db.Checkpoint(); err != nil {
+			log.Printf("ediserver: final checkpoint: %v", err)
+		}
 	}
 	log.Printf("ediserver: bye (%d sessions served)", srv.Accepted())
 }

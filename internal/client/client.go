@@ -169,13 +169,16 @@ func transientDialError(err error) bool {
 	return true
 }
 
-// jitterBackoff picks a uniformly random delay in [d/2, d] ("full
+// JitterBackoff picks a uniformly random delay in [d/2, d] ("full
 // jitter"): a fleet of clients reconnecting after a server restart
-// spreads out instead of stampeding in lockstep.
-func jitterBackoff(d time.Duration) time.Duration {
+// spreads out instead of stampeding in lockstep. Exported for the
+// replica reconnect loop (internal/repl), which shares the policy.
+func JitterBackoff(d time.Duration) time.Duration {
 	half := int64(d) / 2
 	return time.Duration(half + rand.Int63n(half+1))
 }
+
+func jitterBackoff(d time.Duration) time.Duration { return JitterBackoff(d) }
 
 // dial opens and handshakes one wire connection, retrying transient
 // failures with capped, jittered exponential backoff.

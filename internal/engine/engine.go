@@ -111,6 +111,11 @@ type Engine struct {
 	undo    []undoEntry
 	pending []ChangeEvent
 
+	// Replica mode (see repl.go): mutations are rejected except DML on
+	// the allowlisted per-node-local tables.
+	readOnly     bool
+	replicaAllow map[string]bool
+
 	// Observability: the registry is adopted from the store so WAL and
 	// engine metrics share one namespace; virtual tables expose both over
 	// plain SELECT.
@@ -536,6 +541,9 @@ func (e *Engine) deliver(events []ChangeEvent) {
 func (e *Engine) begin() (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.readOnly {
+		return nil, ErrReadOnlyReplica
+	}
 	if e.inTxn {
 		return nil, fmt.Errorf("engine: transaction already open")
 	}
@@ -618,6 +626,9 @@ func (e *Engine) InTxn() bool {
 
 // execMutation runs a non-SELECT statement under the write lock.
 func (e *Engine) execMutation(st sqltext.Statement, args []types.Value) (*Result, []ChangeEvent, error) {
+	if e.readOnly && !e.replicaMayWrite(st) {
+		return nil, nil, ErrReadOnlyReplica
+	}
 	switch s := st.(type) {
 	case *sqltext.CreateTable:
 		return e.execCreateTable(s)

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ediflow/internal/catalog"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/storage"
+	"ediflow/internal/types"
+)
+
+// Replica-side engine support for WAL-shipping replication (see
+// internal/repl). A replica engine runs read-only: every mutation is
+// rejected with ErrReadOnlyReplica except DML against an explicit
+// allowlist of per-node-local tables (mirror registrations in
+// ef_connected_user), and replicated state arrives only through
+// ApplyReplicated / ApplyReplSnapshot under the write lock.
+
+// ErrReadOnlyReplica is returned for any mutating statement on a
+// read-only replica. It is distinct from other engine errors so clients
+// can recognize it and redirect writes to the primary.
+var ErrReadOnlyReplica = errors.New("engine: read-only replica: writes must go to the primary")
+
+// SetReadOnly switches the engine into replica mode. DML (not DDL)
+// against the named tables stays allowed — they hold per-node state
+// such as mirror registrations and are excluded from the replication
+// stream.
+func (e *Engine) SetReadOnly(allowTables ...string) {
+	e.mu.Lock()
+	e.readOnly = true
+	e.replicaAllow = map[string]bool{}
+	for _, t := range allowTables {
+		e.replicaAllow[strings.ToLower(t)] = true
+	}
+	e.mu.Unlock()
+}
+
+// ReadOnly reports whether the engine is in replica mode.
+func (e *Engine) ReadOnly() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.readOnly
+}
+
+// replicaMayWrite reports whether a statement is allowed despite
+// replica mode: DML targeting an allowlisted table. Caller holds e.mu.
+func (e *Engine) replicaMayWrite(st sqltext.Statement) bool {
+	var table string
+	switch s := st.(type) {
+	case *sqltext.Insert:
+		table = s.Table
+	case *sqltext.Update:
+		table = s.Table
+	case *sqltext.Delete:
+		table = s.Table
+	default:
+		return false
+	}
+	return e.replicaAllow[strings.ToLower(table)]
+}
+
+// ReplSnapshot serializes the engine's current state for a subscriber,
+// returning the feed cursor the snapshot corresponds to. Runs under
+// the write lock so the snapshot is consistent with the returned seq;
+// it refuses while a transaction is open (uncommitted rows must not
+// ship).
+func (e *Engine) ReplSnapshot(exclude ...string) (data []byte, seq uint64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inTxn {
+		return nil, 0, ErrCheckpointTxnOpen
+	}
+	data, err = e.store.EncodeReplSnapshot(exclude...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, e.store.ReplHead(), nil
+}
+
+// ApplyReplicated applies a batch of shipped records in order, keeping
+// the catalog in sync with replicated DDL. Rows inserted into
+// watchTable (the notification journal) are decoded and returned so
+// the replication loop can ring local NOTIFY doorbells.
+func (e *Engine) ApplyReplicated(recs [][]byte, watchTable string) (watched []types.Row, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ddl := false
+	for _, rec := range recs {
+		a, err := e.store.ApplyReplRecord(rec)
+		if err != nil {
+			return watched, fmt.Errorf("engine: replicated apply: %w", err)
+		}
+		switch a.Kind {
+		case storage.ReplCreateTable:
+			t := e.store.Table(a.Table)
+			if t == nil {
+				return watched, fmt.Errorf("engine: replicated table %q missing after apply", a.Table)
+			}
+			if err := e.cat.AddTable(t.Schema); err != nil {
+				return watched, err
+			}
+		case storage.ReplDropTable:
+			if err := e.cat.DropTable(a.Table); err != nil {
+				return watched, err
+			}
+		case storage.ReplCreateIndex:
+			if err := e.cat.AddIndex(&catalog.Index{Name: a.IndexName, Table: a.Table, Columns: a.IndexCols, Unique: a.Unique}); err != nil {
+				return watched, err
+			}
+		case storage.ReplPutMeta:
+			if err := e.registerReplicatedMeta(a.MetaText); err != nil {
+				return watched, err
+			}
+		case storage.ReplDelMeta:
+			if a.MetaKind == "view" {
+				e.cat.DropView(a.MetaName)
+			}
+		case storage.ReplInsert:
+			if watchTable != "" && strings.EqualFold(a.Table, watchTable) {
+				if _, _, row, ok := storage.DecodeReplInsert(rec); ok {
+					watched = append(watched, row)
+				}
+			}
+		}
+		if a.DDL() {
+			ddl = true
+		}
+	}
+	if ddl {
+		e.plans.purge()
+	}
+	return watched, nil
+}
+
+// registerReplicatedMeta registers replicated view/trigger DDL in the
+// catalog. Views get a catalog-only entry — no ivm maintainer runs on
+// a replica: the backing table's contents arrive pre-materialized
+// through the primary's replicated records, and re-materializing here
+// would allocate local tids diverging from the primary's. Caller holds
+// e.mu.
+func (e *Engine) registerReplicatedMeta(text string) error {
+	st, err := sqltext.Parse(text)
+	if err != nil {
+		return fmt.Errorf("engine: bad replicated DDL %q: %w", text, err)
+	}
+	switch d := st.(type) {
+	case *sqltext.CreateView:
+		return e.cat.AddView(&catalog.View{
+			Name:    d.Name,
+			Query:   d.Query,
+			Backing: viewBackingPrefix + strings.ToLower(d.Name),
+		})
+	case *sqltext.CreateTrigger:
+		return e.cat.AddTrigger(&catalog.Trigger{Name: d.Name, Event: d.Event, Table: d.Table, Handler: d.Handler})
+	}
+	return fmt.Errorf("engine: unexpected replicated DDL %q", text)
+}
+
+// ApplyReplSnapshot replaces the replica's entire state with a shipped
+// snapshot and rebuilds the catalog from it. Rows of tables named in
+// preserve (per-node-local state) survive the reset.
+func (e *Engine) ApplyReplSnapshot(data []byte, preserve ...string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inTxn {
+		return fmt.Errorf("engine: snapshot apply refused: transaction open")
+	}
+	if err := e.store.ResetFromSnapshot(data, preserve...); err != nil {
+		return err
+	}
+	e.cat = catalog.New()
+	for _, name := range e.store.TableNames() {
+		if err := e.cat.AddTable(e.store.Table(name).Schema); err != nil {
+			return err
+		}
+	}
+	for _, m := range e.store.Metas() {
+		if err := e.registerReplicatedMeta(m.Text); err != nil {
+			return err
+		}
+	}
+	e.views = newViewSet(e)
+	e.plans.purge()
+	return nil
+}

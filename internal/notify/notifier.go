@@ -331,6 +331,32 @@ func (n *Notifier) observeAcks(ev engine.ChangeEvent) {
 	}
 }
 
+// PushNotify rings the NOTIFY doorbell for table at seq without a
+// local change event. The replication loop on a replica calls it when
+// a replicated ef_notification row arrives: the data rows and the
+// journal row are already applied locally by the WAL shipping, so
+// mirrors attached to this node only need the wakeup. Delivery
+// semantics match onBatch: non-blocking enqueue, drops are safe
+// because mirrors re-read past their last_seq cursor.
+func (n *Notifier) PushNotify(table string, seq int64, op string) {
+	msg := Message{Verb: MsgNotify, Table: table, Seq: seq, Op: op}
+	line := msg.Format() + "\n"
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	for _, sc := range n.conns {
+		if strings.EqualFold(sc.table, table) {
+			select {
+			case sc.out <- line:
+			default:
+				n.mDroppedLines.Inc()
+			}
+		}
+	}
+}
+
 // writeLoop drains one connection's send queue. A write that exceeds the
 // deadline marks the client dead and drops it.
 func (n *Notifier) writeLoop(sc *serverConn) {

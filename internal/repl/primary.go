@@ -1,0 +1,154 @@
+package repl
+
+import (
+	"sort"
+	"sync"
+
+	"ediflow/internal/database"
+	"ediflow/internal/server"
+	"ediflow/internal/types"
+)
+
+// Primary turns an opened database into a replication source: it
+// enables the store's feed (excluding the per-node ef_connected_user
+// table), implements server.ReplSource for the wire layer, and tracks
+// connected subscribers in the sys_replication virtual table.
+type Primary struct {
+	db *database.DB
+
+	mu     sync.Mutex
+	nextID uint64
+	subs   map[uint64]*subscriber
+}
+
+// NewPrimary enables the replication feed on db and registers the
+// sys_replication virtual table. Wire it into a server with
+// srv.SetRepl(p) before the server starts accepting.
+func NewPrimary(db *database.DB) *Primary {
+	p := &Primary{db: db, subs: map[uint64]*subscriber{}}
+	db.Store().EnableReplFeed(0, database.TableConnectedUser)
+	db.RegisterVirtual("sys_replication", SysReplicationColumns, p.rows)
+	return p
+}
+
+// StreamID implements server.ReplSource.
+func (p *Primary) StreamID() uint64 { return p.db.Store().ReplStreamID() }
+
+// Snapshot implements server.ReplSource. Per-node mirror registrations
+// are excluded; the replica keeps its own.
+func (p *Primary) Snapshot() ([]byte, uint64, error) {
+	return p.db.ReplSnapshot(database.TableConnectedUser)
+}
+
+// Fetch implements server.ReplSource.
+func (p *Primary) Fetch(fromSeq uint64, maxBytes int) ([][]byte, uint64, uint64, error) {
+	return p.db.Store().ReplFetch(fromSeq, maxBytes)
+}
+
+// Watch implements server.ReplSource.
+func (p *Primary) Watch() <-chan struct{} { return p.db.Store().ReplWatch() }
+
+// Track implements server.ReplSource, registering one subscriber row.
+func (p *Primary) Track(peer string) server.ReplTracker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	sub := &subscriber{p: p, id: p.nextID, peer: peer}
+	p.subs[sub.id] = sub
+	return sub
+}
+
+// rows serves sys_replication on the primary. It runs under the
+// engine's read lock; everything it touches (the subscriber registry
+// and the feed's own mutex) is engine-independent, so there is no
+// lock-order cycle.
+func (p *Primary) rows() []types.Row {
+	st := p.db.Store()
+	head := st.ReplHead()
+	p.mu.Lock()
+	subs := make([]*subscriber, 0, len(p.subs))
+	for _, s := range p.subs {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+	rows := make([]types.Row, 0, len(subs))
+	for _, s := range subs {
+		s.mu.Lock()
+		acked, sent := s.acked, s.sent
+		batches, records, resyncs := s.batches, s.records, s.resyncs
+		s.mu.Unlock()
+		state := "streaming"
+		if sent > acked {
+			state = "catchup"
+		}
+		var lagSeqs uint64
+		if head > acked {
+			lagSeqs = head - acked
+		}
+		rows = append(rows, types.Row{
+			types.NewString("primary"), types.NewString(s.peer), types.NewString(state),
+			types.NewInt(int64(acked)), types.NewInt(int64(head)),
+			types.NewInt(int64(lagSeqs)), types.NewInt(st.ReplLagBytes(acked)),
+			types.NewInt(batches), types.NewInt(records), types.NewInt(resyncs),
+			types.NewInt(0),
+		})
+	}
+	return rows
+}
+
+// subscriber is one connected replica's progress, updated by the
+// server's stream goroutine through the server.ReplTracker interface.
+type subscriber struct {
+	p    *Primary
+	id   uint64
+	peer string
+
+	mu      sync.Mutex
+	sent    uint64
+	acked   uint64
+	snap    bool // last Sent covers a snapshot, not counted records
+	batches int64
+	records int64
+	resyncs int64
+}
+
+// Sent records the cursor after a shipped batch (or snapshot).
+func (t *subscriber) Sent(seq uint64) {
+	t.mu.Lock()
+	if t.snap {
+		// The jump to the snapshot's seq is not record traffic.
+		t.snap = false
+	} else if seq > t.sent {
+		t.records += int64(seq - t.sent)
+		t.batches++
+	}
+	if seq > t.sent {
+		t.sent = seq
+	}
+	t.mu.Unlock()
+}
+
+// Acked records the replica's acknowledged apply cursor.
+func (t *subscriber) Acked(seq uint64) {
+	t.mu.Lock()
+	if seq > t.acked {
+		t.acked = seq
+	}
+	t.mu.Unlock()
+}
+
+// Resynced counts a full-snapshot resync.
+func (t *subscriber) Resynced() {
+	t.mu.Lock()
+	t.resyncs++
+	t.snap = true
+	t.mu.Unlock()
+}
+
+// Close drops the subscriber from sys_replication.
+func (t *subscriber) Close() {
+	t.p.mu.Lock()
+	delete(t.p.subs, t.id)
+	t.p.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Package repl implements WAL-shipping read replicas for EdiFlow. A
+// primary database exposes its storage-level logical log as a
+// replication feed; replicas subscribe over the ordinary wire protocol
+// (FrameSubscribeWAL) with a (streamID, appliedSeq) cursor, and the
+// primary answers with either delta batches (FrameWALBatch) picking up
+// exactly where the cursor left off, or — when the cursor predates the
+// retained feed floor or names a different stream — a full snapshot
+// (FrameSnapshot chunks) followed by deltas from the snapshot's seq.
+//
+// This moves the paper's read fan-out off the single DBMS box (§VII
+// discusses the DBMS as the bottleneck shared by all EdiFlow peers):
+// SELECT traffic and the §VI-C mirror/NOTIFY protocol both run against
+// replicas, while writes keep going to the primary. Replicas run their
+// engine read-only — any write returns engine.ErrReadOnlyReplica —
+// except for the per-node ef_connected_user table, which holds local
+// mirror registrations and is excluded from the replicated stream.
+//
+// Convergence argument: replicated records are the byte-for-byte
+// storage WAL records of the primary, applied in capture order through
+// the same code paths the primary's recovery uses, so two stores that
+// applied the same prefix hold identical logical state (including row
+// ordering, because inserts append and deletes swap-from-the-end
+// identically). The stream ID is regenerated on every primary restart,
+// which forces a snapshot resync and makes shipping records ahead of
+// the primary's fsync safe: a crash may lose a suffix the replica
+// already applied, but the replica can never keep it.
+package repl
+
+// SysReplicationColumns is the schema of the sys_replication virtual
+// table, registered by both NewPrimary (one row per connected
+// subscriber, role "primary") and NewReplica (one row for the local
+// apply loop, role "replica"). lag_seqs is head_seq - applied_seq;
+// lag_bytes is the retained feed bytes past the cursor (primary side
+// only; replicas report 0 because they cannot see byte sizes they have
+// not received).
+var SysReplicationColumns = []string{
+	"role", "peer", "state", "applied_seq", "head_seq",
+	"lag_seqs", "lag_bytes", "batches", "records", "resyncs", "reconnects",
+}

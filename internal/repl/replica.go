@@ -1,0 +1,412 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ediflow/internal/client"
+	"ediflow/internal/database"
+	"ediflow/internal/types"
+	"ediflow/internal/wire"
+)
+
+// ReplicaConfig tunes a Replica. Only PrimaryAddr is required.
+type ReplicaConfig struct {
+	// PrimaryAddr is the primary server's host:port.
+	PrimaryAddr string
+	// Dialer opens the primary connection (default net.DialTimeout
+	// over TCP). Tests interpose fault-injecting dialers here.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// DialTimeout bounds one dial plus the handshake (default 5s).
+	DialTimeout time.Duration
+	// MinBackoff/MaxBackoff bound the jittered exponential reconnect
+	// delay (defaults 50ms / 5s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// OnNotify fires after a replicated ef_notification row is applied
+	// locally — wire it to Notifier.PushNotify so mirrors registered on
+	// this replica are woken for primary-side edits. It runs on the
+	// apply goroutine and must not block.
+	OnNotify func(table string, seq int64, op string)
+	// Logf receives reconnect/resync progress (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c ReplicaConfig) withDefaults() ReplicaConfig {
+	if c.Dialer == nil {
+		c.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Replica keeps a local database converged with a primary: it dials,
+// subscribes from its (streamID, appliedSeq) cursor, applies snapshot
+// and delta frames in order, acks, and reconnects with jittered backoff
+// when the stream breaks. NewReplica marks the database read-only
+// (engine.ErrReadOnlyReplica) except for the per-node
+// ef_connected_user table, so SELECTs and §VI-C mirror registrations
+// are served locally while edits must go to the primary.
+type Replica struct {
+	db  *database.DB
+	cfg ReplicaConfig
+
+	mu         sync.Mutex
+	conn       net.Conn // live primary connection, closed by Stop
+	started    bool
+	stopping   bool
+	state      string
+	stream     uint64 // stream ID the cursor belongs to
+	applied    uint64 // last seq applied locally
+	head       uint64 // primary head as of the last frame
+	batches    int64
+	records    int64
+	resyncs    int64
+	reconnects int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReplica configures db as a read replica of cfg.PrimaryAddr and
+// registers the sys_replication virtual table. Call Start to begin
+// streaming.
+func NewReplica(db *database.DB, cfg ReplicaConfig) *Replica {
+	r := &Replica{
+		db:    db,
+		cfg:   cfg.withDefaults(),
+		state: "idle",
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	db.SetReadOnly(database.TableConnectedUser)
+	db.RegisterVirtual("sys_replication", SysReplicationColumns, r.rows)
+	return r
+}
+
+// Applied returns the replica's local cursor: the last primary seq it
+// has applied.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Head returns the primary head as of the last received frame.
+func (r *Replica) Head() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.head
+}
+
+// Start launches the streaming loop.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	if r.started || r.stopping {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go r.loop()
+}
+
+// Stop ends the streaming loop and waits for it to exit. Idempotent.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if !r.stopping {
+		r.stopping = true
+		close(r.stop)
+		if r.conn != nil {
+			r.conn.Close()
+		}
+	}
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}
+
+func (r *Replica) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// loop runs one connection at a time, reconnecting with capped
+// exponential backoff (jittered, like the client's mirror dialer, so a
+// primary restart is not greeted by a synchronized thundering herd).
+func (r *Replica) loop() {
+	defer close(r.done)
+	backoff := r.cfg.MinBackoff
+	for {
+		if r.stopped() {
+			return
+		}
+		progress, err := r.streamOnce()
+		if r.stopped() {
+			return
+		}
+		if err != nil {
+			r.cfg.Logf("edirepl: stream to %s: %v", r.cfg.PrimaryAddr, err)
+		}
+		r.mu.Lock()
+		r.reconnects++
+		r.state = "backoff"
+		r.mu.Unlock()
+		if progress {
+			backoff = r.cfg.MinBackoff
+		} else if backoff *= 2; backoff > r.cfg.MaxBackoff {
+			backoff = r.cfg.MaxBackoff
+		}
+		select {
+		case <-time.After(client.JitterBackoff(backoff)):
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// streamOnce runs one connection lifetime: dial, handshake, subscribe,
+// then apply frames until the stream breaks. progress reports whether
+// any state was applied, which resets the reconnect backoff.
+func (r *Replica) streamOnce() (progress bool, err error) {
+	conn, err := r.cfg.Dialer(r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	if r.stopping {
+		r.mu.Unlock()
+		conn.Close()
+		return false, nil
+	}
+	r.conn = conn
+	r.state = "connecting"
+	r.mu.Unlock()
+	defer func() {
+		conn.Close()
+		r.mu.Lock()
+		r.conn = nil
+		r.mu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	send := func(typ byte, payload []byte) error {
+		conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		if err := wire.WriteFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	// HELLO/WELCOME under the dial budget, like any other client.
+	conn.SetReadDeadline(time.Now().Add(r.cfg.DialTimeout))
+	if err := send(wire.FrameHello, wire.EncodeHello(wire.Version, "edireplica")); err != nil {
+		return false, err
+	}
+	typ, p, err := wire.ReadFrame(br, wire.MaxFrame)
+	if err != nil {
+		return false, err
+	}
+	if typ == wire.FrameError {
+		msg, _ := wire.DecodeError(p)
+		return false, fmt.Errorf("handshake refused: %s", msg)
+	}
+	if typ != wire.FrameWelcome {
+		return false, fmt.Errorf("expected WELCOME, got frame 0x%02x", typ)
+	}
+	if _, _, err := wire.DecodeWelcome(p); err != nil {
+		return false, err
+	}
+	conn.SetReadDeadline(time.Time{}) // a caught-up stream is silent
+
+	r.mu.Lock()
+	stream, applied := r.stream, r.applied
+	r.state = "catchup"
+	r.mu.Unlock()
+	if err := send(wire.FrameSubscribeWAL, wire.EncodeSubscribeWAL(stream, applied)); err != nil {
+		return false, err
+	}
+
+	var snap []byte
+	var snapStream, snapSeq, snapTotal uint64
+	inSnap := false
+	for {
+		typ, p, err := wire.ReadFrame(br, wire.MaxFrame)
+		if err != nil {
+			return progress, err
+		}
+		switch typ {
+		case wire.FrameSnapshot:
+			c, err := wire.DecodeSnapshotChunk(p)
+			if err != nil {
+				return progress, err
+			}
+			if c.First {
+				snapStream, snapSeq, snapTotal = c.StreamID, c.SnapSeq, c.Total
+				// Pre-size from the announced total, but never trust the
+				// wire for more than one frame's worth up front.
+				alloc := snapTotal
+				if alloc > wire.MaxFrame {
+					alloc = wire.MaxFrame
+				}
+				snap = make([]byte, 0, alloc)
+				inSnap = true
+			} else if !inSnap {
+				return progress, errors.New("snapshot chunk without a first chunk")
+			}
+			snap = append(snap, c.Data...)
+			if uint64(len(snap)) > snapTotal {
+				return progress, fmt.Errorf("snapshot overflow: %d > announced %d", len(snap), snapTotal)
+			}
+			if c.Last {
+				if uint64(len(snap)) != snapTotal {
+					return progress, fmt.Errorf("snapshot truncated: %d of %d bytes", len(snap), snapTotal)
+				}
+				if err := r.applySnapshot(snap, snapStream, snapSeq); err != nil {
+					return progress, err
+				}
+				inSnap, snap = false, nil
+				progress = true
+				if err := send(wire.FrameReplAck, wire.EncodeReplAck(snapSeq)); err != nil {
+					return progress, err
+				}
+			}
+		case wire.FrameWALBatch:
+			b, err := wire.DecodeWALBatch(p)
+			if err != nil {
+				return progress, err
+			}
+			last, err := r.applyBatch(b)
+			if err != nil {
+				return progress, err
+			}
+			progress = true
+			if err := send(wire.FrameReplAck, wire.EncodeReplAck(last)); err != nil {
+				return progress, err
+			}
+		case wire.FrameError:
+			msg, _ := wire.DecodeError(p)
+			return progress, fmt.Errorf("primary: %s", msg)
+		default:
+			return progress, fmt.Errorf("unexpected frame 0x%02x on replication stream", typ)
+		}
+	}
+}
+
+// applySnapshot resets local state to the snapshot (preserving the
+// per-node ef_connected_user rows) and adopts its cursor.
+func (r *Replica) applySnapshot(data []byte, stream, seq uint64) error {
+	if err := r.db.ApplyReplSnapshot(data, database.TableConnectedUser); err != nil {
+		return err
+	}
+	// Restore the NOTIFY seq floor from the replicated journal so seqs
+	// allocated for local registration events stay above it.
+	if floor, err := r.db.QueryInt("SELECT MAX(seq_no) FROM " + database.TableNotification); err == nil {
+		r.db.AdvanceSeq(floor)
+	}
+	r.mu.Lock()
+	r.stream, r.applied = stream, seq
+	if r.head < seq {
+		r.head = seq
+	}
+	r.resyncs++
+	r.state = "streaming"
+	r.mu.Unlock()
+	r.cfg.Logf("edirepl: resynced from snapshot (stream 0x%x, seq %d, %d bytes)", stream, seq, len(data))
+	return nil
+}
+
+// applyBatch applies one contiguous delta batch and fires OnNotify for
+// each replicated notification-journal row. Returns the new cursor.
+func (r *Replica) applyBatch(b *wire.WALBatch) (uint64, error) {
+	if len(b.Records) == 0 {
+		return 0, errors.New("empty WAL batch")
+	}
+	r.mu.Lock()
+	stream, applied := r.stream, r.applied
+	r.mu.Unlock()
+	if b.StreamID != stream {
+		return 0, fmt.Errorf("stream changed mid-flight (0x%x != 0x%x)", b.StreamID, stream)
+	}
+	if b.FirstSeq != applied+1 {
+		return 0, fmt.Errorf("batch gap: applied %d, batch starts at %d", applied, b.FirstSeq)
+	}
+	watched, err := r.db.ApplyReplicated(b.Records, database.TableNotification)
+	if err != nil {
+		return 0, err
+	}
+	last := b.FirstSeq + uint64(len(b.Records)) - 1
+	r.mu.Lock()
+	r.applied = last
+	if b.HeadSeq > r.head {
+		r.head = b.HeadSeq
+	}
+	r.batches++
+	r.records += int64(len(b.Records))
+	if last >= b.HeadSeq {
+		r.state = "streaming"
+	} else {
+		r.state = "catchup"
+	}
+	r.mu.Unlock()
+	// Replicated rows produce no local engine events (they bypass the
+	// dispatch pipeline), so ring the notifier's doorbell by hand for
+	// every journal row: mirrors registered here re-read everything past
+	// their last_seq, exactly as after a dropped NOTIFY (§VI-C).
+	for _, row := range watched {
+		if len(row) < 4 {
+			continue
+		}
+		seq, err := row[0].AsInt()
+		if err != nil {
+			continue
+		}
+		r.db.AdvanceSeq(seq)
+		if r.cfg.OnNotify != nil {
+			r.cfg.OnNotify(row[2].AsString(), seq, row[3].AsString())
+		}
+	}
+	return last, nil
+}
+
+// rows serves sys_replication on the replica: a single row for the
+// apply loop. Runs under the engine read lock; touches only r.mu.
+func (r *Replica) rows() []types.Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lag uint64
+	if r.head > r.applied {
+		lag = r.head - r.applied
+	}
+	return []types.Row{{
+		types.NewString("replica"), types.NewString(r.cfg.PrimaryAddr), types.NewString(r.state),
+		types.NewInt(int64(r.applied)), types.NewInt(int64(r.head)),
+		types.NewInt(int64(lag)), types.NewInt(0),
+		types.NewInt(r.batches), types.NewInt(r.records), types.NewInt(r.resyncs),
+		types.NewInt(r.reconnects),
+	}}
+}

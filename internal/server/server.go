@@ -76,10 +76,39 @@ type SessionInfo struct {
 	BytesOut   int64 // wire bytes sent
 }
 
+// ReplSource is the primary-side replication feed a server streams to
+// subscribed replicas (implemented by repl.Primary). While it mirrors
+// the storage feed API, the indirection keeps the server usable without
+// replication: a nil source rejects SubscribeWAL frames.
+type ReplSource interface {
+	// StreamID identifies the feed; it changes on every primary
+	// restart, invalidating replica cursors.
+	StreamID() uint64
+	// Snapshot serializes current state and the cursor it represents.
+	Snapshot() (data []byte, seq uint64, err error)
+	// Fetch returns records after fromSeq (storage.ErrReplGap when the
+	// cursor predates the retained floor).
+	Fetch(fromSeq uint64, maxBytes int) (recs [][]byte, next, head uint64, err error)
+	// Watch returns a channel closed at the next capture.
+	Watch() <-chan struct{}
+	// Track registers a subscriber for sys_replication; Close it when
+	// the stream ends.
+	Track(peer string) ReplTracker
+}
+
+// ReplTracker records one subscriber's progress for observability.
+type ReplTracker interface {
+	Sent(seq uint64)
+	Acked(seq uint64)
+	Resynced()
+	Close()
+}
+
 // Server is a listening EdiFlow DBMS.
 type Server struct {
-	db  *database.DB
-	cfg Config
+	db   *database.DB
+	cfg  Config
+	repl ReplSource
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -126,6 +155,10 @@ func New(db *database.DB, cfg Config) *Server {
 	db.RegisterVirtual("sys_sessions", engine.SysSessionsColumns, s.sessionRows)
 	return s
 }
+
+// SetRepl installs the replication source SubscribeWAL sessions stream
+// from. Call before Serve/Listen.
+func (s *Server) SetRepl(src ReplSource) { s.repl = src }
 
 // sessionRows serves the sys_sessions virtual table. It runs under the
 // engine's read lock; Sessions touches only server state, never the

@@ -260,6 +260,12 @@ func (ss *session) dispatch(typ byte, payload []byte) error {
 
 	case wire.FrameTables:
 		return ss.reply(wire.FrameNames, wire.EncodeNames(ss.srv.db.TableNames()))
+
+	case wire.FrameSubscribeWAL:
+		// Converts the session into a replication stream. The connection
+		// is closed by the time it returns, so serve() ends the session
+		// on its next read either way.
+		return ss.streamWAL(payload)
 	}
 	return ss.sendErr(fmt.Errorf("server: unknown frame type 0x%02x", typ))
 }

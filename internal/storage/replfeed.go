@@ -1,0 +1,433 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ediflow/internal/types"
+)
+
+// Replication feed: the store-level half of WAL shipping (internal/repl
+// builds the wire protocol and replica loop on top of it).
+//
+// Every logged mutation record — the exact payload bytes that go to the
+// WAL — is also captured into an in-memory ring, stamped with a monotone
+// sequence number. A replica's cursor is (streamID, seq): streamID is
+// drawn fresh every time the feed is enabled, so a primary restart (or
+// reopen) always invalidates old cursors and forces a snapshot resync;
+// that makes it safe to ship records that are not yet fsynced — a
+// crashed primary can never be asked to serve a cursor that includes
+// writes it lost.
+//
+// The ring keeps a retention floor: Checkpoint prunes everything (the
+// WAL analog of truncation), and a byte budget bounds memory between
+// checkpoints. A fetch below the floor returns ErrReplGap and the
+// caller must fall back to a full snapshot.
+
+// ErrReplGap is returned by ReplFetch when the requested cursor
+// predates the retained floor; the subscriber must resync from a
+// snapshot.
+var ErrReplGap = fmt.Errorf("storage: replication cursor below retained floor")
+
+// DefaultReplBudget bounds the feed ring's memory between checkpoints.
+const DefaultReplBudget = 64 << 20
+
+type replRec struct {
+	seq     uint64
+	cum     int64 // feed-lifetime payload bytes through this record
+	payload []byte
+}
+
+type replFeed struct {
+	mu      sync.Mutex
+	on      bool
+	exclude map[string]bool // lower-cased table names kept out of the stream
+	stream  uint64          // nonzero, fresh per enable
+	head    uint64          // seq of the newest captured record (0 = none yet)
+	floor   uint64          // seq of the oldest retained record; head+1 when empty
+	total   int64           // lifetime payload bytes captured
+	bytes   int64           // payload bytes currently retained
+	budget  int64
+	buf     []replRec
+	watch   chan struct{} // closed and replaced on every capture
+}
+
+// EnableReplFeed turns on mutation capture for replication. budget <= 0
+// selects DefaultReplBudget. Tables named in exclude are invisible to
+// the feed: their records are neither streamed nor counted, and their
+// rows are omitted from EncodeReplSnapshot (the schema still ships, so
+// replicas can hold purely local rows in them).
+func (s *Store) EnableReplFeed(budget int64, exclude ...string) {
+	if budget <= 0 {
+		budget = DefaultReplBudget
+	}
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.on {
+		return
+	}
+	f.on = true
+	f.budget = budget
+	f.exclude = map[string]bool{}
+	for _, t := range exclude {
+		f.exclude[tkey(t)] = true
+	}
+	for f.stream == 0 {
+		f.stream = rand.Uint64()
+	}
+	f.floor = f.head + 1
+	f.watch = make(chan struct{})
+}
+
+// replCapture appends one logged record to the feed ring. Called from
+// Store.log under the engine write lock; the feed's own mutex covers
+// standalone-store callers and concurrent fetchers.
+func (s *Store) replCapture(table string, payload []byte) {
+	f := &s.repl
+	f.mu.Lock()
+	if !f.on || (table != "" && f.exclude[tkey(table)]) {
+		f.mu.Unlock()
+		return
+	}
+	f.head++
+	f.total += int64(len(payload))
+	f.buf = append(f.buf, replRec{seq: f.head, cum: f.total, payload: payload})
+	f.bytes += int64(len(payload))
+	for f.bytes > f.budget && len(f.buf) > 1 {
+		f.bytes -= int64(len(f.buf[0].payload))
+		f.buf = f.buf[1:]
+		f.floor = f.buf[0].seq
+	}
+	watch := f.watch
+	f.watch = make(chan struct{})
+	f.mu.Unlock()
+	close(watch) // wake streamers outside the lock
+}
+
+// replPrune empties the ring and raises the floor past the head — the
+// feed analog of WAL truncation. Checkpoint calls it: any replica whose
+// cursor predates the checkpoint must resync from a snapshot instead of
+// replaying records the snapshot already contains (the stale-WAL
+// double-apply class of bug, kept out of the replication path by
+// construction).
+func (s *Store) replPrune() {
+	f := &s.repl
+	f.mu.Lock()
+	if f.on {
+		f.buf = nil
+		f.bytes = 0
+		f.floor = f.head + 1
+	}
+	f.mu.Unlock()
+}
+
+// ReplStreamID returns the feed's stream identity (0 when disabled).
+func (s *Store) ReplStreamID() uint64 {
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stream
+}
+
+// ReplHead returns the newest captured sequence number.
+func (s *Store) ReplHead() uint64 {
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.head
+}
+
+// ReplFloor returns the oldest retained sequence number (head+1 when
+// the ring is empty).
+func (s *Store) ReplFloor() uint64 {
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.floor
+}
+
+// ReplLagBytes estimates the payload bytes a cursor at fromSeq has not
+// yet applied. Cursors below the floor count everything retained plus
+// pruned history is unknowable, so the lifetime total is the bound.
+func (s *Store) ReplLagBytes(fromSeq uint64) int64 {
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fromSeq >= f.head {
+		return 0
+	}
+	if fromSeq >= f.floor-1 && len(f.buf) > 0 {
+		if fromSeq == f.floor-1 {
+			return f.total - (f.buf[0].cum - int64(len(f.buf[0].payload)))
+		}
+		return f.total - f.buf[fromSeq-f.floor].cum
+	}
+	return f.total
+}
+
+// ReplWatch returns a channel closed at the next capture; streamers
+// caught up with the head block on it instead of polling.
+func (s *Store) ReplWatch() <-chan struct{} {
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.watch == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return f.watch
+}
+
+// ReplFetch returns records with sequence numbers in (fromSeq, head],
+// bounded by maxBytes of payload (always at least one record when any
+// is available). next is the sequence of the last returned record —
+// the caller's new cursor — and head the current feed head. A cursor
+// below the retained floor yields ErrReplGap.
+func (s *Store) ReplFetch(fromSeq uint64, maxBytes int) (recs [][]byte, next, head uint64, err error) {
+	f := &s.repl
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.on {
+		return nil, fromSeq, f.head, fmt.Errorf("storage: replication feed disabled")
+	}
+	if fromSeq+1 < f.floor {
+		return nil, fromSeq, f.head, ErrReplGap
+	}
+	next = fromSeq
+	if fromSeq >= f.head {
+		return nil, next, f.head, nil
+	}
+	idx := int(fromSeq + 1 - f.floor)
+	var size int
+	for ; idx < len(f.buf); idx++ {
+		p := f.buf[idx].payload
+		if len(recs) > 0 && size+len(p) > maxBytes {
+			break
+		}
+		recs = append(recs, p)
+		size += len(p)
+		next = f.buf[idx].seq
+	}
+	return recs, next, f.head, nil
+}
+
+// ---------------------------------------------------- snapshot shipping
+
+// EncodeReplSnapshot serializes the full store state for replica
+// bootstrap, in the checkpoint snapshot format with the epoch and
+// counters zeroed: the encoding depends only on logical table content,
+// so two stores that applied the same records encode byte-identically
+// regardless of local checkpoint history. Rows of excluded tables are
+// omitted (their schemas still ship).
+func (s *Store) EncodeReplSnapshot(exclude ...string) ([]byte, error) {
+	skip := map[string]bool{}
+	for _, t := range exclude {
+		skip[tkey(t)] = true
+	}
+	var buf bytes.Buffer
+	if err := s.writeSnapshotTo(&buf, 0, false, skip); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ResetFromSnapshot replaces the store's entire logical state with the
+// given replication snapshot. Rows of tables named in preserve survive
+// the reset (replica-local state such as mirror registrations); their
+// tids are re-inserted verbatim and the allocation counters stay
+// monotone across the reset so local allocations never repeat.
+func (s *Store) ResetFromSnapshot(data []byte, preserve ...string) error {
+	type saved struct {
+		schema *Table
+		rows   []StoredRow
+	}
+	kept := map[string]saved{}
+	for _, name := range preserve {
+		if t := s.tables[tkey(name)]; t != nil {
+			rows := make([]StoredRow, t.Len())
+			copy(rows, t.Rows())
+			kept[tkey(name)] = saved{schema: t, rows: rows}
+		}
+	}
+	oldEpoch := s.epoch
+	oldTID := s.nextTID.Load()
+	oldCreated := s.nextCreated.Load()
+	s.tables = map[string]*Table{}
+	s.indexes = nil
+	s.metas = nil
+	if err := s.loadSnapshotBytes(data); err != nil {
+		return err
+	}
+	s.epoch = oldEpoch // replication snapshots carry epoch 0; keep ours
+	// The snapshot's counters are zeroed; rebuild them from row stamps,
+	// then keep them monotone across the reset.
+	for _, t := range s.tables {
+		for _, r := range t.Rows() {
+			s.bumpCounters(r.TID, r.Created)
+		}
+	}
+	s.bumpCounters(oldTID-1, oldCreated-1)
+	for key, sv := range kept {
+		t := s.tables[key]
+		if t == nil {
+			// The primary does not have this table; keep the local one.
+			t = NewTable(sv.schema.Schema)
+			s.tables[key] = t
+		}
+		for _, r := range sv.rows {
+			if err := t.Insert(r.TID, r.Created, r.Values); err != nil {
+				return fmt.Errorf("storage: restoring preserved row: %w", err)
+			}
+			s.bumpCounters(r.TID, r.Created)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------- record apply
+
+// ReplKind classifies an applied replication record for catalog upkeep.
+type ReplKind int
+
+// Replication record kinds (mirroring the WAL opcodes).
+const (
+	ReplCreateTable ReplKind = iota + 1
+	ReplDropTable
+	ReplInsert
+	ReplUpdate
+	ReplDelete
+	ReplCreateIndex
+	ReplPutMeta
+	ReplDelMeta
+)
+
+// ReplApplied describes one applied replication record so the engine
+// can keep its catalog in sync without re-decoding payloads.
+type ReplApplied struct {
+	Kind  ReplKind
+	Table string // affected table (all kinds except meta records)
+	// Index records.
+	IndexName string
+	IndexCols []string
+	Unique    bool
+	// Meta records.
+	MetaKind string
+	MetaName string
+	MetaText string
+}
+
+// DDL reports whether the record changes schema rather than rows.
+func (a ReplApplied) DDL() bool {
+	return a.Kind != ReplInsert && a.Kind != ReplUpdate && a.Kind != ReplDelete
+}
+
+// ApplyReplRecord applies one shipped record to the store — the same
+// code path as WAL replay — and reports what it was.
+func (s *Store) ApplyReplRecord(payload []byte) (ReplApplied, error) {
+	info, err := peekReplRecord(payload)
+	if err != nil {
+		return ReplApplied{}, err
+	}
+	if err := s.applyWAL(payload); err != nil {
+		return ReplApplied{}, err
+	}
+	return info, nil
+}
+
+func peekReplRecord(payload []byte) (ReplApplied, error) {
+	if len(payload) == 0 {
+		return ReplApplied{}, fmt.Errorf("storage: empty replication record")
+	}
+	op, body := payload[0], payload[1:]
+	var a ReplApplied
+	switch op {
+	case opCreateTable, opDropTable, opInsert, opUpdate, opDelete:
+		name, _, err := readString(body)
+		if err != nil {
+			return a, err
+		}
+		a.Kind = ReplKind(op)
+		a.Table = name
+		return a, nil
+	case opCreateIndex:
+		name, off, err := readString(body)
+		if err != nil {
+			return a, err
+		}
+		table, used, err := readString(body[off:])
+		if err != nil {
+			return a, err
+		}
+		off += used
+		if off >= len(body) {
+			return a, fmt.Errorf("storage: short index record")
+		}
+		a.Unique = body[off] == 1
+		off++
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return a, fmt.Errorf("storage: short index record")
+		}
+		off += w
+		for i := uint64(0); i < n; i++ {
+			c, used, err := readString(body[off:])
+			if err != nil {
+				return a, err
+			}
+			a.IndexCols = append(a.IndexCols, c)
+			off += used
+		}
+		a.Kind = ReplCreateIndex
+		a.IndexName = name
+		a.Table = table
+		return a, nil
+	case opPutMeta, opDelMeta:
+		kind, off, err := readString(body)
+		if err != nil {
+			return a, err
+		}
+		name, used, err := readString(body[off:])
+		if err != nil {
+			return a, err
+		}
+		off += used
+		if op == opPutMeta {
+			text, _, err := readString(body[off:])
+			if err != nil {
+				return a, err
+			}
+			a.MetaText = text
+			a.Kind = ReplPutMeta
+		} else {
+			a.Kind = ReplDelMeta
+		}
+		a.MetaKind = kind
+		a.MetaName = name
+		return a, nil
+	}
+	return a, fmt.Errorf("storage: unknown replication opcode %d", op)
+}
+
+// DecodeReplInsert decodes an opInsert record's full content. ok is
+// false for any other record kind or a malformed payload.
+func DecodeReplInsert(payload []byte) (table string, tid int64, row types.Row, ok bool) {
+	if len(payload) == 0 || payload[0] != opInsert {
+		return "", 0, nil, false
+	}
+	body := payload[1:]
+	name, off, err := readString(body)
+	if err != nil || len(body) < off+16 {
+		return "", 0, nil, false
+	}
+	tid = int64(binary.BigEndian.Uint64(body[off:]))
+	row, _, err = types.DecodeRow(body[off+16:])
+	if err != nil {
+		return "", 0, nil, false
+	}
+	return name, tid, row, true
+}

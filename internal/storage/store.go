@@ -139,6 +139,10 @@ type Store struct {
 	walGroupCommits *metrics.Counter   // batches fsynced with ≥1 ticket
 	walCommits      *metrics.Counter   // tickets acked through the pipeline
 	walGroupSizeH   *metrics.Histogram // batch size, encoded as n µs
+
+	// repl captures logged records for WAL-shipping replication (see
+	// replfeed.go). Disabled until EnableReplFeed.
+	repl replFeed
 }
 
 const (
@@ -258,7 +262,12 @@ func (s *Store) Close() error {
 // Durable reports whether the store persists to disk.
 func (s *Store) Durable() bool { return s.durable }
 
-func (s *Store) log(payload []byte) error {
+// log records one mutation: into the replication feed (when enabled)
+// and the WAL (when durable). table names the affected table so the
+// feed can filter per-node-local tables; records without one (meta,
+// some DDL) pass "".
+func (s *Store) log(table string, payload []byte) error {
+	s.replCapture(table, payload)
 	if s.wal == nil {
 		return nil
 	}
@@ -545,7 +554,7 @@ func (s *Store) CreateTable(schema *catalog.TableSchema) error {
 		return fmt.Errorf("storage: table %q already exists", schema.Name)
 	}
 	s.tables[k] = NewTable(schema)
-	return s.log(encodeCreateTable(schema))
+	return s.log(schema.Name, encodeCreateTable(schema))
 }
 
 // DropTable removes a table and logs it.
@@ -564,7 +573,7 @@ func (s *Store) DropTable(name string) error {
 	s.indexes = kept
 	out := []byte{opDropTable}
 	out = appendString(out, name)
-	return s.log(out)
+	return s.log(name, out)
 }
 
 // Table returns the physical table, or nil.
@@ -591,7 +600,7 @@ func (s *Store) Insert(table string, row types.Row) (tid, created int64, err err
 	if err := t.Insert(tid, created, row); err != nil {
 		return 0, 0, err
 	}
-	return tid, created, s.log(encodeInsert(table, tid, created, row))
+	return tid, created, s.log(table, encodeInsert(table, tid, created, row))
 }
 
 // InsertAt re-inserts a row with explicit system columns (transaction
@@ -605,7 +614,7 @@ func (s *Store) InsertAt(table string, tid, created int64, row types.Row) error 
 		return err
 	}
 	s.bumpCounters(tid, created)
-	return s.log(encodeInsert(table, tid, created, row))
+	return s.log(table, encodeInsert(table, tid, created, row))
 }
 
 // Update replaces a row's values and logs it.
@@ -618,7 +627,7 @@ func (s *Store) Update(table string, tid int64, row types.Row) (types.Row, error
 	if err != nil {
 		return nil, err
 	}
-	return old, s.log(encodeUpdate(table, tid, row))
+	return old, s.log(table, encodeUpdate(table, tid, row))
 }
 
 // Delete removes a row and logs it.
@@ -631,7 +640,7 @@ func (s *Store) Delete(table string, tid int64) (types.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return old, s.log(encodeDelete(table, tid))
+	return old, s.log(table, encodeDelete(table, tid))
 }
 
 // AddIndex builds a secondary index and logs it.
@@ -644,13 +653,13 @@ func (s *Store) AddIndex(name, table string, cols []string, unique bool) error {
 		return err
 	}
 	s.indexes = append(s.indexes, indexDef{Name: name, Table: table, Columns: cols, Unique: unique})
-	return s.log(encodeCreateIndex(name, table, unique, cols))
+	return s.log(table, encodeCreateIndex(name, table, unique, cols))
 }
 
 // PutMeta stores a DDL meta entry (view/trigger) and logs it.
 func (s *Store) PutMeta(kind, name, text string) error {
 	s.upsertMeta(kind, name, text)
-	return s.log(encodePutMeta(kind, name, text))
+	return s.log("", encodePutMeta(kind, name, text))
 }
 
 // DeleteMeta removes a DDL meta entry and logs it.
@@ -662,7 +671,7 @@ func (s *Store) DeleteMeta(kind, name string) error {
 		}
 	}
 	s.metas = kept
-	return s.log(encodeDelMeta(kind, name))
+	return s.log("", encodeDelMeta(kind, name))
 }
 
 func (s *Store) upsertMeta(kind, name, text string) {
@@ -862,6 +871,10 @@ func (s *Store) applyWAL(payload []byte) error {
 // leaves the store unable to log further writes — statements start
 // failing loudly — but the directory reopens to a consistent state.
 func (s *Store) Checkpoint() error {
+	// The replication feed's retention floor mirrors the WAL truncation:
+	// after a checkpoint, a replica whose cursor predates it must resync
+	// from a snapshot instead of replaying pruned history.
+	s.replPrune()
 	if !s.durable {
 		return nil
 	}
@@ -919,10 +932,23 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) writeSnapshot(w io.Writer, epoch uint64) error {
+	return s.writeSnapshotTo(w, epoch, true, nil)
+}
+
+// writeSnapshotTo serializes the store. counters=false zeroes the
+// allocation counters and skipRows omits the rows (not the schemas) of
+// the named tables — both used by replication snapshots, whose encoding
+// must depend only on logical shared content (see EncodeReplSnapshot).
+func (s *Store) writeSnapshotTo(w io.Writer, epoch uint64, counters bool, skipRows map[string]bool) error {
 	buf := []byte(snapshotMagic)
 	buf = binary.BigEndian.AppendUint64(buf, epoch)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(s.nextTID.Load()))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(s.nextCreated.Load()))
+	var tid, created uint64
+	if counters {
+		tid = uint64(s.nextTID.Load())
+		created = uint64(s.nextCreated.Load())
+	}
+	buf = binary.BigEndian.AppendUint64(buf, tid)
+	buf = binary.BigEndian.AppendUint64(buf, created)
 	// Metas.
 	buf = binary.AppendUvarint(buf, uint64(len(s.metas)))
 	for _, m := range s.metas {
@@ -961,11 +987,15 @@ func (s *Store) writeSnapshot(w io.Writer, epoch uint64) error {
 		if _, err := w.Write(chunk); err != nil {
 			return err
 		}
-		cnt := binary.AppendUvarint(nil, uint64(t.Len()))
+		rows := t.Rows()
+		if skipRows[tkey(name)] {
+			rows = nil
+		}
+		cnt := binary.AppendUvarint(nil, uint64(len(rows)))
 		if _, err := w.Write(cnt); err != nil {
 			return err
 		}
-		for _, r := range t.Rows() {
+		for _, r := range rows {
 			rb := binary.BigEndian.AppendUint64(nil, uint64(r.TID))
 			rb = binary.BigEndian.AppendUint64(rb, uint64(r.Created))
 			rb = types.AppendRow(rb, r.Values)
@@ -985,6 +1015,10 @@ func (s *Store) loadSnapshot(path string) error {
 		}
 		return err
 	}
+	return s.loadSnapshotBytes(data)
+}
+
+func (s *Store) loadSnapshotBytes(data []byte) error {
 	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
 		return fmt.Errorf("storage: bad snapshot magic")
 	}

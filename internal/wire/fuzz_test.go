@@ -37,6 +37,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeID(payload)
 		DecodeNames(payload)
 		DecodeString(payload)
+		DecodeSubscribeWAL(payload)
+		DecodeReplAck(payload)
+		DecodeWALBatch(payload)
+		DecodeSnapshotChunk(payload)
 		_ = typ
 	})
 }

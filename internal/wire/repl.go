@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication frames (see internal/repl). A replica opens a normal
+// session, then sends SubscribeWAL with its cursor; the server answers
+// with either a chunked Snapshot (cursor unusable: wrong stream or
+// below the retained floor) followed by WALBatch frames, or WALBatch
+// frames directly. The replica acks applied sequence numbers with
+// ReplAck so the primary can report lag.
+const (
+	FrameSubscribeWAL byte = 0x08 // u64 stream id, u64 from-seq cursor
+	FrameReplAck      byte = 0x09 // u64 applied seq
+	FrameWALBatch     byte = 0x88 // u64 stream, u64 first seq, u64 head seq, uvarint count, per record uvarint len + bytes
+	FrameSnapshot     byte = 0x89 // u8 flags, first chunk: u64 stream, u64 snap seq, uvarint total; then chunk bytes
+)
+
+// Snapshot chunk flags.
+const (
+	SnapFirst byte = 1
+	SnapLast  byte = 2
+)
+
+// SnapshotChunkSize is how much snapshot data one FrameSnapshot
+// carries: comfortably under MaxFrame so snapshots of any size stream
+// as a frame sequence instead of failing the frame-size check.
+const SnapshotChunkSize = 1 << 20
+
+// EncodeSubscribeWAL encodes a replica's subscription cursor. A replica
+// that has never synced sends streamID 0, which can never match a live
+// feed and therefore always yields a snapshot.
+func EncodeSubscribeWAL(streamID, fromSeq uint64) []byte {
+	dst := binary.BigEndian.AppendUint64(nil, streamID)
+	return binary.BigEndian.AppendUint64(dst, fromSeq)
+}
+
+// DecodeSubscribeWAL decodes a SubscribeWAL payload.
+func DecodeSubscribeWAL(p []byte) (streamID, fromSeq uint64, err error) {
+	if len(p) < 16 {
+		return 0, 0, fmt.Errorf("wire: short SubscribeWAL")
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[8:]), nil
+}
+
+// EncodeReplAck encodes the replica's applied-cursor acknowledgement.
+func EncodeReplAck(appliedSeq uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, appliedSeq)
+}
+
+// DecodeReplAck decodes a ReplAck payload.
+func DecodeReplAck(p []byte) (appliedSeq uint64, err error) {
+	if len(p) < 8 {
+		return 0, fmt.Errorf("wire: short ReplAck")
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// WALBatch is one batch of shipped records: Records[i] carries sequence
+// number FirstSeq+i, and HeadSeq is the primary's feed head at send
+// time (so the replica can compute its lag without another round
+// trip).
+type WALBatch struct {
+	StreamID uint64
+	FirstSeq uint64
+	HeadSeq  uint64
+	Records  [][]byte
+}
+
+// EncodeWALBatch encodes a WALBatch payload.
+func EncodeWALBatch(b *WALBatch) []byte {
+	dst := binary.BigEndian.AppendUint64(nil, b.StreamID)
+	dst = binary.BigEndian.AppendUint64(dst, b.FirstSeq)
+	dst = binary.BigEndian.AppendUint64(dst, b.HeadSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Records)))
+	for _, r := range b.Records {
+		dst = binary.AppendUvarint(dst, uint64(len(r)))
+		dst = append(dst, r...)
+	}
+	return dst
+}
+
+// DecodeWALBatch decodes a WALBatch payload.
+func DecodeWALBatch(p []byte) (*WALBatch, error) {
+	if len(p) < 24 {
+		return nil, fmt.Errorf("wire: short WALBatch")
+	}
+	b := &WALBatch{
+		StreamID: binary.BigEndian.Uint64(p),
+		FirstSeq: binary.BigEndian.Uint64(p[8:]),
+		HeadSeq:  binary.BigEndian.Uint64(p[16:]),
+	}
+	n, w, err := readUvarint(p[24:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: WALBatch count: %w", err)
+	}
+	off := 24 + w
+	// Each record costs at least one byte (its length prefix); reject
+	// counts larger than the remaining input before allocating.
+	if n > uint64(len(p)-off) {
+		return nil, fmt.Errorf("wire: WALBatch claims %d records in %d bytes", n, len(p)-off)
+	}
+	b.Records = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		size, w, err := readUvarint(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: WALBatch record %d size: %w", i, err)
+		}
+		off += w
+		if size > uint64(len(p)-off) {
+			return nil, fmt.Errorf("wire: WALBatch record %d claims %d bytes in %d", i, size, len(p)-off)
+		}
+		rec := make([]byte, size)
+		copy(rec, p[off:off+int(size)])
+		b.Records = append(b.Records, rec)
+		off += int(size)
+	}
+	return b, nil
+}
+
+// SnapshotChunk is one frame of a chunked snapshot transfer. The first
+// chunk carries the transfer header: the feed's stream id, the cursor
+// the snapshot corresponds to (applying the snapshot puts the replica
+// at exactly SnapSeq), and the total transfer size so the receiver can
+// pre-size its buffer and detect truncation.
+type SnapshotChunk struct {
+	First    bool
+	Last     bool
+	StreamID uint64
+	SnapSeq  uint64
+	Total    uint64
+	Data     []byte
+}
+
+// EncodeSnapshotChunk encodes a Snapshot payload.
+func EncodeSnapshotChunk(c *SnapshotChunk) []byte {
+	var flags byte
+	if c.First {
+		flags |= SnapFirst
+	}
+	if c.Last {
+		flags |= SnapLast
+	}
+	dst := []byte{flags}
+	if c.First {
+		dst = binary.BigEndian.AppendUint64(dst, c.StreamID)
+		dst = binary.BigEndian.AppendUint64(dst, c.SnapSeq)
+		dst = binary.AppendUvarint(dst, c.Total)
+	}
+	return append(dst, c.Data...)
+}
+
+// DecodeSnapshotChunk decodes a Snapshot payload.
+func DecodeSnapshotChunk(p []byte) (*SnapshotChunk, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("wire: short Snapshot")
+	}
+	c := &SnapshotChunk{First: p[0]&SnapFirst != 0, Last: p[0]&SnapLast != 0}
+	off := 1
+	if c.First {
+		if len(p) < off+16 {
+			return nil, fmt.Errorf("wire: short Snapshot header")
+		}
+		c.StreamID = binary.BigEndian.Uint64(p[off:])
+		c.SnapSeq = binary.BigEndian.Uint64(p[off+8:])
+		off += 16
+		total, w, err := readUvarint(p[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: Snapshot total: %w", err)
+		}
+		c.Total = total
+		off += w
+	}
+	c.Data = make([]byte, len(p)-off)
+	copy(c.Data, p[off:])
+	return c, nil
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSubscribeWALRoundTrip(t *testing.T) {
+	p := EncodeSubscribeWAL(0xdeadbeef, 42)
+	stream, from, err := DecodeSubscribeWAL(p)
+	if err != nil || stream != 0xdeadbeef || from != 42 {
+		t.Fatalf("round trip: %v %d %d", err, stream, from)
+	}
+	if _, _, err := DecodeSubscribeWAL(p[:10]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	seq, err := DecodeReplAck(EncodeReplAck(77))
+	if err != nil || seq != 77 {
+		t.Fatalf("round trip: %v %d", err, seq)
+	}
+	if _, err := DecodeReplAck([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestWALBatchRoundTrip(t *testing.T) {
+	in := &WALBatch{
+		StreamID: 9,
+		FirstSeq: 100,
+		HeadSeq:  105,
+		Records:  [][]byte{{1, 2, 3}, {}, {0xff}},
+	}
+	out, err := DecodeWALBatch(EncodeWALBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.StreamID != in.StreamID || out.FirstSeq != in.FirstSeq || out.HeadSeq != in.HeadSeq {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if len(out.Records) != len(in.Records) {
+		t.Fatalf("got %d records", len(out.Records))
+	}
+	for i := range in.Records {
+		if !bytes.Equal(out.Records[i], in.Records[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWALBatchRejectsUnbackedCount(t *testing.T) {
+	// Header + a count of 1<<40 records with no bytes behind it.
+	p := EncodeWALBatch(&WALBatch{})
+	p[24] = 0xff // corrupt the uvarint count into a huge claim
+	p = append(p, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := DecodeWALBatch(p); err == nil {
+		t.Fatal("unbacked record count accepted")
+	}
+}
+
+func TestSnapshotChunkRoundTrip(t *testing.T) {
+	first := &SnapshotChunk{First: true, StreamID: 5, SnapSeq: 17, Total: 1 << 24, Data: []byte("abc")}
+	out, err := DecodeSnapshotChunk(EncodeSnapshotChunk(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.First || out.Last || out.StreamID != 5 || out.SnapSeq != 17 || out.Total != 1<<24 || string(out.Data) != "abc" {
+		t.Fatalf("first chunk mismatch: %+v", out)
+	}
+	mid := &SnapshotChunk{Data: []byte("middle")}
+	out, err = DecodeSnapshotChunk(EncodeSnapshotChunk(mid))
+	if err != nil || out.First || out.Last || string(out.Data) != "middle" {
+		t.Fatalf("middle chunk mismatch: %v %+v", err, out)
+	}
+	last := &SnapshotChunk{Last: true, Data: nil}
+	out, err = DecodeSnapshotChunk(EncodeSnapshotChunk(last))
+	if err != nil || !out.Last || len(out.Data) != 0 {
+		t.Fatalf("last chunk mismatch: %v %+v", err, out)
+	}
+}
+
+func FuzzDecodeWALBatch(f *testing.F) {
+	f.Add(EncodeWALBatch(&WALBatch{StreamID: 1, FirstSeq: 2, HeadSeq: 3, Records: [][]byte{{4, 5}}}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeWALBatch(data)
+		if err != nil {
+			return
+		}
+		// Valid decode must re-encode to a decodable payload with the
+		// same content.
+		b2, err := DecodeWALBatch(EncodeWALBatch(b))
+		if err != nil || b2.StreamID != b.StreamID || b2.FirstSeq != b.FirstSeq ||
+			b2.HeadSeq != b.HeadSeq || len(b2.Records) != len(b.Records) {
+			t.Fatalf("re-encode mismatch: %v", err)
+		}
+		for i := range b.Records {
+			if !bytes.Equal(b2.Records[i], b.Records[i]) {
+				t.Fatalf("record %d mismatch after re-encode", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeSnapshotChunk(f *testing.F) {
+	f.Add(EncodeSnapshotChunk(&SnapshotChunk{First: true, Last: true, StreamID: 1, SnapSeq: 2, Total: 3, Data: []byte("x")}))
+	f.Add([]byte{SnapFirst})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeSnapshotChunk(data)
+		if err != nil {
+			return
+		}
+		c2, err := DecodeSnapshotChunk(EncodeSnapshotChunk(c))
+		if err != nil || c2.First != c.First || c2.Last != c.Last ||
+			c2.StreamID != c.StreamID || c2.SnapSeq != c.SnapSeq ||
+			c2.Total != c.Total || !bytes.Equal(c2.Data, c.Data) {
+			t.Fatalf("re-encode mismatch: %v", err)
+		}
+	})
+}
