@@ -1,0 +1,31 @@
+package ediflow
+
+import (
+	"testing"
+
+	"ediflow/internal/benchkit"
+)
+
+// BenchmarkMixed{16,64,256} measure the 95/5 read/write workload that
+// motivated MVCC snapshot reads: analytical full-scan SELECTs sharing
+// the engine with autocommit point UPDATEs under fsync-on-commit
+// durability. With snapshot isolation the reads hold no engine lock
+// while iterating, so their p99 latency must stay flat as the
+// committers saturate the write pipeline. The Baseline variants run the
+// same read workload with an idle writer (writePct 0) — the ratio
+// between a Mixed p99 and its Baseline p99 is the read-path cost of
+// committer saturation. See cmd/benchjson -suite mixed for the
+// machine-readable results/BENCH_7.json emitter.
+
+func benchMixed(b *testing.B, sessions, writePct int) {
+	st := benchkit.MixedWorkload(b, sessions, writePct)
+	b.ReportMetric(float64(st.ReadP99.Microseconds())/1000, "read-p99-ms")
+	b.ReportMetric(float64(st.ReadP50.Microseconds())/1000, "read-p50-ms")
+}
+
+func BenchmarkMixedBaseline16(b *testing.B)  { benchMixed(b, 16, 0) }
+func BenchmarkMixed16(b *testing.B)          { benchMixed(b, 16, 5) }
+func BenchmarkMixedBaseline64(b *testing.B)  { benchMixed(b, 64, 0) }
+func BenchmarkMixed64(b *testing.B)          { benchMixed(b, 64, 5) }
+func BenchmarkMixedBaseline256(b *testing.B) { benchMixed(b, 256, 0) }
+func BenchmarkMixed256(b *testing.B)         { benchMixed(b, 256, 5) }

@@ -8,11 +8,15 @@
 //
 //	go run ./cmd/benchjson -suite commit -out results/BENCH_5.json
 //	go run ./cmd/benchjson -suite fanout -out results/BENCH_6.json
+//	go run ./cmd/benchjson -suite mixed -out results/BENCH_7.json
 //
 // The commit suite is the concurrent group-commit workload
 // (BenchmarkConcurrentCommit{1,4,16}); the fanout suite is the §VI-C
 // mirror fan-out of one edit stream, direct vs sharded across
-// WAL-shipping read replicas (BenchmarkReplicaFanout*).
+// WAL-shipping read replicas (BenchmarkReplicaFanout*); the mixed
+// suite is the 95/5 read/write MVCC workload — each session count is
+// run twice, with committers saturating the fsync pipeline and with an
+// idle writer, so read_p99_ms can be compared directly.
 package main
 
 import (
@@ -25,11 +29,13 @@ import (
 	"ediflow/internal/benchkit"
 )
 
-// Result is one benchmark line: the standard ns/op and B/op plus one
-// suite-specific ratio — fsyncs-per-commit for the commit suite (the
+// Result is one benchmark line: the standard ns/op and B/op plus
+// suite-specific fields — fsyncs-per-commit for the commit suite (the
 // group-commit amortization factor; 1.0 means every commit paid its own
-// fsync) or notifies-per-edit for the fanout suite (how many NOTIFY
-// deliveries one edit cost across all mirrors).
+// fsync), notifies-per-edit for the fanout suite (how many NOTIFY
+// deliveries one edit cost across all mirrors), or the read-latency
+// percentiles for the mixed suite (SELECTs running lock-free on MVCC
+// snapshots while committers hold the write pipeline).
 type Result struct {
 	Bench           string  `json:"bench"`
 	N               int     `json:"n"`
@@ -37,6 +43,10 @@ type Result struct {
 	BytesPerOp      int64   `json:"B/op"`
 	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
 	NotifiesPerEdit float64 `json:"notifies_per_edit,omitempty"`
+	Reads           int64   `json:"reads,omitempty"`
+	Writes          int64   `json:"writes,omitempty"`
+	ReadP50Ms       float64 `json:"read_p50_ms,omitempty"`
+	ReadP99Ms       float64 `json:"read_p99_ms,omitempty"`
 }
 
 func main() {
@@ -115,8 +125,43 @@ func main() {
 				res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.NotifiesPerEdit)
 			results = append(results, res)
 		}
+	case "mixed":
+		if *out == "" {
+			*out = "results/BENCH_7.json"
+		}
+		type spec struct {
+			name               string
+			sessions, writePct int
+		}
+		// Each session count runs twice: the 95/5 workload and an
+		// idle-writer baseline, so read_p99_ms is directly comparable.
+		specs := []spec{
+			{"MixedBaseline16", 16, 0},
+			{"Mixed16", 16, 5},
+			{"MixedBaseline64", 64, 0},
+			{"Mixed64", 64, 5},
+			{"MixedBaseline256", 256, 0},
+			{"Mixed256", 256, 5},
+		}
+		for _, sp := range specs {
+			var stats benchkit.MixedStats
+			r := testing.Benchmark(func(b *testing.B) { stats = benchkit.MixedWorkload(b, sp.sessions, sp.writePct) })
+			res := Result{
+				Bench:      sp.name,
+				N:          r.N,
+				NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp: r.AllocedBytesPerOp(),
+				Reads:      stats.Reads,
+				Writes:     stats.Writes,
+				ReadP50Ms:  float64(stats.ReadP50.Microseconds()) / 1000,
+				ReadP99Ms:  float64(stats.ReadP99.Microseconds()) / 1000,
+			}
+			fmt.Printf("%-18s %10d iters  %12.0f ns/op  %7d reads  %6d writes  p50 %.3f ms  p99 %.3f ms\n",
+				res.Bench, res.N, res.NsPerOp, res.Reads, res.Writes, res.ReadP50Ms, res.ReadP99Ms)
+			results = append(results, res)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit or fanout)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, or mixed)\n", *suite)
 		os.Exit(2)
 	}
 

@@ -33,7 +33,7 @@ func (e *Engine) execDropTable(s *sqltext.DropTable) (*Result, []ChangeEvent, er
 		}
 		return nil, nil, fmt.Errorf("engine: no such table %q", s.Name)
 	}
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return nil, nil, fmt.Errorf("engine: DROP TABLE inside a transaction is not supported")
 	}
 	if vs := e.views.dependents(s.Name); len(vs) > 0 {
@@ -108,13 +108,13 @@ func (e *Engine) execInsert(s *sqltext.Insert, args []types.Value) (*Result, []C
 
 	var sourceRows []types.Row
 	if s.Query != nil {
-		res, err := e.evalSelect(s.Query, args)
+		res, err := e.evalSelect(s.Query, args, e.writerCtx())
 		if err != nil {
 			return nil, nil, err
 		}
 		sourceRows = res.Rows
 	} else {
-		b := newBinder(e, args, nil, nil)
+		b := newBinder(e, args, nil, nil, e.writerCtx())
 		for _, exprRow := range s.Rows {
 			row := make(types.Row, len(exprRow))
 			for i, ex := range exprRow {
@@ -148,7 +148,7 @@ func (e *Engine) execInsert(s *sqltext.Insert, args []types.Value) (*Result, []C
 		if err != nil {
 			return nil, nil, err
 		}
-		if e.inTxn {
+		if e.inTxn.Load() {
 			e.undo = append(e.undo, undoEntry{op: OpInsert, table: schema.Name, tid: tid, created: created, newRow: full})
 		}
 		ev.TIDs = append(ev.TIDs, tid)
@@ -176,11 +176,11 @@ func (e *Engine) matchTable(table string, where sqltext.Expr, args []types.Value
 		From:  &sqltext.TableRef{Table: table},
 		Where: where,
 	}
-	rel, whereApplied, err := e.buildTableRef(*sel.From, args, nil, sel)
+	rel, whereApplied, err := e.buildTableRef(*sel.From, args, nil, sel, e.writerCtx())
 	if err != nil {
 		return nil, nil, err
 	}
-	b := newBinder(e, args, rel, nil)
+	b := newBinder(e, args, rel, nil, e.writerCtx())
 	if where != nil && !whereApplied {
 		kept := rel.rows[:0:0]
 		for _, r := range rel.rows {
@@ -241,7 +241,7 @@ func (e *Engine) execUpdate(s *sqltext.Update, args []types.Value) (*Result, []C
 		if _, err := e.store.Update(schema.Name, tid, newRow); err != nil {
 			return nil, nil, err
 		}
-		if e.inTxn {
+		if e.inTxn.Load() {
 			e.undo = append(e.undo, undoEntry{op: OpUpdate, table: schema.Name, tid: tid, oldRow: oldRow, newRow: newRow})
 		}
 		ev.TIDs = append(ev.TIDs, tid)
@@ -283,7 +283,7 @@ func (e *Engine) execDelete(s *sqltext.Delete, args []types.Value) (*Result, []C
 		if err != nil {
 			return nil, nil, err
 		}
-		if e.inTxn {
+		if e.inTxn.Load() {
 			e.undo = append(e.undo, undoEntry{op: OpDelete, table: schema.Name, tid: tid, created: created, oldRow: old})
 		}
 		ev.TIDs = append(ev.TIDs, tid)

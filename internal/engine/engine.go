@@ -4,9 +4,14 @@
 // level AFTER triggers (§VI-B of the paper), and maintenance of
 // materialized views through the ivm package.
 //
-// Concurrency model: a single RWMutex serializes writers; readers run
-// concurrently and copy result rows out before the lock is released.
-// The write lock covers apply + WAL append only — the durability wait
+// Concurrency model: a single RWMutex serializes writers, and autocommit
+// SELECTs do not take it at all — they capture an MVCC snapshot seq from
+// the store and iterate version chains with zero engine locks held, so
+// long analytical scans never stall the commit queue and committers
+// never block readers (§VI-A time-based isolation; see storage/table.go
+// and DESIGN.md §13). SELECTs inside an open transaction keep the
+// historical locked read-latest path so they observe the transaction's
+// own unpublished writes. The write lock covers apply + WAL append only — the durability wait
 // (the store's group-commit fsync) happens after the lock is released,
 // so concurrent autocommit writers share one fsync instead of
 // serializing behind it. Commit order equals WAL append order.
@@ -26,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ediflow/internal/catalog"
@@ -107,9 +113,18 @@ type Engine struct {
 
 	seq int64 // change-event sequence number
 
-	inTxn   bool
+	// inTxn is written under the write lock but read lock-free by the
+	// SELECT path to pick between the snapshot read path and the locked
+	// read-your-writes path, hence atomic.
+	inTxn   atomic.Bool
 	undo    []undoEntry
 	pending []ChangeEvent
+
+	// writeCtx is the statement context of the mutation currently holding
+	// the write lock; IVM re-entry (EvalWith) reads through it so
+	// writer-side SELECTs see the statement's own uncommitted writes and
+	// charge their scans to the right statement.
+	writeCtx *stmtCtx
 
 	// Replica mode (see repl.go): mutations are rejected except DML on
 	// the allowlisted per-node-local tables.
@@ -121,6 +136,9 @@ type Engine struct {
 	// plain SELECT.
 	reg     *metrics.Registry
 	slow    *metrics.SlowLog
+	// virtMu guards the virtual-table map: RegisterVirtual may run while
+	// lock-free SELECTs resolve names.
+	virtMu  sync.RWMutex
 	virtual map[string]*virtualTable
 
 	mStatements   *metrics.Counter
@@ -268,7 +286,7 @@ var ErrCheckpointTxnOpen = errors.New("engine: checkpoint refused: transaction o
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return ErrCheckpointTxnOpen
 	}
 	return e.store.Checkpoint()
@@ -336,7 +354,7 @@ func (e *Engine) Query(sql string, args ...types.Value) (*Result, error) {
 		return nil, err
 	}
 	if _, ok := st.(*sqltext.Select); !ok {
-		return nil, fmt.Errorf("engine: Query requires a SELECT, got %T", st)
+		return nil, fmt.Errorf("engine: Query requires a SELECT, got %s", stmtKeyword(st))
 	}
 	return e.ExecStmt(st, args...)
 }
@@ -344,12 +362,12 @@ func (e *Engine) Query(sql string, args ...types.Value) (*Result, error) {
 // ExecStmt executes an already-parsed statement, recording per-statement
 // metrics (latency, rows, errors) and feeding the slow-query log.
 func (e *Engine) ExecStmt(st sqltext.Statement, args ...types.Value) (*Result, error) {
+	ctx := &stmtCtx{snap: storage.SeqLatest}
 	if !e.reg.Enabled() {
-		return e.execStmt(st, args)
+		return e.execStmt(st, args, ctx)
 	}
 	t0 := time.Now()
-	scanned0 := e.mRowsScanned.Value()
-	res, err := e.execStmt(st, args)
+	res, err := e.execStmt(st, args, ctx)
 	d := time.Since(t0)
 	e.mStatements.Inc()
 	e.mExecH.Observe(d)
@@ -375,26 +393,21 @@ func (e *Engine) ExecStmt(st sqltext.Statement, args ...types.Value) (*Result, e
 		if err != nil {
 			errMsg = err.Error()
 		}
-		// Rows-scanned is the delta of the global counter: exact for
-		// mutations (exclusive lock) and an upper bound when concurrent
-		// SELECTs overlap.
-		e.slow.Record(st.String(), d, e.mRowsScanned.Value()-scanned0, returned, errMsg)
+		// Rows-scanned comes from the per-statement context, so the value
+		// is exact even when concurrent SELECTs overlap.
+		e.slow.Record(st.String(), d, ctx.scanned, returned, errMsg)
 	}
 	return res, err
 }
 
-func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, error) {
+func (e *Engine) execStmt(st sqltext.Statement, args []types.Value, ctx *stmtCtx) (*Result, error) {
 	switch s := st.(type) {
 	case *sqltext.Select:
-		e.mu.RLock()
-		res, err := e.evalSelect(s, args)
-		e.mu.RUnlock()
-		return res, err
+		return e.execSelect(s, args, ctx)
 	case *sqltext.Explain:
-		e.mu.RLock()
-		res, err := e.evalExplain(s, args)
-		e.mu.RUnlock()
-		return res, err
+		// EXPLAIN only plans — catalog and table structure are internally
+		// synchronized, so no engine lock is needed.
+		return e.evalExplain(s, args, ctx)
 	case *sqltext.Begin:
 		return e.begin()
 	case *sqltext.Commit:
@@ -408,7 +421,17 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 	// their statements (and join the same group-commit batch) while this
 	// one waits on the shared fsync.
 	e.mu.Lock()
+	e.writeCtx = ctx
 	res, events, err := e.execMutation(st, args)
+	e.writeCtx = nil
+	// Publish the statement's versions before releasing the write lock:
+	// subsequent autocommit reads must see them (read-your-writes), and
+	// publishing whole statements at a time is what makes snapshots
+	// statement-atomic. Inside a transaction nothing is published until
+	// COMMIT/ROLLBACK resolves it.
+	if !e.inTxn.Load() {
+		e.store.PublishSnapshot()
+	}
 	if err != nil {
 		e.mu.Unlock()
 		return nil, err
@@ -416,7 +439,7 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 	if isDDL(st) {
 		e.plans.purge()
 	}
-	if e.inTxn {
+	if e.inTxn.Load() {
 		e.pending = append(e.pending, events...)
 		e.mu.Unlock()
 		return res, nil
@@ -436,6 +459,52 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value) (*Result, er
 	}
 	e.settle(entry, true)
 	return res, nil
+}
+
+// execSelect runs a top-level SELECT. Autocommit reads acquire an MVCC
+// snapshot and run with no engine lock held during row iteration;
+// reads inside an open transaction keep the locked read-latest path so
+// they see the transaction's own unpublished writes. AS OF pins the
+// snapshot to an explicit commit-seq (§VI-A time-based isolation).
+func (e *Engine) execSelect(s *sqltext.Select, args []types.Value, ctx *stmtCtx) (*Result, error) {
+	ctx.top = s
+	if s.AsOf != nil {
+		v, ok := constVal(s.AsOf, args)
+		if !ok || v.IsNull() {
+			return nil, fmt.Errorf("engine: AS OF requires a literal or bound-parameter seq")
+		}
+		seq, err := v.AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("engine: AS OF seq: %w", err)
+		}
+		snap, err := e.store.AcquireSnapshotAt(seq)
+		if err != nil {
+			return nil, err
+		}
+		defer e.store.ReleaseSnapshot(snap)
+		ctx.snap = snap
+		return e.evalSelect(s, args, ctx)
+	}
+	if e.inTxn.Load() {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		ctx.snap = storage.SeqLatest
+		return e.evalSelect(s, args, ctx)
+	}
+	snap := e.store.AcquireSnapshot()
+	defer e.store.ReleaseSnapshot(snap)
+	ctx.snap = snap
+	return e.evalSelect(s, args, ctx)
+}
+
+// stmtKeyword names a statement by its leading SQL keyword for error
+// messages, without leaking internal type names.
+func stmtKeyword(st sqltext.Statement) string {
+	f := strings.Fields(st.String())
+	if len(f) == 0 {
+		return "statement"
+	}
+	return strings.ToUpper(f[0])
 }
 
 // dispatchEntry is one committer's claim on a dispatch-queue position.
@@ -544,10 +613,10 @@ func (e *Engine) begin() (*Result, error) {
 	if e.readOnly {
 		return nil, ErrReadOnlyReplica
 	}
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return nil, fmt.Errorf("engine: transaction already open")
 	}
-	e.inTxn = true
+	e.inTxn.Store(true)
 	e.undo = nil
 	e.pending = nil
 	return &Result{}, nil
@@ -555,15 +624,18 @@ func (e *Engine) begin() (*Result, error) {
 
 func (e *Engine) commit() (*Result, error) {
 	e.mu.Lock()
-	if !e.inTxn {
+	if !e.inTxn.Load() {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: no open transaction")
 	}
-	e.inTxn = false
+	e.inTxn.Store(false)
 	e.undo = nil
 	fire := e.pending
 	e.pending = nil
 	entry := e.enqueueLocked(fire)
+	// COMMIT publishes the whole transaction's versions at once: snapshot
+	// readers either see all of it or none of it.
+	e.store.PublishSnapshot()
 	e.mu.Unlock()
 	// COMMIT is the durability point. The wait happens outside the write
 	// lock (the records are already appended in order); a Commit failure
@@ -579,7 +651,7 @@ func (e *Engine) commit() (*Result, error) {
 
 func (e *Engine) rollback() (*Result, error) {
 	e.mu.Lock()
-	if !e.inTxn {
+	if !e.inTxn.Load() {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: no open transaction")
 	}
@@ -607,9 +679,12 @@ func (e *Engine) rollback() (*Result, error) {
 			return nil, fmt.Errorf("engine: rollback: %w", err)
 		}
 	}
-	e.inTxn = false
+	e.inTxn.Store(false)
 	e.undo = nil
 	e.pending = nil
+	// The undo stamps cancelled the transaction's writes; publishing now
+	// re-exposes exactly the pre-transaction logical state.
+	e.store.PublishSnapshot()
 	e.mu.Unlock()
 	if err := e.store.Commit(); err != nil {
 		return nil, fmt.Errorf("engine: rollback flush: %w", err)
@@ -618,11 +693,7 @@ func (e *Engine) rollback() (*Result, error) {
 }
 
 // InTxn reports whether a transaction is open.
-func (e *Engine) InTxn() bool {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.inTxn
-}
+func (e *Engine) InTxn() bool { return e.inTxn.Load() }
 
 // execMutation runs a non-SELECT statement under the write lock.
 func (e *Engine) execMutation(st sqltext.Statement, args []types.Value) (*Result, []ChangeEvent, error) {

@@ -34,6 +34,7 @@ type binder struct {
 	e    *Engine
 	args []types.Value
 	rel  *relation
+	ctx  *stmtCtx // statement context (snapshot seq, scan tally)
 
 	byQual    map[string]int // "qual.name" → position
 	byName    map[string]int // "name" → position (unambiguous only)
@@ -47,9 +48,9 @@ type binder struct {
 	inCache map[*sqltext.InExpr]*inSet
 }
 
-func newBinder(e *Engine, args []types.Value, rel *relation, overrides map[string][]types.Row) *binder {
+func newBinder(e *Engine, args []types.Value, rel *relation, overrides map[string][]types.Row, ctx *stmtCtx) *binder {
 	b := &binder{
-		e: e, args: args, rel: rel,
+		e: e, args: args, rel: rel, ctx: ctx,
 		byQual:    map[string]int{},
 		byName:    map[string]int{},
 		ambiguous: map[string]bool{},
@@ -534,7 +535,7 @@ func (b *binder) subquery(q *sqltext.Select) ([]types.Row, error) {
 	if rows, ok := b.subCache[q]; ok {
 		return rows, nil
 	}
-	res, err := b.e.evalSelectWith(q, b.args, b.overrides)
+	res, err := b.e.evalSelectWith(q, b.args, b.overrides, b.ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -245,13 +245,13 @@ func constVal(x sqltext.Expr, args []types.Value) (types.Value, bool) {
 	return types.Null, false
 }
 
-// resolveScan turns a non-full-scan plan into candidate tids. ok=false
-// means the plan could not be applied (unbound parameter, value that
-// cannot be coerced to the column type) and the caller must fall back to
-// a full scan; ok=true with an empty slice means the predicate provably
-// matches nothing. Candidate tids are deduplicated so `pk IN (5, 5)`
-// yields one row, not two.
-func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table, args []types.Value) ([]int64, bool) {
+// resolveScan turns a non-full-scan plan into candidate tids visible as
+// of asOf. ok=false means the plan could not be applied (unbound
+// parameter, value that cannot be coerced to the column type) and the
+// caller must fall back to a full scan; ok=true with an empty slice means
+// the predicate provably matches nothing. Candidate tids are deduplicated
+// so `pk IN (5, 5)` yields one row, not two.
+func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table, args []types.Value, asOf int64) ([]int64, bool) {
 	coerce := func(col int, v types.Value) (types.Value, bool) {
 		cv, err := v.CoerceTo(schema.Columns[col].Type)
 		if err != nil {
@@ -298,9 +298,9 @@ func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table
 		var tid int64
 		var found bool
 		if plan.kind == pathPKPoint {
-			tid, found = tbl.LookupPK(cv)
+			tid, found = tbl.LookupPKAt(cv, asOf)
 		} else {
-			tid, found = tbl.LookupUnique(plan.cols[0], cv)
+			tid, found = tbl.LookupUniqueAt(plan.cols[0], cv, asOf)
 		}
 		if found {
 			add(tid)
@@ -322,7 +322,7 @@ func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table
 			}
 			key[i] = cv
 		}
-		if found, ok := tbl.LookupIndex(plan.index, key); ok {
+		if found, ok := tbl.LookupIndexAt(plan.index, key, asOf); ok {
 			for _, tid := range found {
 				add(tid)
 			}
@@ -349,7 +349,7 @@ func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table
 				if !ok {
 					return nil, false
 				}
-				if tid, found := tbl.LookupPK(cv); found {
+				if tid, found := tbl.LookupPKAt(cv, asOf); found {
 					add(tid)
 				}
 			case pathUniqueIn:
@@ -357,7 +357,7 @@ func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table
 				if !ok {
 					return nil, false
 				}
-				if tid, found := tbl.LookupUnique(plan.cols[0], cv); found {
+				if tid, found := tbl.LookupUniqueAt(plan.cols[0], cv, asOf); found {
 					add(tid)
 				}
 			case pathIndexIn:
@@ -365,7 +365,7 @@ func resolveScan(plan *scanPlan, schema *catalog.TableSchema, tbl *storage.Table
 				if !ok {
 					return nil, false
 				}
-				if found, ok := tbl.LookupIndex(plan.index, types.Row{cv}); ok {
+				if found, ok := tbl.LookupIndexAt(plan.index, types.Row{cv}, asOf); ok {
 					for _, tid := range found {
 						add(tid)
 					}
@@ -397,13 +397,13 @@ type joinPlan struct {
 // an AND chain containing at least one equality between a left-side and
 // a right-side column; the remaining conjuncts become a residual filter
 // evaluated on each candidate match.
-func (e *Engine) analyzeJoin(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row) *joinPlan {
+func (e *Engine) analyzeJoin(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row, ctx *stmtCtx) *joinPlan {
 	if jc.Kind == "CROSS" {
 		return &joinPlan{kind: "cross"}
 	}
 	plan := &joinPlan{kind: "nested"}
-	lb := newBinder(e, args, left, overrides)
-	rb := newBinder(e, args, right, overrides)
+	lb := newBinder(e, args, left, overrides, ctx)
+	rb := newBinder(e, args, right, overrides, ctx)
 	for _, c := range andConjuncts(jc.On) {
 		eqv, ok := c.(*sqltext.Binary)
 		if !ok || eqv.Op != "=" {
@@ -469,13 +469,14 @@ func (e *Engine) analyzeJoin(left, right *relation, jc sqltext.JoinClause, args 
 // ---------------------------------------------------------------- EXPLAIN
 
 // evalExplain renders the planner's choices for a statement without
-// executing it. The caller holds at least a read lock.
-func (e *Engine) evalExplain(x *sqltext.Explain, args []types.Value) (*Result, error) {
+// executing it. Planning is purely structural (catalog and table metadata
+// are internally synchronized), so no engine lock is required.
+func (e *Engine) evalExplain(x *sqltext.Explain, args []types.Value, ctx *stmtCtx) (*Result, error) {
 	var lines []string
 	var err error
 	switch s := x.Stmt.(type) {
 	case *sqltext.Select:
-		lines, err = e.explainSelect(s, "")
+		lines, err = e.explainSelect(s, "", ctx)
 	case *sqltext.Update:
 		lines, err = e.explainMutation("update", s.Table, s.Where)
 	case *sqltext.Delete:
@@ -493,12 +494,12 @@ func (e *Engine) evalExplain(x *sqltext.Explain, args []types.Value) (*Result, e
 	return &Result{Columns: []string{"plan"}, Rows: rows}, nil
 }
 
-func (e *Engine) explainSelect(sel *sqltext.Select, indent string) ([]string, error) {
+func (e *Engine) explainSelect(sel *sqltext.Select, indent string, ctx *stmtCtx) ([]string, error) {
 	var lines []string
 	if sel.From == nil {
 		lines = append(lines, indent+"result: constant")
 	} else {
-		fl, err := e.explainRef(*sel.From, sel, indent)
+		fl, err := e.explainRef(*sel.From, sel, indent, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -508,7 +509,7 @@ func (e *Engine) explainSelect(sel *sqltext.Select, indent string) ([]string, er
 			return nil, err
 		}
 		for _, j := range sel.Joins {
-			rl, err := e.explainRef(j.Right, nil, indent)
+			rl, err := e.explainRef(j.Right, nil, indent, ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -517,7 +518,7 @@ func (e *Engine) explainSelect(sel *sqltext.Select, indent string) ([]string, er
 			if err != nil {
 				return nil, err
 			}
-			plan := e.analyzeJoin(left, right, j, nil, nil)
+			plan := e.analyzeJoin(left, right, j, nil, nil, ctx)
 			label := "nested-loop"
 			switch plan.kind {
 			case "cross":
@@ -554,11 +555,11 @@ func (e *Engine) explainSelect(sel *sqltext.Select, indent string) ([]string, er
 // explainRef renders the scan line for one FROM entry. sel is non-nil
 // only for the first entry of a join-free SELECT — the same condition
 // under which the executor applies index fast paths.
-func (e *Engine) explainRef(tr sqltext.TableRef, sel *sqltext.Select, indent string) ([]string, error) {
+func (e *Engine) explainRef(tr sqltext.TableRef, sel *sqltext.Select, indent string, ctx *stmtCtx) ([]string, error) {
 	name := refName(tr)
 	if tr.Subquery != nil {
 		lines := []string{indent + "scan " + name + ": subquery"}
-		sub, err := e.explainSelect(tr.Subquery, indent+"  ")
+		sub, err := e.explainSelect(tr.Subquery, indent+"  ", ctx)
 		if err != nil {
 			return nil, err
 		}

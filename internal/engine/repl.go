@@ -69,7 +69,7 @@ func (e *Engine) replicaMayWrite(st sqltext.Statement) bool {
 func (e *Engine) ReplSnapshot(exclude ...string) (data []byte, seq uint64, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return nil, 0, ErrCheckpointTxnOpen
 	}
 	data, err = e.store.EncodeReplSnapshot(exclude...)
@@ -131,6 +131,9 @@ func (e *Engine) ApplyReplicated(recs [][]byte, watchTable string) (watched []ty
 	if ddl {
 		e.plans.purge()
 	}
+	// One batch of shipped records is the replication unit of atomicity:
+	// publish its versions to replica snapshot readers all at once.
+	e.store.PublishSnapshot()
 	return watched, nil
 }
 
@@ -164,7 +167,7 @@ func (e *Engine) registerReplicatedMeta(text string) error {
 func (e *Engine) ApplyReplSnapshot(data []byte, preserve ...string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return fmt.Errorf("engine: snapshot apply refused: transaction open")
 	}
 	if err := e.store.ResetFromSnapshot(data, preserve...); err != nil {

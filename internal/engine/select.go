@@ -7,36 +7,61 @@ import (
 
 	"ediflow/internal/catalog"
 	"ediflow/internal/sqltext"
+	"ediflow/internal/storage"
 	"ediflow/internal/types"
 )
 
-// evalSelect runs a SELECT. The caller holds at least a read lock.
-func (e *Engine) evalSelect(sel *sqltext.Select, args []types.Value) (*Result, error) {
-	return e.evalSelectWith(sel, args, nil)
+// stmtCtx carries per-statement execution state: the MVCC snapshot seq
+// base-table reads resolve against, the outermost SELECT (AS OF is only
+// honored there), and an exact rows-scanned tally. One ctx exists per
+// statement and is touched only by the executing goroutine.
+type stmtCtx struct {
+	snap    int64           // visibility ceiling for base-table reads
+	top     *sqltext.Select // outermost SELECT of the statement, if any
+	scanned int64           // rows examined by this statement (exact)
+}
+
+// writerCtx returns the context of the mutation currently holding the
+// write lock, or a fresh read-latest context when the engine is re-entered
+// outside a mutation (view restore at startup, rollback refresh).
+func (e *Engine) writerCtx() *stmtCtx {
+	if e.writeCtx != nil {
+		return e.writeCtx
+	}
+	return &stmtCtx{snap: storage.SeqLatest}
+}
+
+// evalSelect runs a SELECT against the snapshot captured in ctx.
+func (e *Engine) evalSelect(sel *sqltext.Select, args []types.Value, ctx *stmtCtx) (*Result, error) {
+	return e.evalSelectWith(sel, args, nil, ctx)
 }
 
 // EvalWith implements ivm.Evaluator: evaluate a SELECT with some tables'
 // contents substituted. The caller is the view maintainer running inside
-// an engine mutation, which already holds the write lock.
+// an engine mutation, which already holds the write lock — reads resolve
+// at SeqLatest so the maintainer sees the statement's own writes.
 func (e *Engine) EvalWith(sel *sqltext.Select, overrides map[string][]types.Row) ([]types.Row, error) {
-	res, err := e.evalSelectWith(sel, nil, overrides)
+	res, err := e.evalSelectWith(sel, nil, overrides, e.writerCtx())
 	if err != nil {
 		return nil, err
 	}
 	return res.Rows, nil
 }
 
-func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row) (*Result, error) {
+func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row, ctx *stmtCtx) (*Result, error) {
+	if sel.AsOf != nil && sel != ctx.top {
+		return nil, fmt.Errorf("engine: AS OF is only supported on the top-level SELECT")
+	}
 	// Build the source relation (FROM + JOINs + WHERE).
 	var rel *relation
 	var b *binder
 	whereApplied := false
 	if sel.From == nil {
 		rel = &relation{rows: []types.Row{nil}} // one empty row: SELECT 1+1
-		b = newBinder(e, args, rel, overrides)
+		b = newBinder(e, args, rel, overrides, ctx)
 	} else {
 		var err error
-		rel, b, whereApplied, err = e.buildFrom(sel, args, overrides)
+		rel, b, whereApplied, err = e.buildFrom(sel, args, overrides, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -467,22 +492,22 @@ func topKIndexes(n, k int, less func(a, b int) bool) []int {
 // buildFrom builds the FROM clause (with joins) into a relation and
 // returns a binder over it. The returned bool reports whether the WHERE
 // clause was already applied during the scan (streaming full scan).
-func (e *Engine) buildFrom(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row) (*relation, *binder, bool, error) {
-	left, whereApplied, err := e.buildTableRef(*sel.From, args, overrides, sel)
+func (e *Engine) buildFrom(sel *sqltext.Select, args []types.Value, overrides map[string][]types.Row, ctx *stmtCtx) (*relation, *binder, bool, error) {
+	left, whereApplied, err := e.buildTableRef(*sel.From, args, overrides, sel, ctx)
 	if err != nil {
 		return nil, nil, false, err
 	}
 	for _, j := range sel.Joins {
-		right, err := e.buildJoinSource(j.Right, args, overrides)
+		right, err := e.buildJoinSource(j.Right, args, overrides, ctx)
 		if err != nil {
 			return nil, nil, false, err
 		}
-		left, err = e.join(left, right, j, args, overrides)
+		left, err = e.join(left, right, j, args, overrides, ctx)
 		if err != nil {
 			return nil, nil, false, err
 		}
 	}
-	return left, newBinder(e, args, left, overrides), whereApplied, nil
+	return left, newBinder(e, args, left, overrides, ctx), whereApplied, nil
 }
 
 // buildTableRef builds one FROM entry. When sel is non-nil (single base
@@ -491,9 +516,9 @@ func (e *Engine) buildFrom(sel *sqltext.Select, args []types.Value, overrides ma
 // or a streaming full scan that evaluates WHERE inside the scan loop so
 // non-matching rows are never copied. The bool reports whether WHERE was
 // fully applied by the scan.
-func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row, sel *sqltext.Select) (*relation, bool, error) {
+func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row, sel *sqltext.Select, ctx *stmtCtx) (*relation, bool, error) {
 	if tr.Subquery != nil {
-		res, err := e.evalSelectWith(tr.Subquery, args, overrides)
+		res, err := e.evalSelectWith(tr.Subquery, args, overrides, ctx)
 		if err != nil {
 			return nil, false, err
 		}
@@ -519,7 +544,7 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 			rel.cols = append(rel.cols, colMeta{qual: qual, name: c})
 		}
 		rel.rows = vt.fn()
-		e.countScanned(len(rel.rows))
+		e.countScanned(ctx, len(rel.rows))
 		return rel, false, nil
 	}
 
@@ -571,16 +596,16 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 	// candidate set over-approximates and re-filtering is sound).
 	if where != nil {
 		if plan := analyzeScan(where, schema, tbl, qual); plan.kind != pathFullScan {
-			if tids, ok := resolveScan(plan, schema, tbl, args); ok {
+			if tids, ok := resolveScan(plan, schema, tbl, args, ctx.snap); ok {
 				for _, tid := range tids {
-					if sr, found := tbl.Get(tid); found {
+					if sr, found := tbl.GetAt(tid, ctx.snap); found {
 						full := make(types.Row, 0, len(sr.Values)+2)
 						full = append(full, sr.Values...)
 						full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
 						rel.rows = append(rel.rows, full)
 					}
 				}
-				e.countScanned(len(tids))
+				e.countScanned(ctx, len(tids))
 				return rel, false, nil
 			}
 		}
@@ -592,9 +617,15 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 	// inside the loop, copying out only the matches. Allocation becomes
 	// O(result) instead of O(table).
 	if where != nil {
-		b := newBinder(e, args, rel, overrides)
+		b := newBinder(e, args, rel, overrides, ctx)
 		scratch := make(types.Row, nUser+2)
-		for _, sr := range tbl.Rows() {
+		scanned := 0
+		for it := tbl.Iterate(ctx.snap); ; {
+			sr, more := it.Next()
+			if !more {
+				break
+			}
+			scanned++
 			copy(scratch, sr.Values)
 			scratch[nUser] = types.NewInt(sr.TID)
 			scratch[nUser+1] = types.NewInt(sr.Created)
@@ -608,24 +639,30 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 				rel.rows = append(rel.rows, full)
 			}
 		}
-		e.countScanned(tbl.Len())
+		e.countScanned(ctx, scanned)
 		return rel, true, nil
 	}
 
-	for _, sr := range tbl.Rows() {
+	scanned := 0
+	for it := tbl.Iterate(ctx.snap); ; {
+		sr, more := it.Next()
+		if !more {
+			break
+		}
+		scanned++
 		full := make(types.Row, 0, len(sr.Values)+2)
 		full = append(full, sr.Values...)
 		full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
 		rel.rows = append(rel.rows, full)
 	}
-	e.countScanned(tbl.Len())
+	e.countScanned(ctx, scanned)
 	return rel, false, nil
 }
 
 // buildJoinSource builds the right side of a join. Plain base tables
 // stay lazy (columns only) so the join can probe their storage indexes
 // without materializing; everything else falls back to buildTableRef.
-func (e *Engine) buildJoinSource(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row) (*relation, error) {
+func (e *Engine) buildJoinSource(tr sqltext.TableRef, args []types.Value, overrides map[string][]types.Row, ctx *stmtCtx) (*relation, error) {
 	if tr.Subquery == nil && e.lookupVirtual(tr.Table) == nil {
 		if _, hasOverride := overrides[strings.ToLower(tr.Table)]; !hasOverride {
 			name := tr.Table
@@ -639,30 +676,42 @@ func (e *Engine) buildJoinSource(tr sqltext.TableRef, args []types.Value, overri
 			}
 		}
 	}
-	rel, _, err := e.buildTableRef(tr, args, overrides, nil)
+	rel, _, err := e.buildTableRef(tr, args, overrides, nil, ctx)
 	return rel, err
 }
 
-// materializeRel fills a lazy base-table relation's rows.
-func (e *Engine) materializeRel(rel *relation) {
+// materializeRel fills a lazy base-table relation's rows as of the
+// statement's snapshot.
+func (e *Engine) materializeRel(rel *relation, ctx *stmtCtx) {
 	if !rel.lazy {
 		return
 	}
 	rel.lazy = false
-	for _, sr := range rel.tbl.Rows() {
+	scanned := 0
+	for it := rel.tbl.Iterate(ctx.snap); ; {
+		sr, more := it.Next()
+		if !more {
+			break
+		}
+		scanned++
 		full := make(types.Row, 0, len(sr.Values)+2)
 		full = append(full, sr.Values...)
 		full = append(full, types.NewInt(sr.TID), types.NewInt(sr.Created))
 		rel.rows = append(rel.rows, full)
 	}
-	e.countScanned(rel.tbl.Len())
+	e.countScanned(ctx, scanned)
 }
 
 // countScanned credits base-relation rows examined by a statement —
 // rows the executor actually touched (streamed past, probed or
-// materialized), not rows returned.
-func (e *Engine) countScanned(n int) {
-	if n > 0 && e.reg.Enabled() {
+// materialized), not rows returned. The per-statement tally is exact;
+// the global counter aggregates across statements for sys_metrics.
+func (e *Engine) countScanned(ctx *stmtCtx, n int) {
+	if n <= 0 {
+		return
+	}
+	ctx.scanned += int64(n)
+	if e.reg.Enabled() {
 		e.mRowsScanned.Add(int64(n))
 	}
 }
@@ -671,7 +720,7 @@ func (e *Engine) countScanned(n int) {
 // planner's classification: hash join on the equality conjuncts of ON
 // (probing the right side's storage index when one covers the key),
 // otherwise a nested loop.
-func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row) (*relation, error) {
+func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types.Value, overrides map[string][]types.Row, ctx *stmtCtx) (*relation, error) {
 	out := &relation{cols: append(append([]colMeta{}, left.cols...), right.cols...)}
 
 	concat := func(l, r types.Row) types.Row {
@@ -680,10 +729,10 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 		return append(row, r...)
 	}
 
-	plan := e.analyzeJoin(left, right, jc, args, overrides)
+	plan := e.analyzeJoin(left, right, jc, args, overrides, ctx)
 
 	if plan.kind == "cross" {
-		e.materializeRel(right)
+		e.materializeRel(right, ctx)
 		for _, lr := range left.rows {
 			for _, rr := range right.rows {
 				out.rows = append(out.rows, concat(lr, rr))
@@ -692,7 +741,7 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 		return out, nil
 	}
 
-	b := newBinder(e, args, out, overrides)
+	b := newBinder(e, args, out, overrides, ctx)
 	leftOuter := jc.Kind == "LEFT"
 
 	if plan.kind == "hash" {
@@ -727,14 +776,14 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 				if !null {
 					var tids []int64
 					if plan.probePK {
-						if tid, found := right.tbl.LookupPK(key[0]); found {
+						if tid, found := right.tbl.LookupPKAt(key[0], ctx.snap); found {
 							tids = []int64{tid}
 						}
-					} else if found, ok := right.tbl.LookupIndex(plan.index, key); ok {
+					} else if found, ok := right.tbl.LookupIndexAt(plan.index, key, ctx.snap); ok {
 						tids = found
 					}
 					for _, tid := range tids {
-						sr, found := right.tbl.Get(tid)
+						sr, found := right.tbl.GetAt(tid, ctx.snap)
 						if !found {
 							continue
 						}
@@ -758,11 +807,11 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 					out.rows = append(out.rows, concat(lr, pad))
 				}
 			}
-			e.countScanned(probed)
+			e.countScanned(ctx, probed)
 			return out, nil
 		}
 
-		e.materializeRel(right)
+		e.materializeRel(right, ctx)
 		idx := make(map[string][]int, len(right.rows))
 		buildKey := func(row types.Row, cols []int) (string, bool) {
 			key := make(types.Row, len(cols))
@@ -803,7 +852,7 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 	}
 
 	// General nested-loop join.
-	e.materializeRel(right)
+	e.materializeRel(right, ctx)
 	for _, lr := range left.rows {
 		matched := false
 		for _, rr := range right.rows {

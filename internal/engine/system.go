@@ -22,20 +22,24 @@ func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 // SlowLog returns the engine's slow-query ring buffer.
 func (e *Engine) SlowLog() *metrics.SlowLog { return e.slow }
 
-// RegisterVirtual installs (or replaces) a virtual table. fn runs under
-// the engine's read lock and must not re-enter the engine.
+// RegisterVirtual installs (or replaces) a virtual table. fn may run
+// with no engine lock held (lock-free SELECTs), so it must be internally
+// synchronized and must not re-enter the engine.
 func (e *Engine) RegisterVirtual(name string, cols []string, fn func() []types.Row) {
 	lc := make([]string, len(cols))
 	for i, c := range cols {
 		lc[i] = strings.ToLower(c)
 	}
-	e.mu.Lock()
+	e.virtMu.Lock()
 	e.virtual[strings.ToLower(name)] = &virtualTable{cols: lc, fn: fn}
-	e.mu.Unlock()
+	e.virtMu.Unlock()
 }
 
-// lookupVirtual is called from buildTableRef with the engine lock held.
+// lookupVirtual resolves a virtual table; SELECTs call it without the
+// engine lock.
 func (e *Engine) lookupVirtual(name string) *virtualTable {
+	e.virtMu.RLock()
+	defer e.virtMu.RUnlock()
 	return e.virtual[strings.ToLower(name)]
 }
 

@@ -67,7 +67,7 @@ const viewBackingPrefix = "__view_"
 // execCreateView creates a materialized view: classify with ivm, create
 // the backing table, compute initial contents, persist the DDL.
 func (e *Engine) execCreateView(s *sqltext.CreateView) (*Result, []ChangeEvent, error) {
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return nil, nil, fmt.Errorf("engine: CREATE VIEW inside a transaction is not supported")
 	}
 	if err := e.createView(s, true); err != nil {
@@ -170,7 +170,7 @@ func (e *Engine) createView(s *sqltext.CreateView, fresh bool) error {
 // execDropView removes a view: catalog entry, maintainer, backing table
 // and the persisted DDL.
 func (e *Engine) execDropView(s *sqltext.DropView) (*Result, []ChangeEvent, error) {
-	if e.inTxn {
+	if e.inTxn.Load() {
 		return nil, nil, fmt.Errorf("engine: DROP VIEW inside a transaction is not supported")
 	}
 	v, ok := e.cat.View(s.Name)

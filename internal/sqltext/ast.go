@@ -142,6 +142,7 @@ type Select struct {
 	OrderBy  []OrderItem
 	Limit    Expr // nil = no limit
 	Offset   Expr
+	AsOf     Expr // AS OF <seq>: read as of an MVCC commit-seq; nil = latest
 }
 
 // Explain is EXPLAIN SELECT/UPDATE/DELETE: report the access paths the

@@ -51,7 +51,7 @@ var keywords = map[string]bool{
 	"EXISTS": true, "PRIMARY": true, "KEY": true, "UNIQUE": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "DEFAULT": true,
 	"CROSS": true, "TRIGGER": true, "AFTER": true, "CALL": true, "COUNT": true,
-	"EXPLAIN": true,
+	"EXPLAIN": true, "OF": true,
 }
 
 // Lexer splits SQL text into tokens.

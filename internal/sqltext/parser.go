@@ -131,6 +131,22 @@ func (p *Parser) expectKeyword(kw string) error {
 	return p.advance()
 }
 
+// acceptAliasAS consumes an alias-introducing AS, but leaves `AS OF`
+// alone — that is the SELECT-level snapshot clause, not an alias.
+func (p *Parser) acceptAliasAS() (bool, error) {
+	if !p.isKeyword("AS") {
+		return false, nil
+	}
+	nxt, err := p.peek()
+	if err != nil {
+		return false, err
+	}
+	if nxt.Kind == TokKeyword && nxt.Text == "OF" {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
 func (p *Parser) acceptOp(op string) (bool, error) {
 	if p.tok.Kind == TokOp && p.tok.Text == op {
 		return true, p.advance()
@@ -752,6 +768,19 @@ func (p *Parser) parseSelect() (*Select, error) {
 		}
 		st.Offset = e
 	}
+	// AS OF <seq>: time-based isolation — read as of an MVCC commit-seq.
+	if ok, err := p.acceptKeyword("AS"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("OF"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.AsOf = e
+	}
 	return st, nil
 }
 
@@ -797,7 +826,7 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 
 func (p *Parser) finishSelectItem(e Expr) (SelectItem, error) {
 	item := SelectItem{Expr: e}
-	if ok, err := p.acceptKeyword("AS"); err != nil {
+	if ok, err := p.acceptAliasAS(); err != nil {
 		return item, err
 	} else if ok {
 		a, err := p.expectIdent()
@@ -845,7 +874,7 @@ func (p *Parser) parseTableRef() (TableRef, error) {
 		}
 		tr.Table = name
 	}
-	if ok, err := p.acceptKeyword("AS"); err != nil {
+	if ok, err := p.acceptAliasAS(); err != nil {
 		return tr, err
 	} else if ok {
 		a, err := p.expectIdent()

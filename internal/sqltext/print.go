@@ -212,6 +212,10 @@ func (s *Select) String() string {
 		sb.WriteString(" OFFSET ")
 		sb.WriteString(s.Offset.String())
 	}
+	if s.AsOf != nil {
+		sb.WriteString(" AS OF ")
+		sb.WriteString(s.AsOf.String())
+	}
 	return sb.String()
 }
 

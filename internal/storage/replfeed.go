@@ -248,16 +248,16 @@ func (s *Store) ResetFromSnapshot(data []byte, preserve ...string) error {
 	}
 	kept := map[string]saved{}
 	for _, name := range preserve {
-		if t := s.tables[tkey(name)]; t != nil {
-			rows := make([]StoredRow, t.Len())
-			copy(rows, t.Rows())
-			kept[tkey(name)] = saved{schema: t, rows: rows}
+		if t := s.Table(name); t != nil {
+			kept[tkey(name)] = saved{schema: t, rows: t.Rows()}
 		}
 	}
 	oldEpoch := s.epoch
 	oldTID := s.nextTID.Load()
 	oldCreated := s.nextCreated.Load()
+	s.tablesMu.Lock()
 	s.tables = map[string]*Table{}
+	s.tablesMu.Unlock()
 	s.indexes = nil
 	s.metas = nil
 	if err := s.loadSnapshotBytes(data); err != nil {
@@ -273,12 +273,14 @@ func (s *Store) ResetFromSnapshot(data []byte, preserve ...string) error {
 	}
 	s.bumpCounters(oldTID-1, oldCreated-1)
 	for key, sv := range kept {
+		s.tablesMu.Lock()
 		t := s.tables[key]
 		if t == nil {
 			// The primary does not have this table; keep the local one.
-			t = NewTable(sv.schema.Schema)
+			t = s.adopt(NewTable(sv.schema.Schema))
 			s.tables[key] = t
 		}
+		s.tablesMu.Unlock()
 		for _, r := range sv.rows {
 			if err := t.Insert(r.TID, r.Created, r.Values); err != nil {
 				return fmt.Errorf("storage: restoring preserved row: %w", err)
@@ -286,6 +288,9 @@ func (s *Store) ResetFromSnapshot(data []byte, preserve ...string) error {
 			s.bumpCounters(r.TID, r.Created)
 		}
 	}
+	// The rebuilt state stamped fresh versions; publish them before the
+	// replica serves its next read.
+	s.PublishSnapshot()
 	return nil
 }
 

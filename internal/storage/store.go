@@ -104,12 +104,33 @@ type Store struct {
 	// checkpoint whose records the snapshot already contains).
 	epoch uint64
 
-	tables  map[string]*Table // lower-cased name → table
-	indexes []indexDef
-	metas   []MetaEntry
+	// tablesMu guards the tables map itself (lookups vs DDL): lock-free
+	// snapshot readers resolve tables without the engine lock. Table
+	// contents have their own MVCC synchronization.
+	tablesMu sync.RWMutex
+	tables   map[string]*Table // lower-cased name → table
+	indexes  []indexDef
+	metas    []MetaEntry
 
 	nextTID     atomic.Int64
 	nextCreated atomic.Int64
+
+	// MVCC clock and visibility ceiling. Every version stamp comes from
+	// mvccNext (shared by all tables via Table.SetClock); mvccVisible is
+	// the published snapshot ceiling readers capture — the engine raises
+	// it at statement/transaction boundaries, so a snapshot never
+	// observes half of a statement or an open transaction. vacuumFloor
+	// rises with Vacuum: AS OF queries below it are refused.
+	mvccNext    atomic.Int64
+	mvccVisible atomic.Int64
+	vacuumFloor atomic.Int64
+
+	// Active-snapshot registry: seq → reader refcount. Vacuum reclaims
+	// only versions invisible to every registered snapshot.
+	snapMu   sync.Mutex
+	snapRefs map[int64]int
+
+	mvccVacuumed *metrics.Counter
 
 	// Observability. The registry is created here (the store opens before
 	// the engine) and adopted upward by engine/database/server so the
@@ -166,12 +187,13 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		opts.FS = fault.OS{}
 	}
 	s := &Store{
-		dir:     dir,
-		durable: dir != "",
-		opts:    opts,
-		fs:      opts.FS,
-		tables:  map[string]*Table{},
-		reg:     metrics.NewRegistry(),
+		dir:      dir,
+		durable:  dir != "",
+		opts:     opts,
+		fs:       opts.FS,
+		tables:   map[string]*Table{},
+		snapRefs: map[int64]int{},
+		reg:      metrics.NewRegistry(),
 	}
 	s.walAppends = s.reg.Counter("wal.appends")
 	s.walBytes = s.reg.Counter("wal.bytes")
@@ -182,6 +204,12 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	s.walGroupCommits = s.reg.Counter("wal.group_commits")
 	s.walCommits = s.reg.Counter("wal.commits")
 	s.walGroupSizeH = s.reg.Histogram("wal.group_commit_size")
+	s.mvccVacuumed = s.reg.Counter("mvcc.vacuumed")
+	s.reg.RegisterGauge("mvcc.versions", s.versionCount)
+	s.reg.RegisterGauge("mvcc.snapshot_seq", s.SnapshotSeq)
+	s.reg.RegisterGauge("mvcc.snapshot_age", func() int64 {
+		return s.SnapshotSeq() - s.OldestSnapshot()
+	})
 	s.nextTID.Store(1)
 	s.nextCreated.Store(1)
 	if !s.durable {
@@ -221,8 +249,128 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.wal = w
+	// Replay stamped fresh versions; make them all visible before any
+	// reader captures a snapshot.
+	s.PublishSnapshot()
 	s.startFlusher()
 	return s, nil
+}
+
+// ----------------------------------------------------- MVCC snapshots
+
+// MVCCClock exposes the store-wide version-stamp counter; tables created
+// outside the store's own paths adopt it via Table.SetClock.
+func (s *Store) MVCCClock() *atomic.Int64 { return &s.mvccNext }
+
+// adopt points a table at the store-wide MVCC clock.
+func (s *Store) adopt(t *Table) *Table {
+	t.SetClock(&s.mvccNext)
+	return t
+}
+
+// PublishSnapshot raises the visibility ceiling to the newest allocated
+// version stamp. The engine calls it at statement and transaction
+// boundaries (never mid-transaction), which is what makes snapshots
+// statement- and transaction-atomic.
+func (s *Store) PublishSnapshot() {
+	s.mvccVisible.Store(s.mvccNext.Load())
+}
+
+// SnapshotSeq returns the published visibility ceiling.
+func (s *Store) SnapshotSeq() int64 { return s.mvccVisible.Load() }
+
+// AcquireSnapshot registers a reader at the current ceiling and returns
+// its snapshot seq. Pair with ReleaseSnapshot.
+func (s *Store) AcquireSnapshot() int64 {
+	s.snapMu.Lock()
+	seq := s.mvccVisible.Load()
+	s.snapRefs[seq]++
+	s.snapMu.Unlock()
+	return seq
+}
+
+// ErrSnapshotTooOld is returned for an AS OF seq below the vacuum floor:
+// versions that old may already be reclaimed.
+var ErrSnapshotTooOld = fmt.Errorf("storage: snapshot too old (below vacuum floor)")
+
+// AcquireSnapshotAt registers a reader at an explicit seq (the AS OF
+// hook). Seqs above the published ceiling clamp to it; seqs below the
+// vacuum floor are refused. Pair with ReleaseSnapshot on the returned
+// seq.
+func (s *Store) AcquireSnapshotAt(seq int64) (int64, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if vis := s.mvccVisible.Load(); seq > vis {
+		seq = vis
+	}
+	if seq < s.vacuumFloor.Load() {
+		return 0, ErrSnapshotTooOld
+	}
+	s.snapRefs[seq]++
+	return seq, nil
+}
+
+// ReleaseSnapshot deregisters a reader acquired at seq.
+func (s *Store) ReleaseSnapshot(seq int64) {
+	s.snapMu.Lock()
+	if n := s.snapRefs[seq]; n <= 1 {
+		delete(s.snapRefs, seq)
+	} else {
+		s.snapRefs[seq] = n - 1
+	}
+	s.snapMu.Unlock()
+}
+
+// OldestSnapshot returns the oldest registered reader seq, or the
+// published ceiling when no reader is active — the vacuum horizon.
+func (s *Store) OldestSnapshot() int64 {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	oldest := s.mvccVisible.Load()
+	for seq := range s.snapRefs {
+		if seq < oldest {
+			oldest = seq
+		}
+	}
+	return oldest
+}
+
+// Vacuum reclaims versions invisible to every active snapshot (R∆
+// garbage collection). Callers must exclude writers — the engine runs it
+// from Checkpoint under its write lock. Returns the reclaimed version
+// count (also accumulated in the mvcc.vacuumed counter).
+func (s *Store) Vacuum() int64 {
+	floor := s.OldestSnapshot()
+	if floor > s.vacuumFloor.Load() {
+		s.vacuumFloor.Store(floor)
+	}
+	var reclaimed int64
+	s.tablesMu.RLock()
+	tabs := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tabs = append(tabs, t)
+	}
+	s.tablesMu.RUnlock()
+	for _, t := range tabs {
+		reclaimed += t.Vacuum(floor)
+	}
+	if reclaimed > 0 {
+		s.mvccVacuumed.Add(reclaimed)
+	}
+	return reclaimed
+}
+
+// VacuumFloor returns the oldest seq AS OF queries may still read.
+func (s *Store) VacuumFloor() int64 { return s.vacuumFloor.Load() }
+
+func (s *Store) versionCount() int64 {
+	s.tablesMu.RLock()
+	defer s.tablesMu.RUnlock()
+	var n int64
+	for _, t := range s.tables {
+		n += t.VersionCount()
+	}
+	return n
 }
 
 // Epoch returns the current checkpoint epoch (0 before any checkpoint).
@@ -550,20 +698,26 @@ func (s *Store) bumpCounters(tid, created int64) {
 // CreateTable allocates storage for a new table and logs it.
 func (s *Store) CreateTable(schema *catalog.TableSchema) error {
 	k := tkey(schema.Name)
+	s.tablesMu.Lock()
 	if _, ok := s.tables[k]; ok {
+		s.tablesMu.Unlock()
 		return fmt.Errorf("storage: table %q already exists", schema.Name)
 	}
-	s.tables[k] = NewTable(schema)
+	s.tables[k] = s.adopt(NewTable(schema))
+	s.tablesMu.Unlock()
 	return s.log(schema.Name, encodeCreateTable(schema))
 }
 
 // DropTable removes a table and logs it.
 func (s *Store) DropTable(name string) error {
 	k := tkey(name)
+	s.tablesMu.Lock()
 	if _, ok := s.tables[k]; !ok {
+		s.tablesMu.Unlock()
 		return fmt.Errorf("storage: no such table %q", name)
 	}
 	delete(s.tables, k)
+	s.tablesMu.Unlock()
 	kept := s.indexes[:0]
 	for _, ix := range s.indexes {
 		if tkey(ix.Table) != k {
@@ -577,21 +731,27 @@ func (s *Store) DropTable(name string) error {
 }
 
 // Table returns the physical table, or nil.
-func (s *Store) Table(name string) *Table { return s.tables[tkey(name)] }
+func (s *Store) Table(name string) *Table {
+	s.tablesMu.RLock()
+	defer s.tablesMu.RUnlock()
+	return s.tables[tkey(name)]
+}
 
 // TableNames lists stored tables (sorted).
 func (s *Store) TableNames() []string {
-	var out []string
+	s.tablesMu.RLock()
+	out := make([]string, 0, len(s.tables))
 	for _, t := range s.tables {
 		out = append(out, t.Schema.Name)
 	}
+	s.tablesMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Insert appends a row to a table, allocating system columns, and logs it.
 func (s *Store) Insert(table string, row types.Row) (tid, created int64, err error) {
-	t := s.tables[tkey(table)]
+	t := s.Table(table)
 	if t == nil {
 		return 0, 0, fmt.Errorf("storage: no such table %q", table)
 	}
@@ -606,7 +766,7 @@ func (s *Store) Insert(table string, row types.Row) (tid, created int64, err err
 // InsertAt re-inserts a row with explicit system columns (transaction
 // rollback and replay path).
 func (s *Store) InsertAt(table string, tid, created int64, row types.Row) error {
-	t := s.tables[tkey(table)]
+	t := s.Table(table)
 	if t == nil {
 		return fmt.Errorf("storage: no such table %q", table)
 	}
@@ -619,7 +779,7 @@ func (s *Store) InsertAt(table string, tid, created int64, row types.Row) error 
 
 // Update replaces a row's values and logs it.
 func (s *Store) Update(table string, tid int64, row types.Row) (types.Row, error) {
-	t := s.tables[tkey(table)]
+	t := s.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("storage: no such table %q", table)
 	}
@@ -632,7 +792,7 @@ func (s *Store) Update(table string, tid int64, row types.Row) (types.Row, error
 
 // Delete removes a row and logs it.
 func (s *Store) Delete(table string, tid int64) (types.Row, error) {
-	t := s.tables[tkey(table)]
+	t := s.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("storage: no such table %q", table)
 	}
@@ -645,7 +805,7 @@ func (s *Store) Delete(table string, tid int64) (types.Row, error) {
 
 // AddIndex builds a secondary index and logs it.
 func (s *Store) AddIndex(name, table string, cols []string, unique bool) error {
-	t := s.tables[tkey(table)]
+	t := s.Table(table)
 	if t == nil {
 		return fmt.Errorf("storage: no such table %q", table)
 	}
@@ -704,14 +864,18 @@ func (s *Store) applyWAL(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		s.tables[tkey(schema.Name)] = NewTable(schema)
+		s.tablesMu.Lock()
+		s.tables[tkey(schema.Name)] = s.adopt(NewTable(schema))
+		s.tablesMu.Unlock()
 		return nil
 	case opDropTable:
 		name, _, err := readString(body)
 		if err != nil {
 			return err
 		}
+		s.tablesMu.Lock()
 		delete(s.tables, tkey(name))
+		s.tablesMu.Unlock()
 		kept := s.indexes[:0]
 		for _, ix := range s.indexes {
 			if tkey(ix.Table) != tkey(name) {
@@ -734,7 +898,7 @@ func (s *Store) applyWAL(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		t := s.tables[tkey(name)]
+		t := s.Table(name)
 		if t == nil {
 			return fmt.Errorf("insert into unknown table %q", name)
 		}
@@ -756,7 +920,7 @@ func (s *Store) applyWAL(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		t := s.tables[tkey(name)]
+		t := s.Table(name)
 		if t == nil {
 			return fmt.Errorf("update of unknown table %q", name)
 		}
@@ -771,7 +935,7 @@ func (s *Store) applyWAL(payload []byte) error {
 			return fmt.Errorf("short delete record")
 		}
 		tid := int64(binary.BigEndian.Uint64(body[off:]))
-		t := s.tables[tkey(name)]
+		t := s.Table(name)
 		if t == nil {
 			return fmt.Errorf("delete from unknown table %q", name)
 		}
@@ -806,7 +970,7 @@ func (s *Store) applyWAL(payload []byte) error {
 			cols = append(cols, c)
 			off += used
 		}
-		t := s.tables[tkey(table)]
+		t := s.Table(table)
 		if t == nil {
 			return fmt.Errorf("index on unknown table %q", table)
 		}
@@ -875,6 +1039,12 @@ func (s *Store) Checkpoint() error {
 	// after a checkpoint, a replica whose cursor predates it must resync
 	// from a snapshot instead of replaying pruned history.
 	s.replPrune()
+	// Vacuum rides on the checkpoint cadence: reclaim versions invisible
+	// to every live snapshot (R∆ garbage collection). The caller already
+	// excludes writers, which is all Vacuum requires; the snapshot below
+	// only ever contains live rows, so vacuum timing cannot change its
+	// encoding.
+	s.Vacuum()
 	if !s.durable {
 		return nil
 	}
@@ -978,7 +1148,7 @@ func (s *Store) writeSnapshotTo(w io.Writer, epoch uint64, counters bool, skipRo
 		return err
 	}
 	for _, name := range names {
-		t := s.tables[tkey(name)]
+		t := s.Table(name)
 		chunk := encodeCreateTable(t.Schema)[1:] // reuse encoding, minus opcode
 		hdr := binary.AppendUvarint(nil, uint64(len(chunk)))
 		if _, err := w.Write(hdr); err != nil {
@@ -1110,8 +1280,10 @@ func (s *Store) loadSnapshotBytes(data []byte) error {
 			return err
 		}
 		buf = buf[clen:]
-		t := NewTable(schema)
+		t := s.adopt(NewTable(schema))
+		s.tablesMu.Lock()
 		s.tables[tkey(schema.Name)] = t
+		s.tablesMu.Unlock()
 		nr, w := binary.Uvarint(buf)
 		if w <= 0 {
 			return fmt.Errorf("storage: bad snapshot row count")
@@ -1135,7 +1307,7 @@ func (s *Store) loadSnapshotBytes(data []byte) error {
 		}
 	}
 	for _, ix := range pending {
-		t := s.tables[tkey(ix.Table)]
+		t := s.Table(ix.Table)
 		if t == nil {
 			return fmt.Errorf("storage: snapshot index on unknown table %q", ix.Table)
 		}
