@@ -9,6 +9,7 @@
 //	go run ./cmd/benchjson -suite commit -out results/BENCH_5.json
 //	go run ./cmd/benchjson -suite fanout -out results/BENCH_6.json
 //	go run ./cmd/benchjson -suite mixed -out results/BENCH_7.json
+//	go run ./cmd/benchjson -suite vm -out results/BENCH_8.json
 //
 // The commit suite is the concurrent group-commit workload
 // (BenchmarkConcurrentCommit{1,4,16}); the fanout suite is the §VI-C
@@ -16,7 +17,10 @@
 // WAL-shipping read replicas (BenchmarkReplicaFanout*); the mixed
 // suite is the 95/5 read/write MVCC workload — each session count is
 // run twice, with committers saturating the fsync pipeline and with an
-// idle writer, so read_p99_ms can be compared directly.
+// idle writer, so read_p99_ms can be compared directly; the vm suite
+// is the full-scan filtered SELECT and aggregate workloads run twice,
+// interpreted (SetCompiledEval(false)) and through the compiled
+// expression VM, so the speedup ratio falls straight out of the JSON.
 package main
 
 import (
@@ -33,9 +37,11 @@ import (
 // suite-specific fields — fsyncs-per-commit for the commit suite (the
 // group-commit amortization factor; 1.0 means every commit paid its own
 // fsync), notifies-per-edit for the fanout suite (how many NOTIFY
-// deliveries one edit cost across all mirrors), or the read-latency
+// deliveries one edit cost across all mirrors), the read-latency
 // percentiles for the mixed suite (SELECTs running lock-free on MVCC
-// snapshots while committers hold the write pipeline).
+// snapshots while committers hold the write pipeline), or rows/matched
+// for the vm suite (table size and WHERE-qualifying rows — identical
+// between the interpreted and compiled runs by construction).
 type Result struct {
 	Bench           string  `json:"bench"`
 	N               int     `json:"n"`
@@ -47,10 +53,12 @@ type Result struct {
 	Writes          int64   `json:"writes,omitempty"`
 	ReadP50Ms       float64 `json:"read_p50_ms,omitempty"`
 	ReadP99Ms       float64 `json:"read_p99_ms,omitempty"`
+	Rows            int64   `json:"rows,omitempty"`
+	Matched         int64   `json:"matched,omitempty"`
 }
 
 func main() {
-	suite := flag.String("suite", "commit", "benchmark suite: commit or fanout")
+	suite := flag.String("suite", "commit", "benchmark suite: commit, fanout, mixed, or vm")
 	out := flag.String("out", "", "output JSON path (default results/BENCH_5.json or results/BENCH_6.json by suite)")
 	flag.Parse()
 
@@ -160,8 +168,42 @@ func main() {
 				res.Bench, res.N, res.NsPerOp, res.Reads, res.Writes, res.ReadP50Ms, res.ReadP99Ms)
 			results = append(results, res)
 		}
+	case "vm":
+		if *out == "" {
+			*out = "results/BENCH_8.json"
+		}
+		type spec struct {
+			name     string
+			run      func(b *testing.B) benchkit.VMStats
+			compiled bool
+		}
+		specs := []spec{
+			{"VMScanInterpreted10k", func(b *testing.B) benchkit.VMStats { return benchkit.VMScan(b, 10_000, false) }, false},
+			{"VMScanCompiled10k", func(b *testing.B) benchkit.VMStats { return benchkit.VMScan(b, 10_000, true) }, true},
+			{"VMScanInterpreted100k", func(b *testing.B) benchkit.VMStats { return benchkit.VMScan(b, 100_000, false) }, false},
+			{"VMScanCompiled100k", func(b *testing.B) benchkit.VMStats { return benchkit.VMScan(b, 100_000, true) }, true},
+			{"VMAggregateInterpreted10k", func(b *testing.B) benchkit.VMStats { return benchkit.VMAggregate(b, 10_000, false) }, false},
+			{"VMAggregateCompiled10k", func(b *testing.B) benchkit.VMStats { return benchkit.VMAggregate(b, 10_000, true) }, true},
+			{"VMAggregateInterpreted100k", func(b *testing.B) benchkit.VMStats { return benchkit.VMAggregate(b, 100_000, false) }, false},
+			{"VMAggregateCompiled100k", func(b *testing.B) benchkit.VMStats { return benchkit.VMAggregate(b, 100_000, true) }, true},
+		}
+		for _, sp := range specs {
+			var stats benchkit.VMStats
+			r := testing.Benchmark(func(b *testing.B) { stats = sp.run(b) })
+			res := Result{
+				Bench:      sp.name,
+				N:          r.N,
+				NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp: r.AllocedBytesPerOp(),
+				Rows:       stats.Rows,
+				Matched:    stats.Matched,
+			}
+			fmt.Printf("%-28s %8d iters  %12.0f ns/op  %10d B/op  %7d rows  %6d matched\n",
+				res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.Rows, res.Matched)
+			results = append(results, res)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, or mixed)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, mixed, or vm)\n", *suite)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ediflow/internal/engine/vm"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/types"
+)
+
+// This file is the engine side of the compiled expression VM
+// (internal/engine/vm): compiling expressions against a relation's
+// column layout, caching the programs, and running batches.
+//
+// Programs are cached per expression *pointer*. The plan cache
+// (plancache.go) already guarantees pointer stability: a SQL text parses
+// once and every execution reuses the same AST, so caching by expression
+// identity is exactly "compiled programs live beside parsed plans" —
+// with the bonus that statement-internal expressions (IVM refresh
+// queries, UPDATE SET lists) cache the same way. DDL and
+// function-registry changes purge the cache (and bump a generation so
+// in-flight EXPLAINs never resurrect a stale program).
+
+// progCache maps expression identity to its compiled program (nil =
+// known unlowerable, so fallback is decided once, not per execution).
+type progCache struct {
+	mu  sync.Mutex
+	m   map[sqltext.Expr]*progEntry
+	cap int
+}
+
+type progEntry struct {
+	prog  *vm.Program // nil: expression does not lower
+	ncols int         // column-layout width the program was compiled for
+}
+
+func newProgCache(cap int) *progCache {
+	return &progCache{m: make(map[sqltext.Expr]*progEntry), cap: cap}
+}
+
+func (c *progCache) get(x sqltext.Expr, ncols int) (*vm.Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[x]
+	if !ok || e.ncols != ncols {
+		return nil, false
+	}
+	return e.prog, true
+}
+
+func (c *progCache) put(x sqltext.Expr, ncols int, p *vm.Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		// Unbounded keys are possible (IVM MIN/MAX recompute builds fresh
+		// ASTs); a rare clear-all is cheaper than tracking LRU order.
+		c.m = make(map[sqltext.Expr]*progEntry)
+	}
+	c.m[x] = &progEntry{prog: p, ncols: ncols}
+}
+
+func (c *progCache) purge() {
+	c.mu.Lock()
+	c.m = make(map[sqltext.Expr]*progEntry)
+	c.mu.Unlock()
+}
+
+func (c *progCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// SetCompiledEval toggles the compiled expression VM. With it off every
+// statement uses the tree-walk interpreter — the benchmarks use this to
+// measure interpreted vs compiled on identical plans, and it is the
+// escape hatch if a VM bug ever ships.
+func (e *Engine) SetCompiledEval(on bool) { e.compiledEval.Store(on) }
+
+// vmOn reports whether compiled evaluation is enabled.
+func (e *Engine) vmOn() bool { return e.compiledEval.Load() }
+
+// vmEnv builds the compile environment for a relation layout: column
+// resolution mirroring binder.resolve (including ambiguity → not
+// lowerable), the scalar function registry, and the engine's exact
+// missing-parameter error.
+func (e *Engine) vmEnv(cols []colMeta) *vm.Env {
+	byQual := make(map[string]int, len(cols))
+	byName := make(map[string]int, len(cols))
+	ambiguous := map[string]bool{}
+	for i, c := range cols {
+		if c.qual != "" {
+			byQual[c.qual+"."+c.name] = i
+		}
+		if _, dup := byName[c.name]; dup {
+			ambiguous[c.name] = true
+		} else {
+			byName[c.name] = i
+		}
+	}
+	return &vm.Env{
+		Resolve: func(table, column string) (int, bool) {
+			name := strings.ToLower(column)
+			if table != "" {
+				i, ok := byQual[strings.ToLower(table)+"."+name]
+				return i, ok
+			}
+			if ambiguous[name] {
+				return 0, false
+			}
+			i, ok := byName[name]
+			return i, ok
+		},
+		Func: e.vmFunc,
+		MissingParam: func(idx int) error {
+			return fmt.Errorf("engine: missing argument for parameter %d", idx+1)
+		},
+	}
+}
+
+// vmFunc resolves a scalar function for the compiler: builtins first
+// (matching callScalarFn's precedence), then user-registered functions.
+// The implementation is baked into the program, so RegisterFunc purges
+// compiled programs.
+func (e *Engine) vmFunc(name string) (vm.ScalarFunc, bool) {
+	if builtinScalars[name] {
+		return func(args []types.Value) (types.Value, error) {
+			return callScalar(name, args)
+		}, true
+	}
+	if fn := e.userFunc(name); fn != nil {
+		return vm.ScalarFunc(fn), true
+	}
+	return nil, false
+}
+
+// compiledProg returns the cached compiled program for x over the given
+// layout, compiling on first sight. nil means "use the interpreter" —
+// either the VM is off or the expression does not lower (counted once
+// per expression in vm.fallback, never an error).
+func (e *Engine) compiledProg(x sqltext.Expr, cols []colMeta) *vm.Program {
+	if x == nil || !e.vmOn() {
+		return nil
+	}
+	if cr, ok := x.(*sqltext.ColumnRef); ok {
+		// Bare column refs (star expansions rebuild these per execution,
+		// so their pointers never repeat) compile to a single opCol —
+		// cheaper to recompile than to churn the cache.
+		p, err := vm.Compile(cr, e.vmEnv(cols))
+		if err != nil {
+			return nil
+		}
+		return p
+	}
+	if p, ok := e.progs.get(x, len(cols)); ok {
+		return p
+	}
+	p, err := vm.Compile(x, e.vmEnv(cols))
+	if err != nil {
+		p = nil
+		e.mVMFallback.Inc()
+	} else {
+		e.mVMCompile.Inc()
+	}
+	e.progs.put(x, len(cols), p)
+	return p
+}
+
+// countVM charges one executed batch of n rows to the vm.* counters.
+func (e *Engine) countVM(n int) {
+	if e.reg.Enabled() {
+		e.mVMBatches.Inc()
+		e.mVMRows.Add(int64(n))
+	}
+}
+
+// batchKinds maps a relation layout to per-column batch kinds. Declared
+// kinds are advisory (view backing tables infer them): the batch
+// promotes a column to boxed lanes if a row disagrees.
+func batchKinds(cols []colMeta) []types.Kind {
+	kinds := make([]types.Kind, len(cols))
+	for i, c := range cols {
+		kinds[i] = c.kind
+	}
+	return kinds
+}
+
+// runFilterRows applies a compiled predicate to in-memory rows in
+// batches and returns the kept rows — the vectorized twin of the
+// interpreter's evalBool refilter loop.
+func (e *Engine) runFilterRows(prog *vm.Program, cols []colMeta, rows []types.Row, args []types.Value) ([]types.Row, error) {
+	m := vm.NewMachine(prog)
+	m.Bind(args)
+	batch := vm.NewBatch(batchKinds(cols), prog.Cols())
+	kept := rows[:0:0]
+	for start := 0; start < len(rows); start += vm.BatchSize {
+		end := start + vm.BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		batch.Reset()
+		for _, r := range rows[start:end] {
+			batch.Append(r)
+		}
+		sel, err := m.Filter(batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range sel {
+			kept = append(kept, rows[start+i])
+		}
+		e.countVM(batch.Len())
+	}
+	return kept, nil
+}
+
+// ScalarFunc is a user-registered scalar SQL function. Arguments are
+// already evaluated; the implementation is responsible for its own NULL
+// handling, like the built-ins in funcs.go. The args slice is reused
+// between calls and must not be retained.
+type ScalarFunc func(args []types.Value) (types.Value, error)
+
+// RegisterFunc registers (or replaces) a scalar function under the
+// given name, callable from any SQL expression. Built-in names cannot
+// be overridden. Registration purges compiled programs: a cached
+// program has the previous implementation baked in, and serving it
+// after re-registration would silently return stale results.
+func (e *Engine) RegisterFunc(name string, fn ScalarFunc) {
+	e.udfMu.Lock()
+	if e.udfs == nil {
+		e.udfs = map[string]ScalarFunc{}
+	}
+	e.udfs[strings.ToUpper(name)] = fn
+	e.udfMu.Unlock()
+	e.progs.purge()
+}
+
+// userFunc looks up a registered scalar function by upper-cased name.
+func (e *Engine) userFunc(name string) ScalarFunc {
+	e.udfMu.RLock()
+	fn := e.udfs[name]
+	e.udfMu.RUnlock()
+	return fn
+}
+
+// callScalarFn dispatches a scalar function call: built-ins first, then
+// the user registry. Both the interpreter and the VM's compile-time
+// resolution (vmFunc) follow this exact precedence.
+func (e *Engine) callScalarFn(name string, args []types.Value) (types.Value, error) {
+	if builtinScalars[name] {
+		return callScalar(name, args)
+	}
+	if fn := e.userFunc(name); fn != nil {
+		return fn(args)
+	}
+	return types.Null, fmt.Errorf("engine: unknown function %s", name)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ediflow/internal/catalog"
+	"ediflow/internal/engine/vm"
 	"ediflow/internal/sqltext"
 	"ediflow/internal/types"
 )
@@ -182,6 +183,14 @@ func (e *Engine) matchTable(table string, where sqltext.Expr, args []types.Value
 	}
 	b := newBinder(e, args, rel, nil, e.writerCtx())
 	if where != nil && !whereApplied {
+		if prog := e.compiledProg(where, rel.cols); prog != nil {
+			kept, err := e.runFilterRows(prog, rel.cols, rel.rows, args)
+			if err != nil {
+				return nil, nil, err
+			}
+			rel.rows = kept
+			return rel, b, nil
+		}
 		kept := rel.rows[:0:0]
 		for _, r := range rel.rows {
 			ok, err := b.evalBool(where, r)
@@ -220,15 +229,30 @@ func (e *Engine) execUpdate(s *sqltext.Update, args []types.Value) (*Result, []C
 	}
 
 	nUser := len(schema.Columns)
+	// Batch-evaluate SET expressions that lower to the VM across all
+	// matched rows. Lane errors are held per (row, assignment) and
+	// surfaced inside the apply loop below, so the interleaving with
+	// store.Update — rows before the erroring one are still applied —
+	// matches the interpreter exactly.
+	setVals, setErrs := e.updateSetVecs(s, rel, args)
 	ev := ChangeEvent{Table: schema.Name, Op: OpUpdate}
-	for _, r := range rel.rows {
+	for ri, r := range rel.rows {
 		tid := r[nUser].Int() // _tid system column
 		oldRow := make(types.Row, nUser)
 		copy(oldRow, r[:nUser])
 		newRow := make(types.Row, nUser)
 		copy(newRow, oldRow)
 		for i, a := range s.Set {
-			v, err := b.eval(a.Value, r)
+			var v types.Value
+			var err error
+			if setVals != nil && setVals[i] != nil {
+				if setErrs[i] != nil {
+					err = setErrs[i][ri]
+				}
+				v = setVals[i][ri]
+			} else {
+				v, err = b.eval(a.Value, r)
+			}
 			if err != nil {
 				return nil, nil, err
 			}
@@ -260,6 +284,52 @@ func (e *Engine) execUpdate(s *sqltext.Update, args []types.Value) (*Result, []C
 		events = append(events, viewEvents...)
 	}
 	return &Result{Affected: len(ev.TIDs)}, events, nil
+}
+
+// updateSetVecs batch-evaluates the UPDATE's SET expressions over the
+// matched rows through the VM. Returns per-assignment value and error
+// columns; a nil column means that assignment stays on the interpreter.
+func (e *Engine) updateSetVecs(s *sqltext.Update, rel *relation, args []types.Value) ([][]types.Value, [][]error) {
+	if !e.vmOn() || len(rel.rows) == 0 {
+		return nil, nil
+	}
+	var progs []*vm.Program
+	var which []int
+	for i, a := range s.Set {
+		if p := e.compiledProg(a.Value, rel.cols); p != nil {
+			progs = append(progs, p)
+			which = append(which, i)
+		}
+	}
+	if len(progs) == 0 {
+		return nil, nil
+	}
+	n := len(rel.rows)
+	setVals := make([][]types.Value, len(s.Set))
+	setErrs := make([][]error, len(s.Set))
+	for _, i := range which {
+		setVals[i] = make([]types.Value, n)
+	}
+	err := e.evalVecs(progs, rel, args, func(start, count int, vecs []*vm.Vec) error {
+		for vi, i := range which {
+			for ri := 0; ri < count; ri++ {
+				if err := vecs[vi].Err(ri); err != nil {
+					if setErrs[i] == nil {
+						setErrs[i] = make([]error, n)
+					}
+					setErrs[i][start+ri] = err
+					continue
+				}
+				setVals[i][start+ri] = vecs[vi].Value(ri)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// evalVecs only fails through the sink, which never errors here.
+		return nil, nil
+	}
+	return setVals, setErrs
 }
 
 func (e *Engine) execDelete(s *sqltext.Delete, args []types.Value) (*Result, []ChangeEvent, error) {

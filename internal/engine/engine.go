@@ -154,6 +154,21 @@ type Engine struct {
 	plans     *planCache
 	mPlanHit  *metrics.Counter
 	mPlanMiss *metrics.Counter
+
+	// Compiled expression VM (see compile.go / internal/engine/vm):
+	// programs cached per expression identity, purged with the plan cache
+	// on DDL and on function-registry changes.
+	compiledEval atomic.Bool
+	progs        *progCache
+	mVMCompile   *metrics.Counter
+	mVMFallback  *metrics.Counter
+	mVMBatches   *metrics.Counter
+	mVMRows      *metrics.Counter
+
+	// udfMu guards the user scalar-function registry (RegisterFunc may
+	// run while lock-free SELECTs resolve calls).
+	udfMu sync.RWMutex
+	udfs  map[string]ScalarFunc
 }
 
 // AdvanceSeq raises the change-event sequence counter to at least floor.
@@ -197,6 +212,12 @@ func New(store *storage.Store) (*Engine, error) {
 	e.plans = newPlanCache(256)
 	e.mPlanHit = e.reg.Counter("engine.plan_cache_hit")
 	e.mPlanMiss = e.reg.Counter("engine.plan_cache_miss")
+	e.progs = newProgCache(1024)
+	e.compiledEval.Store(true)
+	e.mVMCompile = e.reg.Counter("vm.compile")
+	e.mVMFallback = e.reg.Counter("vm.fallback")
+	e.mVMBatches = e.reg.Counter("vm.exec_batches")
+	e.mVMRows = e.reg.Counter("vm.rows")
 	e.registerSystemTables()
 	e.views = newViewSet(e)
 	for _, name := range store.TableNames() {
@@ -438,6 +459,9 @@ func (e *Engine) execStmt(st sqltext.Statement, args []types.Value, ctx *stmtCtx
 	}
 	if isDDL(st) {
 		e.plans.purge()
+		// Compiled programs bake in resolved column positions; a schema
+		// change makes them stale even when the SQL text still parses.
+		e.progs.purge()
 	}
 	if e.inTxn.Load() {
 		e.pending = append(e.pending, events...)

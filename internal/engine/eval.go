@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ediflow/internal/engine/vm"
 	"ediflow/internal/sqltext"
 	"ediflow/internal/storage"
 	"ediflow/internal/types"
@@ -11,9 +12,12 @@ import (
 
 // colMeta identifies one column of an intermediate relation.
 type colMeta struct {
-	qual   string // lower-cased table alias, "" for computed columns
-	name   string // lower-cased column name
-	hidden bool   // system columns (_tid, _created) excluded from `*`
+	qual   string     // lower-cased table alias, "" for computed columns
+	name   string     // lower-cased column name
+	hidden bool       // system columns (_tid, _created) excluded from `*`
+	kind   types.Kind // declared kind; KindNull when unknown/computed. Advisory
+	// only: the VM batch layer verifies each value and falls back to
+	// boxed lanes on mismatch (view backing tables infer kinds).
 }
 
 // relation is an intermediate result. Base-table sources may start lazy
@@ -26,6 +30,11 @@ type relation struct {
 
 	tbl  *storage.Table // backing table for a base-table source, else nil
 	lazy bool           // true until rows are filled from tbl
+
+	// projNames is non-nil when the compiled scan already evaluated the
+	// statement's projection (see scanProjection): rows are the final
+	// output tuples and cols describe them, not the source table.
+	projNames []string
 }
 
 // binder resolves column references and parameters during evaluation of
@@ -468,32 +477,10 @@ func (b *binder) evalLike(x *sqltext.Like, row types.Row) (types.Value, error) {
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any single rune),
-// case-sensitive, via iterative backtracking.
+// case-sensitive. The matcher lives in the vm package so the compiled
+// and interpreted paths cannot diverge.
 func likeMatch(s, pattern string) bool {
-	sr := []rune(s)
-	pr := []rune(pattern)
-	si, pi := 0, 0
-	starSi, starPi := -1, -1
-	for si < len(sr) {
-		switch {
-		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
-			si++
-			pi++
-		case pi < len(pr) && pr[pi] == '%':
-			starSi, starPi = si, pi
-			pi++
-		case starPi >= 0:
-			starSi++
-			si = starSi
-			pi = starPi + 1
-		default:
-			return false
-		}
-	}
-	for pi < len(pr) && pr[pi] == '%' {
-		pi++
-	}
-	return pi == len(pr)
+	return vm.LikeMatch(s, pattern)
 }
 
 func (b *binder) evalCase(x *sqltext.CaseExpr, row types.Row) (types.Value, error) {
@@ -561,7 +548,7 @@ func (b *binder) evalAgg(e sqltext.Expr, group []types.Row) (types.Value, error)
 			}
 			args[i] = v
 		}
-		return callScalar(strings.ToUpper(x.Name), args)
+		return b.e.callScalarFn(strings.ToUpper(x.Name), args)
 	case *sqltext.Binary:
 		if !sqltext.HasAggregate(x) {
 			break
@@ -624,6 +611,14 @@ func (b *binder) evalAggregateCall(x *sqltext.FuncCall, group []types.Row) (type
 		}
 		vals = append(vals, v)
 	}
+	return foldAggregate(name, vals)
+}
+
+// foldAggregate reduces the collected (non-NULL, DISTINCT-deduped)
+// argument values of one aggregate call. Shared by the interpreter
+// (evalAggregateCall) and the VM's batched argument path, so the two
+// cannot disagree on aggregate semantics.
+func foldAggregate(name string, vals []types.Value) (types.Value, error) {
 	switch name {
 	case "COUNT":
 		return types.NewInt(int64(len(vals))), nil

@@ -34,7 +34,18 @@ func (b *binder) evalFunc(x *sqltext.FuncCall, row types.Row) (types.Value, erro
 		}
 		args[i] = v
 	}
-	return callScalar(name, args)
+	return b.e.callScalarFn(name, args)
+}
+
+// builtinScalars names every function callScalar implements. The VM
+// compiler and callScalarFn both consult it, so built-in resolution is
+// decided the same way at compile time and per row.
+var builtinScalars = map[string]bool{
+	"COALESCE": true, "ABS": true, "LENGTH": true, "UPPER": true,
+	"LOWER": true, "TRIM": true, "SUBSTR": true, "CONCAT": true,
+	"ROUND": true, "FLOOR": true, "CEIL": true, "SQRT": true,
+	"NOW": true, "NULLIF": true, "IIF": true,
+	"CAST_INT": true, "CAST_FLOAT": true, "CAST_STRING": true,
 }
 
 // callScalar dispatches a scalar function on already-evaluated arguments.

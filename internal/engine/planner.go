@@ -529,6 +529,21 @@ func (e *Engine) explainSelect(sel *sqltext.Select, indent string, ctx *stmtCtx)
 			lines = append(lines, indent+"join "+refName(j.Right)+": "+label)
 			left = &relation{cols: append(append([]colMeta{}, left.cols...), right.cols...)}
 		}
+		if items, _, err := expandItems(sel, left); err == nil && len(items) > 0 {
+			allCompiled := true
+			agg := len(sel.GroupBy) > 0
+			for _, it := range items {
+				if sqltext.HasAggregate(it.Expr) {
+					agg = true
+				}
+				if e.compiledProg(it.Expr, left.cols) == nil {
+					allCompiled = false
+				}
+			}
+			if allCompiled && !agg {
+				lines = append(lines, indent+"project: compiled")
+			}
+		}
 	}
 	if len(sel.OrderBy) > 0 {
 		sortLabel := "full"
@@ -583,6 +598,13 @@ func (e *Engine) explainRef(tr sqltext.TableRef, sel *sqltext.Select, indent str
 			qual = strings.ToLower(tr.Table)
 		}
 		label = analyzeScan(sel.Where, schema, e.store.Table(target), qual).label()
+		if label == "full-scan" {
+			// The executor runs a full-scan WHERE through the expression VM
+			// when it lowers; index paths evaluate inside the index itself.
+			if rel, err := e.refCols(tr); err == nil && e.compiledProg(sel.Where, rel.cols) != nil {
+				label += " [compiled]"
+			}
+		}
 	}
 	return []string{indent + "scan " + name + ": " + label}, nil
 }
@@ -598,6 +620,11 @@ func (e *Engine) explainMutation(verb, table string, where sqltext.Expr) ([]stri
 	label := "full-scan"
 	if where != nil {
 		label = analyzeScan(where, schema, e.store.Table(table), strings.ToLower(table)).label()
+		if label == "full-scan" {
+			if rel, err := e.refCols(sqltext.TableRef{Table: table}); err == nil && e.compiledProg(where, rel.cols) != nil {
+				label += " [compiled]"
+			}
+		}
 	}
 	return []string{verb + " " + table + ": " + label}, nil
 }
@@ -647,11 +674,11 @@ func (e *Engine) refCols(tr sqltext.TableRef) (*relation, error) {
 	}
 	rel := &relation{tbl: e.store.Table(name), lazy: true}
 	for _, c := range schema.Columns {
-		rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(c.Name)})
+		rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(c.Name), kind: c.Type})
 	}
 	rel.cols = append(rel.cols,
-		colMeta{qual: qual, name: catalog.SysTID, hidden: true},
-		colMeta{qual: qual, name: catalog.SysCreated, hidden: true},
+		colMeta{qual: qual, name: catalog.SysTID, hidden: true, kind: types.KindInt},
+		colMeta{qual: qual, name: catalog.SysCreated, hidden: true, kind: types.KindInt},
 	)
 	return rel, nil
 }

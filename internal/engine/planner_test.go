@@ -73,13 +73,13 @@ func TestExplainAccessPaths(t *testing.T) {
 		{"SELECT * FROM users WHERE id IN (1, 2, 3)", "scan users: pk-point"},
 		{"SELECT * FROM users WHERE city = 'paris'", "scan users: index(idx_users_city)"},
 		{"SELECT * FROM users WHERE city IN ('paris', 'lyon')", "scan users: index(idx_users_city)"},
-		{"SELECT * FROM users WHERE age > 30", "scan users: full-scan"},
+		{"SELECT * FROM users WHERE age > 30", "scan users: full-scan [compiled]"},
 		{"SELECT * FROM users", "scan users: full-scan"},
 		{"SELECT * FROM emails WHERE addr = 'a@b'", "scan emails: unique-point"},
 		{"SELECT * FROM sys_metrics", "scan sys_metrics: virtual"},
 		{"UPDATE users SET age = 1 WHERE id = 2", "update users: pk-point"},
 		{"UPDATE users SET age = 1 WHERE city = 'nice'", "update users: index(idx_users_city)"},
-		{"DELETE FROM users WHERE name = 'eve'", "delete users: full-scan"},
+		{"DELETE FROM users WHERE name = 'eve'", "delete users: full-scan [compiled]"},
 		{"DELETE FROM users WHERE id IN (1, 9)", "delete users: pk-point"},
 	}
 	for _, c := range cases {
@@ -105,7 +105,7 @@ func TestCreateIndexBackfillAndPlannerPickup(t *testing.T) {
 
 	// Oracle result before any index exists (full scan).
 	oracle := mustExec(t, e, "SELECT id, name FROM users WHERE city = 'paris'")
-	wantLine(t, explainLines(t, e, "SELECT * FROM users WHERE city = 'paris'"), "scan users: full-scan")
+	wantLine(t, explainLines(t, e, "SELECT * FROM users WHERE city = 'paris'"), "scan users: full-scan [compiled]")
 
 	// CREATE INDEX on a populated table backfills existing rows and is
 	// chosen by the planner immediately.

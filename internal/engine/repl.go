@@ -130,6 +130,7 @@ func (e *Engine) ApplyReplicated(recs [][]byte, watchTable string) (watched []ty
 	}
 	if ddl {
 		e.plans.purge()
+		e.progs.purge()
 	}
 	// One batch of shipped records is the replication unit of atomicity:
 	// publish its versions to replica snapshot readers all at once.
@@ -186,5 +187,6 @@ func (e *Engine) ApplyReplSnapshot(data []byte, preserve ...string) error {
 	}
 	e.views = newViewSet(e)
 	e.plans.purge()
+	e.progs.purge()
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ediflow/internal/catalog"
+	"ediflow/internal/engine/vm"
 	"ediflow/internal/sqltext"
 	"ediflow/internal/storage"
 	"ediflow/internal/types"
@@ -67,19 +68,71 @@ func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrid
 		}
 	}
 
-	// WHERE (unless the scan already streamed it — see buildTableRef).
-	if sel.Where != nil && !whereApplied {
-		kept := rel.rows[:0:0]
-		for _, r := range rel.rows {
-			ok, err := b.evalBool(sel.Where, r)
+	// Scan-side projection (see scanProjection): rows already ARE the
+	// output tuples, and the pushdown gates guarantee that only
+	// DISTINCT and LIMIT/OFFSET remain to apply.
+	if rel.projNames != nil {
+		out := rel.rows
+		if sel.Distinct {
+			seen := map[string]bool{}
+			kept := out[:0:0]
+			for _, r := range out {
+				k := types.RowKey(r)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				kept = append(kept, r)
+			}
+			out = kept
+		}
+		if sel.Offset != nil {
+			n, err := evalIntArg(b, sel.Offset)
 			if err != nil {
 				return nil, err
 			}
-			if ok {
-				kept = append(kept, r)
+			if n > int64(len(out)) {
+				n = int64(len(out))
+			}
+			if n > 0 {
+				out = out[n:]
 			}
 		}
-		rel.rows = kept
+		if sel.Limit != nil {
+			n, err := evalIntArg(b, sel.Limit)
+			if err != nil {
+				return nil, err
+			}
+			if n < int64(len(out)) && n >= 0 {
+				out = out[:n]
+			}
+		}
+		return &Result{Columns: rel.projNames, Rows: types.CloneRows(out)}, nil
+	}
+
+	// WHERE (unless the scan already streamed it — see buildTableRef).
+	// The compiled path covers index-scan refiltering, post-join filters,
+	// and IVM override evaluation alike: anything already materialized.
+	if sel.Where != nil && !whereApplied {
+		if prog := e.compiledProg(sel.Where, rel.cols); prog != nil {
+			kept, err := e.runFilterRows(prog, rel.cols, rel.rows, args)
+			if err != nil {
+				return nil, err
+			}
+			rel.rows = kept
+		} else {
+			kept := rel.rows[:0:0]
+			for _, r := range rel.rows {
+				ok, err := b.evalBool(sel.Where, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, r)
+				}
+			}
+			rel.rows = kept
+		}
 	}
 
 	// Projection: expand stars, determine output columns.
@@ -108,16 +161,9 @@ func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrid
 	} else {
 		out = make([]types.Row, 0, len(rel.rows))
 		srcRows = rel.rows
-		for _, r := range rel.rows {
-			row := make(types.Row, len(items))
-			for i, it := range items {
-				v, err := b.eval(it.Expr, r)
-				if err != nil {
-					return nil, err
-				}
-				row[i] = v
-			}
-			out = append(out, row)
+		out, err = e.projectRows(items, rel, b, out)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -173,11 +219,7 @@ func (e *Engine) evalSelectWith(sel *sqltext.Select, args []types.Value, overrid
 	}
 
 	// Copy rows out so callers never alias engine-internal storage.
-	final := make([]types.Row, len(out))
-	for i, r := range out {
-		final[i] = types.CloneRow(r)
-	}
-	return &Result{Columns: colNames, Rows: final}, nil
+	return &Result{Columns: colNames, Rows: types.CloneRows(out)}, nil
 }
 
 func evalIntArg(b *binder, e sqltext.Expr) (int64, error) {
@@ -238,39 +280,57 @@ func expandItems(sel *sqltext.Select, rel *relation) ([]projItem, []string, erro
 	return items, names, nil
 }
 
-// evalAggregateSelect evaluates GROUP BY / aggregate projection.
+// evalAggregateSelect evaluates GROUP BY / aggregate projection. Groups
+// hold row indexes into rel.rows so the hot inputs — group keys and the
+// arguments of simple aggregate items — can be evaluated once, batched,
+// across all rows, while HAVING and complex items keep the per-group
+// interpreter path over lazily materialized row slices.
 func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel *relation, b *binder) ([]types.Row, []types.Row, error) {
-	groups := map[string][]types.Row{}
+	n := len(rel.rows)
+	groups := map[string][]int{}
 	var order []string
 	if len(sel.GroupBy) == 0 {
 		// Single implicit group; aggregates over an empty relation still
 		// produce one row (COUNT(*) = 0).
-		key := ""
-		groups[key] = rel.rows
-		order = append(order, key)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		groups[""] = all
+		order = append(order, "")
 	} else {
-		for _, r := range rel.rows {
-			keyVals := make(types.Row, len(sel.GroupBy))
-			for i, g := range sel.GroupBy {
-				v, err := b.eval(g, r)
-				if err != nil {
-					return nil, nil, err
-				}
-				keyVals[i] = v
-			}
-			k := types.RowKey(keyVals)
+		keys, err := e.groupKeys(sel, rel, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < n; i++ {
+			k := keys[i]
 			if _, ok := groups[k]; !ok {
 				order = append(order, k)
 			}
-			groups[k] = append(groups[k], r)
+			groups[k] = append(groups[k], i)
 		}
+	}
+	argCache, err := e.aggArgCache(items, rel, b)
+	if err != nil {
+		return nil, nil, err
 	}
 	var out []types.Row
 	var src []types.Row
 	for _, k := range order {
-		group := groups[k]
+		idx := groups[k]
+		var grpRows []types.Row
+		rowsOf := func() []types.Row {
+			if grpRows == nil {
+				grpRows = make([]types.Row, 0, len(idx))
+				for _, ri := range idx {
+					grpRows = append(grpRows, rel.rows[ri])
+				}
+			}
+			return grpRows
+		}
 		if sel.Having != nil {
-			hv, err := b.evalAgg(sel.Having, group)
+			hv, err := b.evalAgg(sel.Having, rowsOf())
 			if err != nil {
 				return nil, nil, err
 			}
@@ -287,20 +347,533 @@ func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel 
 		}
 		row := make(types.Row, len(items))
 		for i, it := range items {
-			v, err := b.evalAgg(it.Expr, group)
+			v, err := e.evalAggItem(it.Expr, idx, rowsOf, argCache, rel, b)
 			if err != nil {
 				return nil, nil, err
 			}
 			row[i] = v
 		}
 		out = append(out, row)
-		if len(group) > 0 {
-			src = append(src, group[0])
+		if len(idx) > 0 {
+			src = append(src, rel.rows[idx[0]])
 		} else {
 			src = append(src, nil)
 		}
 	}
 	return out, src, nil
+}
+
+// groupKeys computes the RowKey of the GROUP BY expressions for every
+// source row, batched through the VM when every key expression lowers.
+// Errors surface in (row, expression) order either way.
+func (e *Engine) groupKeys(sel *sqltext.Select, rel *relation, b *binder) ([]string, error) {
+	n := len(rel.rows)
+	keys := make([]string, n)
+	if e.vmOn() && n > 0 {
+		progs := make([]*vm.Program, len(sel.GroupBy))
+		all := true
+		for i, g := range sel.GroupBy {
+			if progs[i] = e.compiledProg(g, rel.cols); progs[i] == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			keyVals := make(types.Row, len(progs))
+			err := e.evalVecs(progs, rel, b.args, func(start, count int, vecs []*vm.Vec) error {
+				for ri := 0; ri < count; ri++ {
+					for gi := range progs {
+						if err := vecs[gi].Err(ri); err != nil {
+							return err
+						}
+						keyVals[gi] = vecs[gi].Value(ri)
+					}
+					keys[start+ri] = types.RowKey(keyVals)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return keys, nil
+		}
+	}
+	for i, r := range rel.rows {
+		keyVals := make(types.Row, len(sel.GroupBy))
+		for j, g := range sel.GroupBy {
+			v, err := b.eval(g, r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[j] = v
+		}
+		keys[i] = types.RowKey(keyVals)
+	}
+	return keys, nil
+}
+
+// aggArgVec caches one aggregate call's argument evaluated over every
+// source row: the value per row, plus the error the interpreter would
+// have raised at that row (surfaced only if the row's group is actually
+// folded, mirroring interpreter laziness for HAVING-rejected groups).
+type aggArgVec struct {
+	vals []types.Value
+	errs []error
+}
+
+// aggArgCache batch-evaluates the argument of every simple aggregate
+// projection item (one lowerable argument) across rel.rows.
+func (e *Engine) aggArgCache(items []projItem, rel *relation, b *binder) (map[*sqltext.FuncCall]*aggArgVec, error) {
+	if !e.vmOn() || len(rel.rows) == 0 {
+		return nil, nil
+	}
+	var calls []*sqltext.FuncCall
+	var progs []*vm.Program
+	seen := map[*sqltext.FuncCall]bool{}
+	for _, it := range items {
+		fc, ok := it.Expr.(*sqltext.FuncCall)
+		if !ok || !sqltext.IsAggregateName(fc.Name) || fc.Star || len(fc.Args) != 1 || seen[fc] {
+			continue
+		}
+		p := e.compiledProg(fc.Args[0], rel.cols)
+		if p == nil {
+			continue
+		}
+		seen[fc] = true
+		calls = append(calls, fc)
+		progs = append(progs, p)
+	}
+	if len(calls) == 0 {
+		return nil, nil
+	}
+	n := len(rel.rows)
+	cache := make(map[*sqltext.FuncCall]*aggArgVec, len(calls))
+	for _, fc := range calls {
+		cache[fc] = &aggArgVec{vals: make([]types.Value, n)}
+	}
+	err := e.evalVecs(progs, rel, b.args, func(start, count int, vecs []*vm.Vec) error {
+		for ci, fc := range calls {
+			av := cache[fc]
+			for ri := 0; ri < count; ri++ {
+				if err := vecs[ci].Err(ri); err != nil {
+					if av.errs == nil {
+						av.errs = make([]error, n)
+					}
+					av.errs[start+ri] = err
+					continue
+				}
+				av.vals[start+ri] = vecs[ci].Value(ri)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cache, nil
+}
+
+// evalAggItem evaluates one aggregate-context projection item for a
+// group given as row indexes, using the batched argument cache when the
+// item is a simple aggregate call, and deferring to the interpreter's
+// evalAgg otherwise. Semantics (NULL skipping, DISTINCT, error order)
+// are identical: the fold itself is shared (foldAggregate).
+func (e *Engine) evalAggItem(x sqltext.Expr, idx []int, rowsOf func() []types.Row, cache map[*sqltext.FuncCall]*aggArgVec, rel *relation, b *binder) (types.Value, error) {
+	if fc, ok := x.(*sqltext.FuncCall); ok && sqltext.IsAggregateName(fc.Name) {
+		name := strings.ToUpper(fc.Name)
+		if fc.Star {
+			if name != "COUNT" {
+				return types.Null, fmt.Errorf("engine: %s(*) is not valid", name)
+			}
+			return types.NewInt(int64(len(idx))), nil
+		}
+		if av := cache[fc]; av != nil {
+			if !fc.Distinct && av.errs == nil {
+				return foldAggArg(name, av.vals, idx)
+			}
+			var vals []types.Value
+			var seen map[string]bool
+			if fc.Distinct {
+				seen = map[string]bool{}
+			}
+			for _, ri := range idx {
+				if av.errs != nil && av.errs[ri] != nil {
+					return types.Null, av.errs[ri]
+				}
+				v := av.vals[ri]
+				if v.IsNull() {
+					continue
+				}
+				if fc.Distinct {
+					k := v.HashKey()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+				}
+				vals = append(vals, v)
+			}
+			return foldAggregate(name, vals)
+		}
+		return b.evalAggregateCall(fc, rowsOf())
+	}
+	if !sqltext.HasAggregate(x) {
+		// evalAgg's non-aggregate tail: evaluate on the group's first row
+		// (nil for an empty group).
+		if len(idx) == 0 {
+			return b.eval(x, nil)
+		}
+		return b.eval(x, rel.rows[idx[0]])
+	}
+	return b.evalAgg(x, rowsOf())
+}
+
+// foldAggArg folds a cached aggregate argument over a group's row
+// indexes without materializing the per-group value slice. Semantics
+// are exactly foldAggregate's (NULL skipping, int/float promotion,
+// value-order fold errors); callers use it only when the call is not
+// DISTINCT and no row's argument errored, so error ordering cannot
+// diverge from the collect-then-fold path.
+func foldAggArg(name string, vals []types.Value, idx []int) (types.Value, error) {
+	switch name {
+	case "COUNT":
+		n := 0
+		for _, ri := range idx {
+			if vals[ri].LaneKind() != types.KindNull {
+				n++
+			}
+		}
+		return types.NewInt(int64(n)), nil
+	case "SUM", "AVG":
+		allInt := true
+		var si int64
+		var sf float64
+		n := 0
+		for _, ri := range idx {
+			v := &vals[ri]
+			if v.LaneKind() == types.KindNull {
+				continue
+			}
+			n++
+			if v.LaneKind() == types.KindInt {
+				si += v.LaneInt()
+				continue
+			}
+			f, err := vals[ri].AsFloat()
+			if err != nil {
+				return types.Null, err
+			}
+			allInt = false
+			sf += f
+		}
+		if n == 0 {
+			return types.Null, nil
+		}
+		if name == "SUM" {
+			if allInt {
+				return types.NewInt(si), nil
+			}
+			return types.NewFloat(sf + float64(si)), nil
+		}
+		return types.NewFloat((sf + float64(si)) / float64(n)), nil
+	case "MIN", "MAX":
+		have := false
+		var best types.Value
+		for _, ri := range idx {
+			if vals[ri].LaneKind() == types.KindNull {
+				continue
+			}
+			if !have {
+				best, have = vals[ri], true
+				continue
+			}
+			c, err := types.Compare(vals[ri], best)
+			if err != nil {
+				return types.Null, err
+			}
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
+				best = vals[ri]
+			}
+		}
+		if !have {
+			return types.Null, nil
+		}
+		return best, nil
+	}
+	return types.Null, fmt.Errorf("engine: unknown aggregate %s", name)
+}
+
+// evalVecs runs several compiled programs over rel.rows chunk by chunk,
+// invoking sink with each chunk's result vectors (valid only during the
+// callback). Used by group-key and aggregate-argument batching.
+func (e *Engine) evalVecs(progs []*vm.Program, rel *relation, args []types.Value, sink func(start, count int, vecs []*vm.Vec) error) error {
+	machines := make([]*vm.Machine, len(progs))
+	usedSet := map[int]bool{}
+	for i, p := range progs {
+		machines[i] = vm.NewMachine(p)
+		machines[i].Bind(args)
+		for _, c := range p.Cols() {
+			usedSet[c] = true
+		}
+	}
+	used := make([]int, 0, len(usedSet))
+	for c := range usedSet {
+		used = append(used, c)
+	}
+	sort.Ints(used)
+	batch := vm.NewBatch(batchKinds(rel.cols), used)
+	vecs := make([]*vm.Vec, len(progs))
+	for start := 0; start < len(rel.rows); start += vm.BatchSize {
+		end := start + vm.BatchSize
+		if end > len(rel.rows) {
+			end = len(rel.rows)
+		}
+		batch.Reset()
+		for _, r := range rel.rows[start:end] {
+			batch.Append(r)
+		}
+		for i, mch := range machines {
+			vecs[i] = mch.Eval(batch)
+		}
+		e.countVM(batch.Len())
+		if err := sink(start, batch.Len(), vecs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanProj is a projection compiled for evaluation inside the scan
+// loop: per item either a direct column index (bare references) or a
+// bound machine sharing the scan's batch.
+type scanProj struct {
+	names    []string
+	progs    []*vm.Program
+	machines []*vm.Machine
+	bare     []int
+	vecs     []*vm.Vec
+}
+
+// scanProjection decides whether the statement's projection can run
+// inside the compiled scan. It can when the scan serves the top-level
+// SELECT itself (matchTable fabricates a star select for UPDATE/DELETE
+// row matching and needs full-width rows with the _tid column — as do
+// subquery sources feeding an outer binder) and nothing downstream
+// needs the source rows: no GROUP BY / HAVING / ORDER BY, LIMIT and
+// OFFSET are literals or parameters, and every projection item lowers.
+// DISTINCT is fine — it runs over output tuples.
+func (e *Engine) scanProjection(sel *sqltext.Select, rel *relation, args []types.Value, ctx *stmtCtx) *scanProj {
+	if sel == nil || sel != ctx.top || len(sel.GroupBy) > 0 || sel.Having != nil || len(sel.OrderBy) > 0 ||
+		!plainIntArg(sel.Limit) || !plainIntArg(sel.Offset) {
+		return nil
+	}
+	items, names, err := expandItems(sel, rel)
+	if err != nil || len(items) == 0 {
+		return nil
+	}
+	for _, it := range items {
+		// Aggregates route to evalAggregateSelect even when an
+		// identically named scalar is registered — mirror that here
+		// rather than trusting compile failure alone.
+		if sqltext.HasAggregate(it.Expr) {
+			return nil
+		}
+	}
+	sp := &scanProj{
+		names:    names,
+		progs:    make([]*vm.Program, len(items)),
+		machines: make([]*vm.Machine, len(items)),
+		bare:     make([]int, len(items)),
+		vecs:     make([]*vm.Vec, len(items)),
+	}
+	for i, it := range items {
+		p := e.compiledProg(it.Expr, rel.cols)
+		if p == nil {
+			return nil
+		}
+		if c, ok := p.BareCol(); ok {
+			sp.bare[i] = c
+			continue
+		}
+		sp.bare[i] = -1
+		sp.progs[i] = p
+		sp.machines[i] = vm.NewMachine(p)
+		sp.machines[i].Bind(args)
+	}
+	return sp
+}
+
+// plainIntArg reports whether a LIMIT/OFFSET expression can be
+// evaluated without the source relation in scope.
+func plainIntArg(x sqltext.Expr) bool {
+	switch x.(type) {
+	case nil, *sqltext.Literal, *sqltext.Param:
+		return true
+	}
+	return false
+}
+
+// emit projects the matched lanes of one scan batch into output tuples
+// on rel.rows. A lane error is returned (not raised): the caller must
+// keep scanning so a later row's WHERE error still wins, exactly as the
+// interpreter's filter-everything-then-project order implies.
+func (sp *scanProj) emit(rel *relation, batch *vm.Batch, lanes []int, vals []types.Row, tids, created []int64, nUser int) error {
+	for i, mch := range sp.machines {
+		if mch != nil {
+			sp.vecs[i] = mch.Eval(batch)
+		}
+	}
+	w := len(sp.names)
+	slab := make([]types.Value, len(lanes)*w)
+	for k, li := range lanes {
+		row := types.Row(slab[k*w : (k+1)*w : (k+1)*w])
+		for i := range sp.names {
+			if c := sp.bare[i]; c >= 0 {
+				switch {
+				case c < len(vals[li]):
+					row[i] = vals[li][c]
+				case c == nUser:
+					row[i] = types.NewInt(tids[li])
+				case c == nUser+1:
+					row[i] = types.NewInt(created[li])
+				}
+				continue
+			}
+			if err := sp.vecs[i].Err(li); err != nil {
+				return err
+			}
+			row[i] = sp.vecs[i].Value(li)
+		}
+		rel.rows = append(rel.rows, row)
+	}
+	return nil
+}
+
+// projectRows evaluates the projection over rel.rows, batch-compiling
+// every item that lowers and interpreting the rest per row. Mixing is
+// safe because batched lanes hold their errors until the row-major
+// materialization loop reaches them — so the first error surfaced is
+// the same (row, item) the interpreter would have hit.
+func (e *Engine) projectRows(items []projItem, rel *relation, b *binder, out []types.Row) ([]types.Row, error) {
+	var progs []*vm.Program
+	anyCompiled := false
+	if e.vmOn() && len(rel.rows) > 0 {
+		progs = make([]*vm.Program, len(items))
+		for i, it := range items {
+			if p := e.compiledProg(it.Expr, rel.cols); p != nil {
+				progs[i] = p
+				anyCompiled = true
+			}
+		}
+	}
+	if !anyCompiled {
+		for _, r := range rel.rows {
+			row := make(types.Row, len(items))
+			for i, it := range items {
+				v, err := b.eval(it.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+	machines := make([]*vm.Machine, len(items))
+	// Bare column references skip the VM entirely: the lane value IS
+	// row[c], so the item becomes a direct index into the source row.
+	bareCol := make([]int, len(items))
+	usedSet := map[int]bool{}
+	for i, p := range progs {
+		bareCol[i] = -1
+		if p == nil {
+			continue
+		}
+		if c, ok := p.BareCol(); ok {
+			bareCol[i] = c
+			continue
+		}
+		machines[i] = vm.NewMachine(p)
+		machines[i].Bind(b.args)
+		for _, c := range p.Cols() {
+			usedSet[c] = true
+		}
+	}
+	if len(usedSet) == 0 {
+		// Every compiled item is a bare column: pure row indexing, no
+		// batches to fill or machines to run.
+		w := len(items)
+		slab := make([]types.Value, len(rel.rows)*w)
+		for ri, r := range rel.rows {
+			row := types.Row(slab[ri*w : (ri+1)*w : (ri+1)*w])
+			for i, it := range items {
+				if c := bareCol[i]; c >= 0 {
+					if c < len(r) {
+						row[i] = r[c]
+					}
+					continue
+				}
+				v, err := b.eval(it.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+	used := make([]int, 0, len(usedSet))
+	for c := range usedSet {
+		used = append(used, c)
+	}
+	sort.Ints(used)
+	batch := vm.NewBatch(batchKinds(rel.cols), used)
+	vecs := make([]*vm.Vec, len(items))
+	for start := 0; start < len(rel.rows); start += vm.BatchSize {
+		end := start + vm.BatchSize
+		if end > len(rel.rows) {
+			end = len(rel.rows)
+		}
+		batch.Fill(rel.rows[start:end])
+		for i, mch := range machines {
+			if mch != nil {
+				vecs[i] = mch.Eval(batch)
+			}
+		}
+		e.countVM(batch.Len())
+		// One slab of values per batch instead of one allocation per
+		// output row.
+		w := len(items)
+		slab := make([]types.Value, batch.Len()*w)
+		for ri := 0; ri < batch.Len(); ri++ {
+			row := types.Row(slab[ri*w : (ri+1)*w : (ri+1)*w])
+			src := rel.rows[start+ri]
+			for i, it := range items {
+				if c := bareCol[i]; c >= 0 {
+					if c < len(src) {
+						row[i] = src[c]
+					}
+					continue
+				}
+				if machines[i] != nil {
+					if err := vecs[i].Err(ri); err != nil {
+						return nil, err
+					}
+					row[i] = vecs[i].Value(ri)
+					continue
+				}
+				v, err := b.eval(it.Expr, src)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
 }
 
 // orderRows sorts output (and keeps srcRows aligned). ORDER BY keys may
@@ -559,11 +1132,11 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 	}
 	rel := &relation{}
 	for _, c := range schema.Columns {
-		rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(c.Name)})
+		rel.cols = append(rel.cols, colMeta{qual: qual, name: strings.ToLower(c.Name), kind: c.Type})
 	}
 	rel.cols = append(rel.cols,
-		colMeta{qual: qual, name: catalog.SysTID, hidden: true},
-		colMeta{qual: qual, name: catalog.SysCreated, hidden: true},
+		colMeta{qual: qual, name: catalog.SysTID, hidden: true, kind: types.KindInt},
+		colMeta{qual: qual, name: catalog.SysCreated, hidden: true, kind: types.KindInt},
 	)
 
 	// IVM override: substitute rows (user columns only; system columns 0).
@@ -612,6 +1185,138 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 	}
 
 	nUser := len(schema.Columns)
+
+	// Compiled streaming full scan: pull snapshot rows into a column
+	// batch and run the compiled WHERE over ~1k lanes at a time. Only the
+	// columns the program reads are copied into vectors; version values
+	// (immutable under MVCC) are referenced, not copied, until a lane
+	// passes the filter.
+	if where != nil {
+		if prog := e.compiledProg(where, rel.cols); prog != nil {
+			m := vm.NewMachine(prog)
+			m.Bind(args)
+
+			// Projection pushdown: when the whole statement reduces to
+			// "filter, project, maybe DISTINCT/LIMIT" and every item
+			// lowers, evaluate the projection on the already-filled
+			// batch and emit output tuples directly — matched rows are
+			// never materialized at full table width.
+			proj := e.scanProjection(sel, rel, args, ctx)
+
+			usedSet := map[int]bool{}
+			for _, c := range prog.Cols() {
+				usedSet[c] = true
+			}
+			if proj != nil {
+				for _, p := range proj.progs {
+					if p == nil {
+						continue
+					}
+					for _, c := range p.Cols() {
+						usedSet[c] = true
+					}
+				}
+			}
+			used := make([]int, 0, len(usedSet))
+			for c := range usedSet {
+				used = append(used, c)
+			}
+			sort.Ints(used)
+			batch := vm.NewBatch(batchKinds(rel.cols), used)
+			needSys := false
+			for _, c := range used {
+				if c >= nUser {
+					needSys = true
+				}
+			}
+			var scratch types.Row
+			if needSys {
+				scratch = make(types.Row, nUser+2)
+			}
+			vals := make([]types.Row, 0, vm.BatchSize)
+			tids := make([]int64, 0, vm.BatchSize)
+			created := make([]int64, 0, vm.BatchSize)
+			// A projection-item error must not surface before a WHERE
+			// error from a later row (the interpreter filters the whole
+			// table before projecting anything), so it is deferred until
+			// the scan completes.
+			var projErr error
+			flush := func() error {
+				if len(vals) == 0 {
+					return nil
+				}
+				if needSys {
+					// Predicate reads tid/created pseudo-columns: splice
+					// them into a scratch row and fill row-at-a-time.
+					batch.Reset()
+					for i := range vals {
+						copy(scratch, vals[i])
+						scratch[nUser] = types.NewInt(tids[i])
+						scratch[nUser+1] = types.NewInt(created[i])
+						batch.Append(scratch)
+					}
+				} else {
+					batch.Fill(vals)
+				}
+				lanes, err := m.Filter(batch)
+				if err != nil {
+					return err
+				}
+				if len(lanes) > 0 && projErr == nil {
+					if proj != nil {
+						projErr = proj.emit(rel, batch, lanes, vals, tids, created, nUser)
+					} else {
+						// One slab per batch instead of one allocation
+						// per matched row.
+						w := nUser + 2
+						slab := make([]types.Value, len(lanes)*w)
+						for k, i := range lanes {
+							full := types.Row(slab[k*w : (k+1)*w : (k+1)*w])
+							copy(full, vals[i])
+							full[nUser] = types.NewInt(tids[i])
+							full[nUser+1] = types.NewInt(created[i])
+							rel.rows = append(rel.rows, full)
+						}
+					}
+				}
+				e.countVM(batch.Len())
+				vals, tids, created = vals[:0], tids[:0], created[:0]
+				return nil
+			}
+			scanned := 0
+			for it := tbl.Iterate(ctx.snap); ; {
+				sr, more := it.Next()
+				if !more {
+					break
+				}
+				scanned++
+				vals = append(vals, sr.Values)
+				tids = append(tids, sr.TID)
+				created = append(created, sr.Created)
+				if len(vals) == vm.BatchSize {
+					if err := flush(); err != nil {
+						return nil, false, err
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				return nil, false, err
+			}
+			if projErr != nil {
+				return nil, false, projErr
+			}
+			e.countScanned(ctx, scanned)
+			if proj != nil {
+				cols := make([]colMeta, len(proj.names))
+				for i, n := range proj.names {
+					cols[i] = colMeta{name: strings.ToLower(n)}
+				}
+				rel.cols = cols
+				rel.projNames = proj.names
+			}
+			return rel, true, nil
+		}
+	}
 
 	// Streaming full scan: evaluate WHERE against a reused scratch row
 	// inside the loop, copying out only the matches. Allocation becomes

@@ -1,0 +1,1014 @@
+package vm
+
+import (
+	"errors"
+
+	"ediflow/internal/types"
+)
+
+// Machine executes one Program. It owns the register file and the
+// bind-time state (parameter broadcasts, IN sets), so it is cheap to
+// reuse across batches within a statement but must not be shared
+// between goroutines.
+type Machine struct {
+	p      *Program
+	regs   []Vec
+	consts []Vec
+	params []Vec
+	sets   []*runInSet
+	args   []types.Value
+	argBuf []types.Value // reused per-lane scratch for opCall
+	sel    []int
+}
+
+// runInSet is a bound IN list: either a hash set (all parameters in
+// range, mirroring the interpreter's constInSet) or the element-walk
+// slow path when a parameter is missing.
+type runInSet struct {
+	vals    map[string]bool
+	hasNull bool
+	slow    bool // walk elements per lane (a parameter was out of range)
+}
+
+// NewMachine prepares a register file and constant broadcasts for p.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{p: p, regs: make([]Vec, p.nregs)}
+	m.consts = make([]Vec, len(p.consts))
+	for i, v := range p.consts {
+		m.consts[i] = broadcast(v)
+	}
+	return m
+}
+
+// Bind fixes the statement arguments: parameter broadcasts and IN-list
+// sets are built once, then shared by every batch.
+func (m *Machine) Bind(args []types.Value) {
+	m.args = args
+	if m.p.maxParam > 0 {
+		m.params = make([]Vec, m.p.maxParam)
+		for i := 0; i < m.p.maxParam; i++ {
+			if i < len(args) {
+				m.params[i] = broadcast(args[i])
+			} else {
+				m.params[i] = errBroadcast(m.p.missingParam(i))
+			}
+		}
+	}
+	m.sets = m.sets[:0]
+	for _, ins := range m.p.insts {
+		if ins.op != opInList {
+			continue
+		}
+		rs := &runInSet{vals: make(map[string]bool, len(ins.set.elems))}
+		for _, el := range ins.set.elems {
+			var v types.Value
+			if el.param < 0 {
+				v = el.val
+			} else if el.param < len(args) {
+				v = args[el.param]
+			} else {
+				// The interpreter's constInSet gives up and walks the
+				// list per row, erroring at the missing parameter unless
+				// an earlier element matches first.
+				rs.slow = true
+				break
+			}
+			if v.IsNull() {
+				rs.hasNull = true
+			} else {
+				rs.vals[v.HashKey()] = true
+			}
+		}
+		m.sets = append(m.sets, rs)
+	}
+}
+
+// broadcast builds a full-width vector holding v in every lane.
+func broadcast(v types.Value) Vec {
+	var out Vec
+	switch v.Kind() {
+	case types.KindInt:
+		out.resetInt(0)
+		x := v.Int()
+		for i := range out.i64 {
+			out.i64[i] = x
+		}
+	case types.KindFloat:
+		out.resetFloat(0)
+		x := v.Float()
+		for i := range out.f64 {
+			out.f64[i] = x
+		}
+	case types.KindBool:
+		out.resetBool(0)
+		x := v.Bool()
+		for i := range out.bs {
+			out.bs[i] = x
+		}
+	default:
+		out.resetBoxed(0)
+		for i := range out.any {
+			out.any[i] = v
+		}
+	}
+	return out
+}
+
+// errBroadcast builds a vector whose every lane carries err (an unbound
+// parameter: the row errors only if the lane is actually consulted).
+func errBroadcast(err error) Vec {
+	var out Vec
+	out.resetBoxed(0)
+	for i := range out.any {
+		out.any[i] = types.Null
+	}
+	out.errs = make([]error, BatchSize)
+	for i := range out.errs {
+		out.errs[i] = err
+	}
+	return out
+}
+
+// Eval runs the program over the batch and returns the result vector.
+// Lanes may carry errors; callers must check Err before Value.
+func (m *Machine) Eval(b *Batch) *Vec {
+	n := b.n
+	for idx := range m.p.insts {
+		ins := &m.p.insts[idx]
+		switch ins.op {
+		case opCol:
+			m.regs[ins.dst] = *b.Col(ins.imm)
+		case opConst:
+			v := m.consts[ins.imm]
+			v.n = n
+			m.regs[ins.dst] = v
+		case opParam:
+			v := m.params[ins.imm]
+			v.n = n
+			m.regs[ins.dst] = v
+		case opCmp:
+			m.cmp(ins, n)
+		case opAdd, opSub, opMul:
+			m.arith(ins, n)
+		case opDiv, opMod:
+			m.divmod(ins, n)
+		case opConcat:
+			m.arithGeneric(ins, n)
+		case opNeg:
+			m.neg(ins, n)
+		case opNot:
+			m.not(ins, n)
+		case opAnd:
+			m.and(ins, n)
+		case opOr:
+			m.or(ins, n)
+		case opIsNull:
+			m.isNullOp(ins, n)
+		case opLike:
+			m.like(ins, n)
+		case opBetween:
+			m.between(ins, n)
+		case opInList:
+			m.inList(ins, n)
+		case opInExpr:
+			m.inExpr(ins, n)
+		case opCall:
+			m.callFn(ins, n)
+		case opCoalesce:
+			m.coalesce(ins, n)
+		case opCase:
+			m.caseOp(ins, n)
+		case opCaseMatch:
+			m.caseMatch(ins, n)
+		}
+	}
+	r := &m.regs[m.p.result]
+	r.n = n
+	return r
+}
+
+// Filter evaluates the program as a predicate and returns the selection
+// vector of passing lanes (indexes into the batch, ascending). The
+// returned slice is reused by the next call. Error semantics match the
+// interpreter's scan loop: the first erroring lane in row order aborts.
+func (m *Machine) Filter(b *Batch) ([]int, error) {
+	v := m.Eval(b)
+	m.sel = m.sel[:0]
+	if v.errs == nil && v.kind == types.KindBool {
+		// Error-free bool result: a lane passes iff set and not NULL.
+		for i := 0; i < b.n; i++ {
+			if v.bs[i] && !v.null.Get(i) {
+				m.sel = append(m.sel, i)
+			}
+		}
+		return m.sel, nil
+	}
+	for i := 0; i < b.n; i++ {
+		if err := v.Err(i); err != nil {
+			return nil, err
+		}
+		// evalBool: unknown collapses to false at a filter boundary.
+		if v.isNull(i) {
+			continue
+		}
+		var t bool
+		switch v.kind {
+		case types.KindBool:
+			t = v.bs[i]
+		case types.KindInt:
+			t = v.i64[i] != 0
+		case types.KindFloat:
+			t = v.f64[i] != 0
+		default:
+			bv, err := v.any[i].AsBool()
+			if err != nil {
+				return nil, err
+			}
+			t = bv
+		}
+		if t {
+			m.sel = append(m.sel, i)
+		}
+	}
+	return m.sel, nil
+}
+
+// truthLane is truth3 over one lane: tvFalse/tvTrue/tvUnknown exactly
+// as the interpreter defines them.
+const (
+	tvFalse = iota
+	tvTrue
+	tvUnknown
+)
+
+func truthLane(v *Vec, i int) (int, error) {
+	if v.isNull(i) {
+		return tvUnknown, nil
+	}
+	switch v.kind {
+	case types.KindBool:
+		if v.bs[i] {
+			return tvTrue, nil
+		}
+		return tvFalse, nil
+	case types.KindInt:
+		if v.i64[i] != 0 {
+			return tvTrue, nil
+		}
+		return tvFalse, nil
+	case types.KindFloat:
+		if v.f64[i] != 0 {
+			return tvTrue, nil
+		}
+		return tvFalse, nil
+	default:
+		bv, err := v.any[i].AsBool()
+		if err != nil {
+			return tvFalse, err
+		}
+		if bv {
+			return tvTrue, nil
+		}
+		return tvFalse, nil
+	}
+}
+
+func cmpHolds(c, imm int) bool {
+	switch imm {
+	case cmpEq:
+		return c == 0
+	case cmpNe:
+		return c != 0
+	case cmpLt:
+		return c < 0
+	case cmpLe:
+		return c <= 0
+	case cmpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+func (m *Machine) cmp(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	imm := ins.imm
+	if a.errs == nil && b.errs == nil && a.kind == types.KindInt && b.kind == types.KindInt {
+		dst.resetBool(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) || b.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			x, y := a.i64[i], b.i64[i]
+			c := 0
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+			dst.bs[i] = cmpHolds(c, imm)
+		}
+		return
+	}
+	if a.errs == nil && b.errs == nil && numericVec(a) && numericVec(b) {
+		// At least one side is FLOAT: types.Compare promotes both via
+		// AsFloat, which is exact for the typed lanes we hold.
+		dst.resetBool(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) || b.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			x, y := a.lanef(i), b.lanef(i)
+			c := 0
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+			dst.bs[i] = cmpHolds(c, imm)
+		}
+		return
+	}
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if e := b.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		l, r := a.Value(i), b.Value(i)
+		if l.IsNull() || r.IsNull() {
+			dst.null.Set(i)
+			continue
+		}
+		c, err := types.Compare(l, r)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		dst.bs[i] = cmpHolds(c, imm)
+	}
+}
+
+func numericVec(v *Vec) bool {
+	return v.kind == types.KindInt || v.kind == types.KindFloat
+}
+
+// lanef reads a numeric typed lane as float64; only valid on
+// KindInt/KindFloat vectors.
+func (v *Vec) lanef(i int) float64 {
+	if v.kind == types.KindInt {
+		return float64(v.i64[i])
+	}
+	return v.f64[i]
+}
+
+// arith handles + - * with typed fast paths. Int×Int uses native
+// (wrapping) int64 arithmetic and mixed numeric promotes to float64,
+// both exactly as types.numericOp does.
+func (m *Machine) arith(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	if a.errs == nil && b.errs == nil && a.kind == types.KindInt && b.kind == types.KindInt {
+		dst.resetInt(n)
+		switch ins.op {
+		case opAdd:
+			for i := 0; i < n; i++ {
+				if a.null.Get(i) || b.null.Get(i) {
+					dst.null.Set(i)
+					continue
+				}
+				dst.i64[i] = a.i64[i] + b.i64[i]
+			}
+		case opSub:
+			for i := 0; i < n; i++ {
+				if a.null.Get(i) || b.null.Get(i) {
+					dst.null.Set(i)
+					continue
+				}
+				dst.i64[i] = a.i64[i] - b.i64[i]
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if a.null.Get(i) || b.null.Get(i) {
+					dst.null.Set(i)
+					continue
+				}
+				dst.i64[i] = a.i64[i] * b.i64[i]
+			}
+		}
+		return
+	}
+	if a.errs == nil && b.errs == nil && numericVec(a) && numericVec(b) {
+		dst.resetFloat(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) || b.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			x, y := a.lanef(i), b.lanef(i)
+			switch ins.op {
+			case opAdd:
+				dst.f64[i] = x + y
+			case opSub:
+				dst.f64[i] = x - y
+			default:
+				dst.f64[i] = x * y
+			}
+		}
+		return
+	}
+	m.arithGeneric(ins, n)
+}
+
+// errDivZero and errModZero carry the exact text types.Div and
+// types.Mod produce, so the typed fast paths below cannot diverge from
+// the interpreter on the error message.
+var (
+	errDivZero = errors.New("types: division by zero")
+	errModZero = errors.New("types: modulo by zero")
+)
+
+// divmod handles / and % with typed fast paths that mirror types.Div
+// and types.Mod exactly: NULL propagates, a zero divisor errors only
+// that lane, Int/Int division truncates. Anything outside the typed
+// numeric cases falls to the generic per-lane kernel.
+func (m *Machine) divmod(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	if a.errs == nil && b.errs == nil && a.kind == types.KindInt && b.kind == types.KindInt {
+		dst.resetInt(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) || b.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			if b.i64[i] == 0 {
+				if ins.op == opDiv {
+					dst.setErr(i, errDivZero)
+				} else {
+					dst.setErr(i, errModZero)
+				}
+				continue
+			}
+			if ins.op == opDiv {
+				dst.i64[i] = a.i64[i] / b.i64[i]
+			} else {
+				dst.i64[i] = a.i64[i] % b.i64[i]
+			}
+		}
+		return
+	}
+	if ins.op == opDiv && a.errs == nil && b.errs == nil && numericVec(a) && numericVec(b) {
+		dst.resetFloat(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) || b.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			y := b.lanef(i)
+			if y == 0 {
+				dst.setErr(i, errDivZero)
+				continue
+			}
+			dst.f64[i] = a.lanef(i) / y
+		}
+		return
+	}
+	m.arithGeneric(ins, n)
+}
+
+// arithGeneric evaluates arithmetic per lane through the exact
+// types.Add/Sub/Mul/Div/Mod/concat code the interpreter uses, so error
+// messages and coercion behavior cannot diverge.
+func (m *Machine) arithGeneric(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	dst.resetBoxed(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if e := b.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		l, r := a.Value(i), b.Value(i)
+		var v types.Value
+		var err error
+		switch ins.op {
+		case opAdd:
+			v, err = types.Add(l, r)
+		case opSub:
+			v, err = types.Sub(l, r)
+		case opMul:
+			v, err = types.Mul(l, r)
+		case opDiv:
+			v, err = types.Div(l, r)
+		case opMod:
+			v, err = types.Mod(l, r)
+		default: // opConcat: || is NULL-propagating string concat
+			if l.IsNull() || r.IsNull() {
+				v = types.Null
+			} else {
+				v = types.NewString(l.AsString() + r.AsString())
+			}
+		}
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		dst.any[i] = v
+	}
+}
+
+func (m *Machine) neg(ins *inst, n int) {
+	a, dst := &m.regs[ins.a], &m.regs[ins.dst]
+	if a.errs == nil && a.kind == types.KindInt {
+		dst.resetInt(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			dst.i64[i] = -a.i64[i]
+		}
+		return
+	}
+	if a.errs == nil && a.kind == types.KindFloat {
+		dst.resetFloat(n)
+		for i := 0; i < n; i++ {
+			if a.null.Get(i) {
+				dst.null.Set(i)
+				continue
+			}
+			dst.f64[i] = -a.f64[i]
+		}
+		return
+	}
+	dst.resetBoxed(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		v, err := types.Neg(a.Value(i))
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		dst.any[i] = v
+	}
+}
+
+func (m *Machine) not(ins *inst, n int) {
+	a, dst := &m.regs[ins.a], &m.regs[ins.dst]
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		t, err := truthLane(a, i)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		if t == tvUnknown {
+			dst.null.Set(i)
+			continue
+		}
+		dst.bs[i] = t == tvFalse
+	}
+}
+
+// and mirrors evalBinary's AND lane by lane, including error
+// precedence: a FALSE left operand suppresses the right operand's
+// error, exactly like the interpreter's short-circuit.
+func (m *Machine) and(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	dst.resetBool(n)
+	if a.errs == nil && b.errs == nil && a.kind == types.KindBool && b.kind == types.KindBool {
+		// Bool×Bool (the common shape: both operands are comparison
+		// outputs): 3VL without per-lane truthLane dispatch.
+		for i := 0; i < n; i++ {
+			an, bn := a.null.Get(i), b.null.Get(i)
+			if (!an && !a.bs[i]) || (!bn && !b.bs[i]) {
+				continue // either side FALSE
+			}
+			if an || bn {
+				dst.null.Set(i)
+				continue
+			}
+			dst.bs[i] = true
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		lt, err := truthLane(a, i)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		if lt == tvFalse {
+			continue // false
+		}
+		if e := b.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		rt, err := truthLane(b, i)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		if rt == tvFalse {
+			continue
+		}
+		if lt == tvUnknown || rt == tvUnknown {
+			dst.null.Set(i)
+			continue
+		}
+		dst.bs[i] = true
+	}
+}
+
+func (m *Machine) or(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	dst.resetBool(n)
+	if a.errs == nil && b.errs == nil && a.kind == types.KindBool && b.kind == types.KindBool {
+		for i := 0; i < n; i++ {
+			an, bn := a.null.Get(i), b.null.Get(i)
+			if (!an && a.bs[i]) || (!bn && b.bs[i]) {
+				dst.bs[i] = true // either side TRUE
+				continue
+			}
+			if an || bn {
+				dst.null.Set(i)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		lt, err := truthLane(a, i)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		if lt == tvTrue {
+			dst.bs[i] = true
+			continue
+		}
+		if e := b.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		rt, err := truthLane(b, i)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		if rt == tvTrue {
+			dst.bs[i] = true
+			continue
+		}
+		if lt == tvUnknown || rt == tvUnknown {
+			dst.null.Set(i)
+		}
+	}
+}
+
+func (m *Machine) isNullOp(ins *inst, n int) {
+	a, dst := &m.regs[ins.a], &m.regs[ins.dst]
+	not := ins.imm == 1
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		dst.bs[i] = a.isNull(i) != not
+	}
+}
+
+func (m *Machine) like(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	not := ins.imm == 1
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if e := b.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if a.isNull(i) || b.isNull(i) {
+			dst.null.Set(i)
+			continue
+		}
+		dst.bs[i] = LikeMatch(a.Value(i).AsString(), b.Value(i).AsString()) != not
+	}
+}
+
+func (m *Machine) between(ins *inst, n int) {
+	a, lo, hi, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.c], &m.regs[ins.dst]
+	not := ins.imm == 1
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if e := lo.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if e := hi.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if a.isNull(i) || lo.isNull(i) || hi.isNull(i) {
+			dst.null.Set(i)
+			continue
+		}
+		v := a.Value(i)
+		cl, err := types.Compare(v, lo.Value(i))
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		ch, err := types.Compare(v, hi.Value(i))
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		dst.bs[i] = (cl >= 0 && ch <= 0) != not
+	}
+}
+
+func (m *Machine) inList(ins *inst, n int) {
+	a, dst := &m.regs[ins.a], &m.regs[ins.dst]
+	rs := m.sets[ins.imm]
+	not := ins.set.not
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if a.isNull(i) {
+			dst.null.Set(i)
+			continue
+		}
+		v := a.Value(i)
+		var found, hadNull bool
+		if !rs.slow {
+			found = rs.vals[v.HashKey()]
+			hadNull = rs.hasNull
+		} else {
+			// A parameter is unbound: walk elements in order like the
+			// interpreter, erroring at the missing parameter unless an
+			// earlier element already matched.
+			var laneErr error
+			for _, el := range ins.set.elems {
+				var lv types.Value
+				if el.param < 0 {
+					lv = el.val
+				} else if el.param < len(m.args) {
+					lv = m.args[el.param]
+				} else {
+					laneErr = m.p.missingParam(el.param)
+					break
+				}
+				if lv.IsNull() {
+					hadNull = true
+					continue
+				}
+				if c, err := types.Compare(v, lv); err == nil && c == 0 {
+					found = true
+					break
+				}
+			}
+			if laneErr != nil {
+				dst.setErr(i, laneErr)
+				continue
+			}
+		}
+		switch {
+		case found:
+			dst.bs[i] = !not
+		case hadNull:
+			dst.null.Set(i)
+		default:
+			dst.bs[i] = not
+		}
+	}
+}
+
+func (m *Machine) inExpr(ins *inst, n int) {
+	a, dst := &m.regs[ins.a], &m.regs[ins.dst]
+	not := ins.imm == 1
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if a.isNull(i) {
+			dst.null.Set(i)
+			continue
+		}
+		v := a.Value(i)
+		var found, hadNull bool
+		var laneErr error
+		for _, r := range ins.args {
+			el := &m.regs[r]
+			if e := el.Err(i); e != nil {
+				laneErr = e
+				break
+			}
+			if el.isNull(i) {
+				hadNull = true
+				continue
+			}
+			if c, err := types.Compare(v, el.Value(i)); err == nil && c == 0 {
+				found = true
+				break
+			}
+			// incomparable kinds never match
+		}
+		if laneErr != nil {
+			dst.setErr(i, laneErr)
+			continue
+		}
+		switch {
+		case found:
+			dst.bs[i] = !not
+		case hadNull:
+			dst.null.Set(i)
+		default:
+			dst.bs[i] = not
+		}
+	}
+}
+
+func (m *Machine) callFn(ins *inst, n int) {
+	dst := &m.regs[ins.dst]
+	dst.resetBoxed(n)
+	if cap(m.argBuf) < len(ins.args) {
+		m.argBuf = make([]types.Value, len(ins.args))
+	}
+	buf := m.argBuf[:len(ins.args)]
+	for i := 0; i < n; i++ {
+		var laneErr error
+		for j, r := range ins.args {
+			el := &m.regs[r]
+			if e := el.Err(i); e != nil {
+				laneErr = e
+				break
+			}
+			buf[j] = el.Value(i)
+		}
+		if laneErr != nil {
+			dst.setErr(i, laneErr)
+			continue
+		}
+		v, err := ins.fn(buf)
+		if err != nil {
+			dst.setErr(i, err)
+			continue
+		}
+		dst.any[i] = v
+	}
+}
+
+func (m *Machine) coalesce(ins *inst, n int) {
+	dst := &m.regs[ins.dst]
+	dst.resetBoxed(n)
+	for i := 0; i < n; i++ {
+		out := types.Null
+		var laneErr error
+		for _, r := range ins.args {
+			el := &m.regs[r]
+			if e := el.Err(i); e != nil {
+				laneErr = e
+				break
+			}
+			if v := el.Value(i); !v.IsNull() {
+				out = v
+				break
+			}
+		}
+		if laneErr != nil {
+			dst.setErr(i, laneErr)
+			continue
+		}
+		dst.any[i] = out
+	}
+}
+
+// caseMatch computes one operand-form CASE arm's match: NULL operand or
+// NULL when-value never matches, and an incomparable pair is a
+// non-match (the interpreter swallows that Compare error).
+func (m *Machine) caseMatch(ins *inst, n int) {
+	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
+	dst.resetBool(n)
+	for i := 0; i < n; i++ {
+		if e := a.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if e := b.Err(i); e != nil {
+			dst.setErr(i, e)
+			continue
+		}
+		if a.isNull(i) || b.isNull(i) {
+			continue // false
+		}
+		if c, err := types.Compare(a.Value(i), b.Value(i)); err == nil && c == 0 {
+			dst.bs[i] = true
+		}
+	}
+}
+
+func (m *Machine) caseOp(ins *inst, n int) {
+	dst := &m.regs[ins.dst]
+	dst.resetBoxed(n)
+lanes:
+	for i := 0; i < n; i++ {
+		for j := 0; j+1 < len(ins.args); j += 2 {
+			cond := &m.regs[ins.args[j]]
+			if e := cond.Err(i); e != nil {
+				dst.setErr(i, e)
+				continue lanes
+			}
+			t, err := truthLane(cond, i)
+			if err != nil {
+				dst.setErr(i, err)
+				continue lanes
+			}
+			if t == tvTrue {
+				res := &m.regs[ins.args[j+1]]
+				if e := res.Err(i); e != nil {
+					dst.setErr(i, e)
+					continue lanes
+				}
+				dst.any[i] = res.Value(i)
+				continue lanes
+			}
+		}
+		if ins.a >= 0 {
+			el := &m.regs[ins.a]
+			if e := el.Err(i); e != nil {
+				dst.setErr(i, e)
+				continue
+			}
+			dst.any[i] = el.Value(i)
+			continue
+		}
+		dst.any[i] = types.Null
+	}
+}
+
+// LikeMatch implements SQL LIKE with % (any run) and _ (any single
+// rune), case-sensitive, via iterative backtracking. The engine's
+// interpreter delegates here so both paths share one matcher.
+func LikeMatch(s, pattern string) bool {
+	sr := []rune(s)
+	pr := []rune(pattern)
+	si, pi := 0, 0
+	starSi, starPi := -1, -1
+	for si < len(sr) {
+		switch {
+		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
+			si++
+			pi++
+		case pi < len(pr) && pr[pi] == '%':
+			starSi, starPi = si, pi
+			pi++
+		case starPi >= 0:
+			starSi++
+			si = starSi
+			pi = starPi + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pr) && pr[pi] == '%' {
+		pi++
+	}
+	return pi == len(pr)
+}

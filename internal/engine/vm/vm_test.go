@@ -1,0 +1,263 @@
+package vm
+
+import (
+	"testing"
+
+	"ediflow/internal/sqltext"
+	"ediflow/internal/types"
+)
+
+// testEnv resolves single-letter int columns a=0, b=1, s=2 (string) and
+// knows one function DOUBLE.
+func testEnv() *Env {
+	cols := map[string]int{"a": 0, "b": 1, "s": 2}
+	return &Env{
+		Resolve: func(table, column string) (int, bool) {
+			if table != "" {
+				return 0, false
+			}
+			i, ok := cols[column]
+			return i, ok
+		},
+		Func: func(name string) (ScalarFunc, bool) {
+			if name == "DOUBLE" {
+				return func(args []types.Value) (types.Value, error) {
+					n, err := args[0].AsInt()
+					if err != nil {
+						return types.Null, err
+					}
+					return types.NewInt(2 * n), nil
+				}, true
+			}
+			return nil, false
+		},
+		MissingParam: func(idx int) error { return errMissing },
+	}
+}
+
+var errMissing = &missingErr{}
+
+type missingErr struct{}
+
+func (*missingErr) Error() string { return "missing param" }
+
+func compileExprSQL(t *testing.T, src string) *Program {
+	t.Helper()
+	// Parse "SELECT <expr>" and pull the expression out.
+	stmt, err := sqltext.Parse("SELECT " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	sel := stmt.(*sqltext.Select)
+	p, err := Compile(sel.Items[0].Expr, testEnv())
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return p
+}
+
+func makeBatch(rows []types.Row) *Batch {
+	b := NewBatch([]types.Kind{types.KindInt, types.KindInt, types.KindString}, []int{0, 1, 2})
+	for _, r := range rows {
+		b.Append(r)
+	}
+	return b
+}
+
+func row(a, b int64, s string) types.Row {
+	return types.Row{types.NewInt(a), types.NewInt(b), types.NewString(s)}
+}
+
+func TestCompileAndEvalArithmetic(t *testing.T) {
+	p := compileExprSQL(t, "a * 3 + b")
+	m := NewMachine(p)
+	m.Bind(nil)
+	batch := makeBatch([]types.Row{row(1, 10, "x"), row(2, 20, "y"), row(-1, 5, "z")})
+	v := m.Eval(batch)
+	want := []int64{13, 26, 2}
+	for i, w := range want {
+		if err := v.Err(i); err != nil {
+			t.Fatalf("lane %d: %v", i, err)
+		}
+		got := v.Value(i)
+		if got.Kind() != types.KindInt || got.Int() != w {
+			t.Fatalf("lane %d: got %v want %d", i, got, w)
+		}
+	}
+}
+
+func TestFilterSelectionVector(t *testing.T) {
+	p := compileExprSQL(t, "a % 2 = 0")
+	m := NewMachine(p)
+	m.Bind(nil)
+	batch := makeBatch([]types.Row{row(0, 0, ""), row(1, 0, ""), row(2, 0, ""), row(3, 0, ""), row(4, 0, "")})
+	sel, err := m.Filter(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4}
+	if len(sel) != len(want) {
+		t.Fatalf("sel = %v, want %v", sel, want)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel = %v, want %v", sel, want)
+		}
+	}
+}
+
+func TestNullThreeValuedLogic(t *testing.T) {
+	// NULL-aware AND/OR: (a > 1) with a NULL lane stays NULL; OR TRUE wins.
+	p := compileExprSQL(t, "a > 1 OR b = 0")
+	m := NewMachine(p)
+	m.Bind(nil)
+	batch := makeBatch([]types.Row{
+		{types.Null, types.NewInt(0), types.NewString("")}, // NULL OR TRUE = TRUE
+		{types.Null, types.NewInt(9), types.NewString("")}, // NULL OR FALSE = NULL
+	})
+	v := m.Eval(batch)
+	if v.isNull(0) || !mustBool(t, v.Value(0)) {
+		t.Fatalf("lane 0: want TRUE, got %v", v.Value(0))
+	}
+	if !v.isNull(1) {
+		t.Fatalf("lane 1: want NULL, got %v", v.Value(1))
+	}
+}
+
+func mustBool(t *testing.T, v types.Value) bool {
+	t.Helper()
+	b, err := v.AsBool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestLaneErrorsAreHeldPerLane(t *testing.T) {
+	// Division by zero errors only the lane that divides by zero.
+	p := compileExprSQL(t, "a / b")
+	m := NewMachine(p)
+	m.Bind(nil)
+	batch := makeBatch([]types.Row{row(10, 2, ""), row(10, 0, ""), row(9, 3, "")})
+	v := m.Eval(batch)
+	if err := v.Err(0); err != nil {
+		t.Fatalf("lane 0: %v", err)
+	}
+	if err := v.Err(1); err == nil {
+		t.Fatal("lane 1: want division-by-zero error")
+	}
+	if err := v.Err(2); err != nil {
+		t.Fatalf("lane 2: %v", err)
+	}
+	if v.Value(0).Int() != 5 || v.Value(2).Int() != 3 {
+		t.Fatalf("good lanes wrong: %v %v", v.Value(0), v.Value(2))
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	p := compileExprSQL(t, "DOUBLE(a) + 1")
+	m := NewMachine(p)
+	m.Bind(nil)
+	batch := makeBatch([]types.Row{row(3, 0, ""), row(7, 0, "")})
+	v := m.Eval(batch)
+	if v.Value(0).Int() != 7 || v.Value(1).Int() != 15 {
+		t.Fatalf("got %v %v", v.Value(0), v.Value(1))
+	}
+}
+
+func TestParamsAndInList(t *testing.T) {
+	p := compileExprSQL(t, "a IN (?, ?, 5)")
+	m := NewMachine(p)
+	m.Bind([]types.Value{types.NewInt(1), types.NewInt(3)})
+	batch := makeBatch([]types.Row{row(1, 0, ""), row(2, 0, ""), row(5, 0, "")})
+	sel, err := m.Filter(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 2 {
+		t.Fatalf("sel = %v", sel)
+	}
+}
+
+func TestNotLowerable(t *testing.T) {
+	// Subquery IN must refuse to lower, not miscompile.
+	stmt, err := sqltext.Parse("SELECT a FROM t WHERE a IN (SELECT a FROM t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*sqltext.Select)
+	if _, err := Compile(sel.Where, testEnv()); err == nil {
+		t.Fatal("want notLowerable error for subquery IN")
+	}
+	// Unknown function likewise.
+	stmt2, err := sqltext.Parse("SELECT NO_SUCH_FN(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(stmt2.(*sqltext.Select).Items[0].Expr, testEnv()); err == nil {
+		t.Fatal("want notLowerable error for unknown function")
+	}
+}
+
+func TestBatchKindPromotion(t *testing.T) {
+	// A column declared INT that receives a string promotes to boxed lanes
+	// without losing already-filled values.
+	b := NewBatch([]types.Kind{types.KindInt}, []int{0})
+	b.Append(types.Row{types.NewInt(1)})
+	b.Append(types.Row{types.NewInt(2)})
+	b.Append(types.Row{types.NewString("x")})
+	v := b.Col(0)
+	if v.Value(0).Int() != 1 || v.Value(1).Int() != 2 {
+		t.Fatalf("promotion lost lanes: %v %v", v.Value(0), v.Value(1))
+	}
+	if v.Value(2).AsString() != "x" {
+		t.Fatalf("promoted lane wrong: %v", v.Value(2))
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_go", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abcabc", "%abc", true},
+		{"naïve", "na_ve", true}, // rune-wise, not byte-wise
+		{"a%b", "a%b", true},
+	}
+	for _, c := range cases {
+		if got := LikeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("LikeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestBatchBoundaryFill(t *testing.T) {
+	// Exercise sizes around the batch constant via repeated Append/Reset.
+	sizes := []int{0, 1, BatchSize - 1, BatchSize}
+	for _, n := range sizes {
+		b := NewBatch([]types.Kind{types.KindInt}, []int{0})
+		for i := 0; i < n; i++ {
+			b.Append(types.Row{types.NewInt(int64(i))})
+		}
+		if b.Len() != n {
+			t.Fatalf("size %d: Len = %d", n, b.Len())
+		}
+		v := b.Col(0)
+		for i := 0; i < n; i++ {
+			if v.Value(i).Int() != int64(i) {
+				t.Fatalf("size %d lane %d: %v", n, i, v.Value(i))
+			}
+		}
+		b.Reset()
+		if b.Len() != 0 {
+			t.Fatalf("Reset left %d rows", b.Len())
+		}
+	}
+}

@@ -86,6 +86,7 @@ type Maintainer struct {
 	aggs      []aggSpec
 	groups    map[string]*groupState
 	havingIdx sqltext.Expr
+	batchSel  *sqltext.Select // memoized evalBatch query: stable expression pointers keep the engine's compiled-program cache hot
 }
 
 // viewItem describes one output column of an aggregate view: either a
@@ -298,24 +299,26 @@ func (m *Maintainer) evalOnRow(expr sqltext.Expr, row types.Row) (types.Value, e
 // evalBatch evaluates the WHERE clause, the group-by keys and every
 // aggregate argument for a batch of base rows in a single Evaluator call.
 func (m *Maintainer) evalBatch(rows []types.Row) (keep []bool, keys [][]types.Value, argv [][]types.Value, err error) {
-	items := make([]sqltext.SelectItem, 0, 1+len(m.groupBy)+len(m.aggs))
-	whereExpr := m.Query.Where
-	if whereExpr == nil {
-		whereExpr = &sqltext.Literal{Value: types.NewBool(true)}
-	}
-	items = append(items, sqltext.SelectItem{Expr: whereExpr})
-	for _, g := range m.groupBy {
-		items = append(items, sqltext.SelectItem{Expr: g})
-	}
-	for _, a := range m.aggs {
-		arg := a.arg
-		if arg == nil {
-			arg = &sqltext.Literal{Value: types.NewInt(1)}
+	if m.batchSel == nil {
+		items := make([]sqltext.SelectItem, 0, 1+len(m.groupBy)+len(m.aggs))
+		whereExpr := m.Query.Where
+		if whereExpr == nil {
+			whereExpr = &sqltext.Literal{Value: types.NewBool(true)}
 		}
-		items = append(items, sqltext.SelectItem{Expr: arg})
+		items = append(items, sqltext.SelectItem{Expr: whereExpr})
+		for _, g := range m.groupBy {
+			items = append(items, sqltext.SelectItem{Expr: g})
+		}
+		for _, a := range m.aggs {
+			arg := a.arg
+			if arg == nil {
+				arg = &sqltext.Literal{Value: types.NewInt(1)}
+			}
+			items = append(items, sqltext.SelectItem{Expr: arg})
+		}
+		m.batchSel = &sqltext.Select{Items: items, From: &sqltext.TableRef{Table: m.table}}
 	}
-	sel := &sqltext.Select{Items: items, From: &sqltext.TableRef{Table: m.table}}
-	out, err := m.ev.EvalWith(sel, map[string][]types.Row{m.table: rows})
+	out, err := m.ev.EvalWith(m.batchSel, map[string][]types.Row{m.table: rows})
 	if err != nil {
 		return nil, nil, nil, err
 	}

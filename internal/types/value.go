@@ -113,6 +113,25 @@ func NewBytes(b []byte) Value { return Value{kind: KindBytes, raw: b} }
 // Kind reports the dynamic type of v.
 func (v Value) Kind() Kind { return v.kind }
 
+// The Lane accessors below take pointer receivers on purpose: Value
+// has too many fields for the compiler's SSA form, so even an inlined
+// value-receiver accessor copies the whole struct per call. In
+// per-lane loops (the expression VM's batch fill) that copy dominates
+// the loop, so hot paths read single fields through a pointer. They
+// carry the same preconditions as their value-receiver counterparts.
+
+// LaneKind reports the dynamic type of *v without copying it.
+func (v *Value) LaneKind() Kind { return v.kind }
+
+// LaneInt returns the integer content; Kind must be KindInt.
+func (v *Value) LaneInt() int64 { return v.i }
+
+// LaneFloat returns the float content; Kind must be KindFloat.
+func (v *Value) LaneFloat() float64 { return v.f }
+
+// LaneBool returns the boolean content; Kind must be KindBool.
+func (v *Value) LaneBool() bool { return v.b }
+
 // IsNull reports whether v is NULL.
 func (v Value) IsNull() bool { return v.kind == KindNull }
 
@@ -426,6 +445,28 @@ func CloneRow(r Row) Row {
 		c[i] = v.Clone()
 	}
 	return c
+}
+
+// CloneRows deep-copies a result set, backing all cloned rows with one
+// shared slab so the copy costs two allocations instead of one per row
+// (plus whatever the individual Clone calls need for BYTES payloads).
+func CloneRows(rows []Row) []Row {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	slab := make([]Value, total)
+	out := make([]Row, len(rows))
+	off := 0
+	for i, r := range rows {
+		c := slab[off : off+len(r) : off+len(r)]
+		for j, v := range r {
+			c[j] = v.Clone()
+		}
+		out[i] = c
+		off += len(r)
+	}
+	return out
 }
 
 // RowsEqual reports whether two rows have equal length and pairwise Equal values.
