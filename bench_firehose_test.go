@@ -1,0 +1,25 @@
+package ediflow
+
+import (
+	"testing"
+
+	"ediflow/internal/benchkit"
+)
+
+// The firehose suite: a paced event stream (multi-row INSERT batches
+// with interleaved UPDATEs and DELETEs) through the complete reactive
+// chain — triggers batch-dispatching one delta per (table, commit
+// batch), incremental maintenance of an aggregate view and a
+// delta-query view, a reactive handler measuring propagation latency
+// from the timestamp embedded in each row, and the NOTIFY doorbell.
+// Each benchmark fails outright if the views diverge from a full
+// recompute, so a passing run certifies correctness at that rate.
+// cmd/benchjson runs the same ladder into results/BENCH_9.json; the
+// curve (achieved rate and p50/p99 propagation latency per target
+// rate) is tabulated in EXPERIMENTS.md.
+
+func BenchmarkFirehose10k(b *testing.B)  { benchkit.Firehose(b, 10_000) }
+func BenchmarkFirehose25k(b *testing.B)  { benchkit.Firehose(b, 25_000) }
+func BenchmarkFirehose50k(b *testing.B)  { benchkit.Firehose(b, 50_000) }
+func BenchmarkFirehose100k(b *testing.B) { benchkit.Firehose(b, 100_000) }
+func BenchmarkFirehose150k(b *testing.B) { benchkit.Firehose(b, 150_000) }

@@ -10,6 +10,7 @@
 //	go run ./cmd/benchjson -suite fanout -out results/BENCH_6.json
 //	go run ./cmd/benchjson -suite mixed -out results/BENCH_7.json
 //	go run ./cmd/benchjson -suite vm -out results/BENCH_8.json
+//	go run ./cmd/benchjson -suite firehose -out results/BENCH_9.json
 //
 // The commit suite is the concurrent group-commit workload
 // (BenchmarkConcurrentCommit{1,4,16}); the fanout suite is the §VI-C
@@ -20,7 +21,11 @@
 // idle writer, so read_p99_ms can be compared directly; the vm suite
 // is the full-scan filtered SELECT and aggregate workloads run twice,
 // interpreted (SetCompiledEval(false)) and through the compiled
-// expression VM, so the speedup ratio falls straight out of the JSON.
+// expression VM, so the speedup ratio falls straight out of the JSON;
+// the firehose suite is the §V reactive-ingestion latency/rate curve —
+// a rate ladder of paced event streams through trigger → IVM → delta
+// handler → NOTIFY, with a full-recompute divergence check at each
+// point (BenchmarkFirehose*).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"testing"
 
 	"ediflow/internal/benchkit"
+	"ediflow/internal/workload/firehose"
 )
 
 // Result is one benchmark line: the standard ns/op and B/op plus
@@ -41,7 +47,9 @@ import (
 // percentiles for the mixed suite (SELECTs running lock-free on MVCC
 // snapshots while committers hold the write pipeline), or rows/matched
 // for the vm suite (table size and WHERE-qualifying rows — identical
-// between the interpreted and compiled runs by construction).
+// between the interpreted and compiled runs by construction), or the
+// target/achieved rate and propagation-latency percentiles for the
+// firehose suite (the latency/rate curve of the reactive pipeline).
 type Result struct {
 	Bench           string  `json:"bench"`
 	N               int     `json:"n"`
@@ -55,6 +63,12 @@ type Result struct {
 	ReadP99Ms       float64 `json:"read_p99_ms,omitempty"`
 	Rows            int64   `json:"rows,omitempty"`
 	Matched         int64   `json:"matched,omitempty"`
+	TargetRate      int     `json:"target_rate,omitempty"`
+	AchievedRate    float64 `json:"achieved_events_per_s,omitempty"`
+	LatP50Ms        float64 `json:"latency_p50_ms,omitempty"`
+	LatP99Ms        float64 `json:"latency_p99_ms,omitempty"`
+	Deltas          int64   `json:"handler_deltas,omitempty"`
+	Coalesced       int64   `json:"coalesced,omitempty"`
 }
 
 func main() {
@@ -202,8 +216,38 @@ func main() {
 				res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.Rows, res.Matched)
 			results = append(results, res)
 		}
+	case "firehose":
+		if *out == "" {
+			*out = "results/BENCH_9.json"
+		}
+		// The latency/rate curve of the batched reactive pipeline: each
+		// point paces b.N events at the target rate through trigger → IVM
+		// → delta handler → NOTIFY, with a view-divergence check inside
+		// the harness. Points past saturation report the best-effort
+		// achieved rate, so the curve shows exactly where the pipeline
+		// tops out.
+		rates := []int{10_000, 25_000, 50_000, 100_000, 150_000}
+		for _, rate := range rates {
+			rate := rate
+			var stats firehose.Stats
+			r := testing.Benchmark(func(b *testing.B) { stats = benchkit.Firehose(b, rate) })
+			res := Result{
+				Bench:        fmt.Sprintf("Firehose%dk", rate/1000),
+				N:            r.N,
+				NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+				TargetRate:   rate,
+				AchievedRate: stats.AchievedRate,
+				LatP50Ms:     float64(stats.P50.Microseconds()) / 1000,
+				LatP99Ms:     float64(stats.P99.Microseconds()) / 1000,
+				Deltas:       stats.HandlerDeltas,
+				Coalesced:    stats.Coalesced,
+			}
+			fmt.Printf("%-14s %9d events  target %7d/s  achieved %9.0f/s  p50 %8.3f ms  p99 %8.3f ms  %5d deltas\n",
+				res.Bench, res.N, res.TargetRate, res.AchievedRate, res.LatP50Ms, res.LatP99Ms, res.Deltas)
+			results = append(results, res)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, mixed, or vm)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, mixed, vm, or firehose)\n", *suite)
 		os.Exit(2)
 	}
 

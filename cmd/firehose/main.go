@@ -1,0 +1,97 @@
+// Command firehose drives the §V reactive-ingestion stress workload: a
+// paced stream of multi-row INSERT batches with interleaved UPDATEs and
+// DELETEs into a triggered table, maintained incrementally into an
+// aggregate view and a delta-query view, delivered to a reactive
+// handler through the bounded per-UP queue, and doorbelled over NOTIFY.
+// At the end of the run both views are compared against a full
+// recompute; any divergence is a hard failure.
+//
+//	go run ./cmd/firehose -rate 100000 -duration 2s
+//	go run ./cmd/firehose -rate 50000 -events 200000 -policy shed -queuecap 4
+//	go run ./cmd/firehose -rate 150000 -json
+//
+// -events takes precedence over -duration when both are set; with only
+// -duration the event count is rate×duration. -policy selects the queue
+// overflow policy (coalesce, shed, or block) and -queuecap the per-UP
+// queue depth. -dir runs against a durable on-disk database instead of
+// the in-memory default. -json emits the full Stats struct — the same
+// shape cmd/benchjson aggregates into results/BENCH_9.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ediflow/internal/wf"
+	"ediflow/internal/workload/firehose"
+)
+
+func main() {
+	rate := flag.Int("rate", 50_000, "target events per second")
+	events := flag.Int64("events", 0, "total events to send (0: rate×duration)")
+	duration := flag.Duration("duration", 2*time.Second, "run length when -events is 0")
+	batch := flag.Int("batch", 256, "rows per multi-row INSERT statement")
+	entities := flag.Int("entities", 64, "distinct GROUP BY entities")
+	updateEvery := flag.Int("update-every", 4, "issue an UPDATE every N batches (0: never)")
+	deleteEvery := flag.Int("delete-every", 8, "issue a DELETE every N batches (0: never)")
+	policyFlag := flag.String("policy", "coalesce", "queue overflow policy: coalesce, shed, or block")
+	queueCap := flag.Int("queuecap", 0, "per-UP delta queue capacity (0: default)")
+	notify := flag.Bool("notify", true, "attach a NOTIFY client to the aggregate view")
+	dir := flag.String("dir", "", "database directory (empty: in-memory)")
+	seed := flag.Int64("seed", 2011, "workload RNG seed")
+	jsonOut := flag.Bool("json", false, "emit stats as JSON instead of text")
+	flag.Parse()
+
+	policy, err := wf.ParsePolicy(*policyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := firehose.Run(firehose.Config{
+		Rate:        *rate,
+		Events:      *events,
+		Duration:    *duration,
+		Batch:       *batch,
+		Entities:    *entities,
+		UpdateEvery: *updateEvery,
+		DeleteEvery: *deleteEvery,
+		Policy:      policy,
+		QueueCap:    *queueCap,
+		Notify:      *notify,
+		Dir:         *dir,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("firehose: %d events in %d statements over %v\n",
+			st.EventsSent, st.Statements, st.Elapsed.Round(time.Millisecond))
+		fmt.Printf("  rate: target %d/s, achieved %.0f/s\n", st.TargetRate, st.AchievedRate)
+		fmt.Printf("  handler: %d deltas, %d events, %d rows (coalesced %d, shed %d, blocked %d, cancelled rows %d)\n",
+			st.HandlerDeltas, st.HandlerEvents, st.HandlerRows,
+			st.Coalesced, st.Shed, st.Blocked, st.Cancelled)
+		fmt.Printf("  latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			st.P50.Round(time.Microsecond), st.P90.Round(time.Microsecond),
+			st.P99.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+		if *notify {
+			fmt.Printf("  notify: %d notification rows, %d doorbell lines\n",
+				st.Notifications, st.NotifyLines)
+		}
+	}
+
+	if st.Divergence != "" {
+		log.Fatalf("VIEW DIVERGENCE: %s", st.Divergence)
+	}
+}

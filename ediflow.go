@@ -190,11 +190,18 @@ func MustOpenMemory(opts ...Option) *Platform {
 	return p
 }
 
-// Close shuts the platform down (notifier first, then the database).
+// Close shuts the platform down (reactive workers first, then the
+// notifier, then the database).
 func (p *Platform) Close() error {
+	p.wfEngine.Close()
 	p.notifier.Close()
 	return p.db.Close()
 }
+
+// Quiesce blocks until the reactive pipeline has drained: every delta
+// queued by update propagation has been handed to its delta handler.
+// Writers running concurrently can of course queue more.
+func (p *Platform) Quiesce() { p.wfEngine.Quiesce() }
 
 // DB exposes the underlying database facade.
 func (p *Platform) DB() *database.DB { return p.db }

@@ -1,0 +1,33 @@
+package benchkit
+
+import (
+	"testing"
+
+	"ediflow/internal/workload/firehose"
+)
+
+// Firehose runs b.N events through the full reactive chain (trigger →
+// IVM → delta handler → NOTIFY) paced at the given target rate, using
+// the internal/workload/firehose driver. It fails the benchmark outright
+// on any view divergence — a wrong answer at speed is not a data point —
+// and reports the achieved rate and propagation latency percentiles as
+// custom metrics.
+func Firehose(b *testing.B, rate int) firehose.Stats {
+	b.Helper()
+	st, err := firehose.Run(firehose.Config{
+		Rate:   rate,
+		Events: int64(b.N),
+		Batch:  1024,
+		Notify: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.Divergence != "" {
+		b.Fatalf("view divergence at %d events/s: %s", rate, st.Divergence)
+	}
+	b.ReportMetric(st.AchievedRate, "events/s")
+	b.ReportMetric(float64(st.P50.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99-ns")
+	return st
+}

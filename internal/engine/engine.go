@@ -49,6 +49,10 @@ const (
 	OpInsert ChangeOp = "INSERT"
 	OpUpdate ChangeOp = "UPDATE"
 	OpDelete ChangeOp = "DELETE"
+	// OpBatch marks a delta coalesced from events of more than one kind;
+	// it never appears on a ChangeEvent, only on batch-level deltas built
+	// from them (see internal/wf/react).
+	OpBatch ChangeOp = "BATCH"
 )
 
 // ChangeEvent describes one statement's effect on one table. It is the
@@ -67,6 +71,10 @@ type ChangeEvent struct {
 // TriggerFunc is a Go callback fired after a statement (or after COMMIT
 // when the statement ran inside a transaction).
 type TriggerFunc func(ChangeEvent)
+
+// BatchTriggerFunc is a trigger handler that receives all of a drained
+// dispatch batch's matching events in one call (see RegisterBatchHandler).
+type BatchTriggerFunc func([]ChangeEvent)
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -94,6 +102,10 @@ type Engine struct {
 
 	// Named Go trigger handlers referenced by CREATE TRIGGER ... CALL 'x'.
 	handlers map[string]TriggerFunc
+	// Batch trigger handlers: same CREATE TRIGGER indirection, but a name
+	// registered here is invoked once per drained dispatch batch with every
+	// matching event, not once per event.
+	batchHandlers map[string]BatchTriggerFunc
 	// Global observers, invoked for every change event.
 	observers []TriggerFunc
 	// Batch observers, invoked once per drained dispatch batch with the
@@ -134,8 +146,8 @@ type Engine struct {
 	// Observability: the registry is adopted from the store so WAL and
 	// engine metrics share one namespace; virtual tables expose both over
 	// plain SELECT.
-	reg     *metrics.Registry
-	slow    *metrics.SlowLog
+	reg  *metrics.Registry
+	slow *metrics.SlowLog
 	// virtMu guards the virtual-table map: RegisterVirtual may run while
 	// lock-free SELECTs resolve names.
 	virtMu  sync.RWMutex
@@ -195,12 +207,13 @@ type virtualTable struct {
 // the store's tables and metadata.
 func New(store *storage.Store) (*Engine, error) {
 	e := &Engine{
-		cat:      catalog.New(),
-		store:    store,
-		handlers: map[string]TriggerFunc{},
-		reg:      store.Metrics(),
-		slow:     metrics.NewSlowLog(128, 10*time.Millisecond),
-		virtual:  map[string]*virtualTable{},
+		cat:           catalog.New(),
+		store:         store,
+		handlers:      map[string]TriggerFunc{},
+		batchHandlers: map[string]BatchTriggerFunc{},
+		reg:           store.Metrics(),
+		slow:          metrics.NewSlowLog(128, 10*time.Millisecond),
+		virtual:       map[string]*virtualTable{},
 	}
 	e.mStatements = e.reg.Counter("engine.statements")
 	e.mErrors = e.reg.Counter("engine.errors")
@@ -260,7 +273,24 @@ func (e *Engine) Store() *storage.Store { return e.store }
 func (e *Engine) RegisterHandler(name string, fn TriggerFunc) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	delete(e.batchHandlers, name)
 	e.handlers[name] = fn
+}
+
+// RegisterBatchHandler installs a named batch trigger handler. CREATE
+// TRIGGER statements reference it exactly like a per-event handler, but
+// delivery is coalesced: the handler fires at most once per drained
+// dispatch batch, with every event of that batch whose (table, op)
+// matched one of the name's triggers, in sequence order. This is the
+// firehose path — at high commit rates one invocation absorbs the whole
+// batch instead of paying the per-event fan-out. A name is either a
+// per-event or a batch handler, never both; registering it here removes
+// any per-event registration and vice versa.
+func (e *Engine) RegisterBatchHandler(name string, fn BatchTriggerFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.handlers, name)
+	e.batchHandlers[name] = fn
 }
 
 // Observe installs a global change observer fired for every change event
@@ -603,6 +633,15 @@ func (e *Engine) settle(entry *dispatchEntry, durable bool) {
 // invariant net), then each batch observer once with the whole slice.
 func (e *Engine) deliver(events []ChangeEvent) {
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	// Batch-handler accumulation: while walking events for per-event
+	// triggers, collect the events matching each batch handler so it fires
+	// once with all of them after the per-event pass.
+	type batchCall struct {
+		fn     BatchTriggerFunc
+		events []ChangeEvent
+	}
+	var batched []*batchCall
+	batchIdx := map[string]*batchCall{}
 	for _, ev := range events {
 		e.mu.RLock()
 		trigs := e.cat.Triggers(ev.Table, string(ev.Op))
@@ -610,6 +649,14 @@ func (e *Engine) deliver(events []ChangeEvent) {
 		for _, t := range trigs {
 			if fn, ok := e.handlers[t.Handler]; ok {
 				fns = append(fns, fn)
+			} else if bfn, ok := e.batchHandlers[t.Handler]; ok {
+				bc := batchIdx[t.Handler]
+				if bc == nil {
+					bc = &batchCall{fn: bfn}
+					batchIdx[t.Handler] = bc
+					batched = append(batched, bc)
+				}
+				bc.events = append(bc.events, ev)
 			}
 		}
 		obs := make([]TriggerFunc, len(e.observers))
@@ -621,6 +668,9 @@ func (e *Engine) deliver(events []ChangeEvent) {
 		for _, fn := range obs {
 			fn(ev)
 		}
+	}
+	for _, bc := range batched {
+		bc.fn(bc.events)
 	}
 	e.mu.RLock()
 	bobs := make([]func([]ChangeEvent), len(e.batchObservers))

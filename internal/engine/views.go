@@ -331,6 +331,10 @@ func (vs *viewSet) applyDelta(table string, inserted, deleted []types.Row) ([]Ch
 		if err != nil {
 			return nil, fmt.Errorf("engine: maintaining view %s: %w", v.def.Name, err)
 		}
+		// Net out view rows that are both removed and re-added by the same
+		// batch (an update leaving some output rows unchanged): no backing
+		// churn, no event rows, and the mirror never sees a phantom flap.
+		adds, removes, _ = ivm.NetDelta(adds, removes)
 		if len(adds) == 0 && len(removes) == 0 {
 			continue
 		}

@@ -252,15 +252,62 @@ func (m *Maintainer) Init() ([]types.Row, error) {
 
 // Delta ingests a change to a base table and returns the rows to add to
 // and remove from the materialized contents. Updates are passed as
-// (inserted = new rows, deleted = old rows).
+// (inserted = new rows, deleted = old rows). The two sides may describe a
+// whole commit batch: rows inserted and deleted within the same batch are
+// cancelled pairwise (multiset semantics) before maintenance, so a row
+// that never outlives its batch contributes nothing — and in particular
+// cannot trip "delete from unknown group".
 func (m *Maintainer) Delta(table string, inserted, deleted []types.Row) (adds, removes []types.Row, err error) {
 	if !m.DependsOn(table) {
 		return nil, nil, nil
 	}
+	inserted, deleted, _ = NetDelta(inserted, deleted)
 	if m.class == ClassDeltaQuery {
 		return m.deltaQuery(table, inserted, deleted)
 	}
 	return m.deltaAggregate(inserted, deleted)
+}
+
+// NetDelta cancels rows that appear in both the inserted and deleted
+// multisets of one batch delta: each deleted row annihilates one
+// value-equal inserted row. Cancellation is by row value (types.RowKey),
+// so in a multiset with duplicates the surviving rows are equal to —
+// though not necessarily the same occurrences as — the true net effect.
+// Returns the net inserted rows, the net deleted rows (input order
+// preserved), and the number of cancelled pairs.
+func NetDelta(inserted, deleted []types.Row) (netIns, netDel []types.Row, cancelled int) {
+	if len(inserted) == 0 || len(deleted) == 0 {
+		return inserted, deleted, 0
+	}
+	del := make(map[string]int, len(deleted))
+	for _, r := range deleted {
+		del[types.RowKey(r)]++
+	}
+	consumed := make(map[string]int)
+	netIns = make([]types.Row, 0, len(inserted))
+	for _, r := range inserted {
+		k := types.RowKey(r)
+		if del[k] > 0 {
+			del[k]--
+			consumed[k]++
+			cancelled++
+			continue
+		}
+		netIns = append(netIns, r)
+	}
+	if cancelled == 0 {
+		return inserted, deleted, 0
+	}
+	netDel = make([]types.Row, 0, len(deleted)-cancelled)
+	for _, r := range deleted {
+		k := types.RowKey(r)
+		if consumed[k] > 0 {
+			consumed[k]--
+			continue
+		}
+		netDel = append(netDel, r)
+	}
+	return netIns, netDel, cancelled
 }
 
 func (m *Maintainer) deltaQuery(table string, inserted, deleted []types.Row) (adds, removes []types.Row, err error) {
@@ -329,8 +376,17 @@ func (m *Maintainer) evalBatch(rows []types.Row) (keep []bool, keys [][]types.Va
 	keys = make([][]types.Value, len(rows))
 	argv = make([][]types.Value, len(rows))
 	for i, r := range out {
-		b, err := r[0].AsBool()
-		keep[i] = err == nil && b
+		// Mirror the engine's WHERE semantics: NULL excludes the row, a
+		// coercion error aborts the whole maintenance step.
+		if r[0].IsNull() {
+			keep[i] = false
+		} else {
+			b, err := r[0].AsBool()
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("ivm: view %s: WHERE: %w", m.Name, err)
+			}
+			keep[i] = b
+		}
 		keys[i] = r[1 : 1+len(m.groupBy)]
 		argv[i] = r[1+len(m.groupBy):]
 	}
@@ -384,10 +440,16 @@ func (m *Maintainer) deltaAggregate(inserted, deleted []types.Row) (adds, remove
 		return nil
 	}
 
-	if err := process(deleted, -1); err != nil {
+	// Inserts fold in before deletes: within one coalesced batch a delete
+	// may target a group that only comes into existence through an insert
+	// of the same batch. The counting algorithm is sign-commutative for
+	// COUNT/SUM/AVG, and the MIN/MAX escape hatch recomputes from the base
+	// table (which already holds the batch's final state), so the order is
+	// free to pick — delete-first is the one that spuriously errors.
+	if err := process(inserted, +1); err != nil {
 		return nil, nil, err
 	}
-	if err := process(inserted, +1); err != nil {
+	if err := process(deleted, -1); err != nil {
 		return nil, nil, err
 	}
 	if err != nil {
@@ -482,18 +544,32 @@ func (m *Maintainer) apply(g *groupState, args []types.Value, sign int64) error 
 					g.mins[i], g.maxs[i] = v, v
 					continue
 				}
-				if c, err := types.Compare(v, g.mins[i]); err == nil && c < 0 {
+				cMin, err := types.Compare(v, g.mins[i])
+				if err != nil {
+					return fmt.Errorf("ivm: view %s: %s: %w", m.Name, spec.kind, err)
+				}
+				if cMin < 0 {
 					g.mins[i] = v
 				}
-				if c, err := types.Compare(v, g.maxs[i]); err == nil && c > 0 {
+				cMax, err := types.Compare(v, g.maxs[i])
+				if err != nil {
+					return fmt.Errorf("ivm: view %s: %s: %w", m.Name, spec.kind, err)
+				}
+				if cMax > 0 {
 					g.maxs[i] = v
 				}
 			} else {
 				// Deleting the current extreme invalidates it: recompute
 				// the group from the base table (counting algorithm's
 				// MIN/MAX escape hatch).
-				cMin, _ := types.Compare(v, g.mins[i])
-				cMax, _ := types.Compare(v, g.maxs[i])
+				cMin, err := types.Compare(v, g.mins[i])
+				if err != nil {
+					return fmt.Errorf("ivm: view %s: %s: %w", m.Name, spec.kind, err)
+				}
+				cMax, err := types.Compare(v, g.maxs[i])
+				if err != nil {
+					return fmt.Errorf("ivm: view %s: %s: %w", m.Name, spec.kind, err)
+				}
 				if cMin == 0 || cMax == 0 {
 					if err := m.recomputeExtremes(g, i); err != nil {
 						return err

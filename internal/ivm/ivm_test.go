@@ -3,6 +3,8 @@ package ivm_test
 import (
 	"testing"
 
+	"strings"
+
 	"ediflow/internal/engine"
 	"ediflow/internal/ivm"
 	"ediflow/internal/sqltext"
@@ -208,5 +210,146 @@ func TestAggregateAvgAndNulls(t *testing.T) {
 	}
 	if adds[0][1].Float() != 15.0 || adds[0][2].Int() != 2 {
 		t.Fatalf("AVG/COUNT with NULLs: %v", adds[0])
+	}
+}
+
+// Regression: WHERE evaluation errors must abort maintenance (mirroring
+// the engine's statement semantics), not silently drop the row.
+func TestWhereErrorPropagates(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	m, err := ivm.New("w", parseSel(t, "SELECT k, COUNT(*) AS n FROM t WHERE k GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	// 'x' does not coerce to BOOL: the delta must fail loudly.
+	_, _, err = m.Delta("t", []types.Row{{types.NewString("x"), types.NewInt(1)}}, nil)
+	if err == nil {
+		t.Fatal("WHERE coercion error was swallowed")
+	}
+	if !strings.Contains(err.Error(), "WHERE") {
+		t.Fatalf("error should identify the WHERE clause: %v", err)
+	}
+	// NULL still just excludes the row, as in the engine.
+	adds, removes, err := m.Delta("t", []types.Row{{types.Null, types.NewInt(1)}}, nil)
+	if err != nil || len(adds) != 0 || len(removes) != 0 {
+		t.Fatalf("%v %v %v", adds, removes, err)
+	}
+}
+
+// Regression: a row inserted and deleted within one coalesced batch must
+// net out instead of tripping "delete from unknown group".
+func TestBatchInsertDeleteNetsOut(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	m, err := ivm.New("agg", parseSel(t, "SELECT k, COUNT(*) AS n FROM t GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	row := types.Row{types.NewString("g"), types.NewInt(1)}
+	adds, removes, err := m.Delta("t", []types.Row{row}, []types.Row{row})
+	if err != nil {
+		t.Fatalf("insert+delete of same row in one batch: %v", err)
+	}
+	if len(adds) != 0 || len(removes) != 0 {
+		t.Fatalf("net effect must be empty: %v %v", adds, removes)
+	}
+	// Same for insert→update→delete: both sides carry both versions.
+	v1 := types.Row{types.NewString("h"), types.NewInt(70)}
+	v2 := types.Row{types.NewString("h"), types.NewInt(71)}
+	adds, removes, err = m.Delta("t", []types.Row{v1, v2}, []types.Row{v1, v2})
+	if err != nil || len(adds) != 0 || len(removes) != 0 {
+		t.Fatalf("insert→update→delete must net to zero: %v %v %v", adds, removes, err)
+	}
+}
+
+// Regression: deletes used to fold in before inserts, so a batch whose
+// delete lands in a group created by its own (non-cancelling) insert
+// erred out.
+func TestBatchInsertBeforeDelete(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	m, err := ivm.New("agg", parseSel(t, "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	adds, removes, err := m.Delta("t",
+		[]types.Row{
+			{types.NewString("g"), types.NewInt(1)},
+			{types.NewString("g"), types.NewInt(2)},
+			{types.NewString("g"), types.NewInt(3)},
+		},
+		[]types.Row{{types.NewString("g"), types.NewInt(2)}})
+	if err != nil {
+		t.Fatalf("delete from batch-created group: %v", err)
+	}
+	if len(adds) != 1 || len(removes) != 0 {
+		t.Fatalf("%v %v", adds, removes)
+	}
+	if adds[0][1].Int() != 2 || adds[0][2].Int() != 4 {
+		t.Fatalf("group after net batch: %v", adds[0])
+	}
+}
+
+// Regression: types.Compare errors in the MIN/MAX insert path were
+// silently ignored, corrupting extremes on mixed-kind input.
+func TestMinMaxCompareErrorSurfaces(t *testing.T) {
+	e := newEval(t, "CREATE TABLE t (k STRING, v INT)")
+	m, err := ivm.New("agg", parseSel(t, "SELECT k, MIN(v) AS lo FROM t GROUP BY k"), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Delta("t", []types.Row{{types.NewString("a"), types.NewInt(5)}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A STRING where the established extreme is INT cannot be ordered.
+	_, _, err = m.Delta("t", []types.Row{{types.NewString("a"), types.NewString("zz")}}, nil)
+	if err == nil {
+		t.Fatal("incomparable MIN argument must error, not corrupt the extreme")
+	}
+	// The NULL fast paths stay intact: NULL args are skipped, and NULL
+	// extremes never reach Compare.
+	adds, _, err := m.Delta("t", []types.Row{{types.NewString("a"), types.Null}}, nil)
+	if err != nil || len(adds) != 0 {
+		t.Fatalf("%v %v", adds, err)
+	}
+}
+
+func TestNetDelta(t *testing.T) {
+	r := func(vals ...int64) types.Row {
+		out := make(types.Row, len(vals))
+		for i, v := range vals {
+			out[i] = types.NewInt(v)
+		}
+		return out
+	}
+	ins := []types.Row{r(1), r(2), r(2), r(3)}
+	del := []types.Row{r(2), r(4)}
+	netIns, netDel, cancelled := ivm.NetDelta(ins, del)
+	if cancelled != 1 {
+		t.Fatalf("cancelled: %d", cancelled)
+	}
+	// One of the duplicate 2s cancels; the other survives.
+	if len(netIns) != 3 || len(netDel) != 1 || netDel[0][0].Int() != 4 {
+		t.Fatalf("%v %v", netIns, netDel)
+	}
+	// Disjoint multisets come back untouched (fast path).
+	netIns, netDel, cancelled = ivm.NetDelta(ins[:1], del[1:])
+	if cancelled != 0 || len(netIns) != 1 || len(netDel) != 1 {
+		t.Fatalf("%v %v %d", netIns, netDel, cancelled)
+	}
+	// Full annihilation.
+	_, _, cancelled = ivm.NetDelta([]types.Row{r(7)}, []types.Row{r(7)})
+	if cancelled != 1 {
+		t.Fatalf("cancelled: %d", cancelled)
 	}
 }

@@ -34,14 +34,25 @@ const (
 )
 
 // Delta describes a change to an input relation, delivered to delta
-// handlers by the update-propagation layer.
+// handlers by the update-propagation layer. A Delta may cover a whole
+// commit batch: the propagation layer coalesces every change event a
+// batch carries for one relation into a single Delta (Events counts
+// them), cancelling rows inserted and deleted within the batch so Rows
+// and OldRows are the batch's net effect.
 type Delta struct {
-	Table   string
-	Op      engine.ChangeOp
+	Table string
+	// Op is the change kind, or engine.OpBatch when the coalesced events
+	// were of mixed kinds.
+	Op engine.ChangeOp
+	// Seq is the highest contributing change-event sequence number.
 	Seq     int64
-	TIDs    []int64
-	Rows    []types.Row // new values (INSERT/UPDATE)
-	OldRows []types.Row // previous values (UPDATE/DELETE)
+	TIDs    []int64     // tuple ids aligned with Rows
+	Rows    []types.Row // net new values (INSERT/UPDATE)
+	OldTIDs []int64     // tuple ids aligned with OldRows
+	OldRows []types.Row // net previous values (UPDATE/DELETE)
+	// Events is the number of change events coalesced into this delta
+	// (0 is treated as 1 for compatibility with hand-built deltas).
+	Events int
 }
 
 // Env is the procedure environment (the paper's ProcessEnv): everything a

@@ -211,10 +211,9 @@ func (n *Notifier) onBatch(events []engine.ChangeEvent) {
 		return
 	}
 
-	// Per-event bookkeeping, remembering the newest event per table.
-	var order []string
-	latest := map[string]engine.ChangeEvent{}
-	coalesced := 0
+	// First pass: handle registrations/acks and collect the events that
+	// need a Notification-table tuple.
+	var pending []engine.ChangeEvent
 	for _, ev := range events {
 		// New registration: the DBMS connects back to the client (step 5
 		// of the paper's protocol). The dial happens off the observer path
@@ -245,20 +244,19 @@ func (n *Notifier) onBatch(events []engine.ChangeEvent) {
 		if skipTable(ev.Table) {
 			continue
 		}
+		pending = append(pending, ev)
+	}
 
-		// Record the compact notification tuple (one per event — the
-		// refresh protocol's source of truth is never coalesced).
-		_, err := n.db.Exec(
-			"INSERT INTO "+database.TableNotification+" (seq_no, ts, tbl, op, tids) VALUES (?, ?, ?, ?, ?)",
-			types.NewInt(ev.Seq),
-			types.NewInt(time.Now().UnixNano()),
-			types.NewString(ev.Table),
-			types.NewString(string(ev.Op)),
-			types.NewString(EncodeTIDs(ev.TIDs)),
-		)
-		if err != nil {
-			continue
-		}
+	// Record the compact notification tuples (one per event — the refresh
+	// protocol's source of truth is never coalesced). Under firehose load
+	// a batch carries hundreds of events, so the bookkeeping rides one
+	// multi-row INSERT per chunk instead of one statement per event; a
+	// chunk that fails (e.g. a duplicate seq) falls back to per-row
+	// inserts so a single bad tuple only drops its own NOTIFY.
+	var order []string
+	latest := map[string]engine.ChangeEvent{}
+	coalesced := 0
+	recorded := func(ev engine.ChangeEvent) {
 		key := strings.ToLower(ev.Table)
 		if prev, ok := latest[key]; ok {
 			coalesced++
@@ -268,6 +266,26 @@ func (n *Notifier) onBatch(events []engine.ChangeEvent) {
 		} else {
 			order = append(order, key)
 			latest[key] = ev
+		}
+	}
+	const chunk = 128
+	for start := 0; start < len(pending); start += chunk {
+		end := start + chunk
+		if end > len(pending) {
+			end = len(pending)
+		}
+		evs := pending[start:end]
+		if err := n.insertNotifications(evs); err == nil {
+			for _, ev := range evs {
+				recorded(ev)
+			}
+			continue
+		}
+		for _, ev := range evs {
+			if err := n.insertNotifications([]engine.ChangeEvent{ev}); err != nil {
+				continue
+			}
+			recorded(ev)
 		}
 	}
 	if len(order) == 0 {
@@ -295,6 +313,33 @@ func (n *Notifier) onBatch(events []engine.ChangeEvent) {
 		}
 	}
 	n.mu.Unlock()
+}
+
+// insertNotifications appends one ef_notification row per event with a
+// single multi-row INSERT.
+func (n *Notifier) insertNotifications(events []engine.ChangeEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + database.TableNotification + " (seq_no, ts, tbl, op, tids) VALUES ")
+	args := make([]types.Value, 0, len(events)*5)
+	for i, ev := range events {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(?, ?, ?, ?, ?)")
+		args = append(args,
+			types.NewInt(ev.Seq),
+			types.NewInt(now),
+			types.NewString(ev.Table),
+			types.NewString(string(ev.Op)),
+			types.NewString(EncodeTIDs(ev.TIDs)),
+		)
+	}
+	_, err := n.db.Exec(sb.String(), args...)
+	return err
 }
 
 // observeAcks measures the paper's Figure-8 quantity server-side: the

@@ -82,6 +82,14 @@ func NewEngine(db *database.DB, reg *module.Registry, opts ...Option) *Engine {
 // DB exposes the engine's database.
 func (e *Engine) DB() *database.DB { return e.db }
 
+// Quiesce blocks until every reactive delta queued by update propagation
+// has been delivered to its delta handler.
+func (e *Engine) Quiesce() { e.router.Quiesce() }
+
+// Close drains and stops the reactive delivery workers. Deployed process
+// definitions stay in the database.
+func (e *Engine) Close() { e.router.Close() }
+
 // Isolation exposes the isolation manager (examples and tests use it to
 // inspect deletion tables).
 func (e *Engine) Isolation() *isolation.Manager { return e.iso }

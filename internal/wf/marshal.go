@@ -48,8 +48,11 @@ func MarshalXML(p *Process) (string, error) {
 	}
 	sb.WriteString("  </body>\n")
 	for _, up := range p.UPs {
-		fmt.Fprintf(&sb, "  <updatePropagation relation=%q activity=%q scope=%q/>\n",
-			up.Relation, up.Activity, up.Scope)
+		fmt.Fprintf(&sb, "  <updatePropagation relation=%q activity=%q scope=%q", up.Relation, up.Activity, up.Scope)
+		if up.Policy != "" && up.Policy != PolicyCoalesce {
+			fmt.Fprintf(&sb, " policy=%q", up.Policy)
+		}
+		sb.WriteString("/>\n")
 	}
 	sb.WriteString("</process>\n")
 	return sb.String(), nil

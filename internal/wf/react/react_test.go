@@ -3,8 +3,10 @@ package react
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"ediflow/internal/database"
+	"ediflow/internal/engine"
 	"ediflow/internal/module"
 	"ediflow/internal/wf"
 )
@@ -14,9 +16,20 @@ type recorder struct {
 	deltas []module.Delta
 	procs  []string
 	ups    []wf.UP
+
+	// Optional worker gates: started signals each delivery's begin,
+	// release must be fed once per delivery to let it finish.
+	started chan struct{}
+	release chan struct{}
 }
 
 func (r *recorder) RouteDelta(process string, up wf.UP, d module.Delta) {
+	if r.started != nil {
+		r.started <- struct{}{}
+	}
+	if r.release != nil {
+		<-r.release
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.procs = append(r.procs, process)
@@ -30,12 +43,18 @@ func (r *recorder) count() int {
 	return len(r.deltas)
 }
 
-func setup(t *testing.T) (*database.DB, *Router, *recorder) {
+func (r *recorder) delta(i int) module.Delta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deltas[i]
+}
+
+func setup(t *testing.T, opts ...Option) (*database.DB, *Router, *recorder) {
 	t.Helper()
 	db := database.MustOpenMemory()
-	t.Cleanup(func() { db.Close() })
+	r := NewRouter(db, opts...)
+	t.Cleanup(func() { r.Close(); db.Close() })
 	db.Exec("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
-	r := NewRouter(db)
 	rec := &recorder{}
 	return db, r, rec
 }
@@ -72,11 +91,12 @@ func TestDeltaRouting(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Exec("INSERT INTO src (id, v) VALUES (1, 10), (2, 20)")
+	r.Quiesce()
 	if rec.count() != 1 {
 		t.Fatalf("deltas: %d", rec.count())
 	}
-	d := rec.deltas[0]
-	if d.Table != "src" || d.Op != "INSERT" || len(d.Rows) != 2 {
+	d := rec.delta(0)
+	if d.Table != "src" || d.Op != "INSERT" || len(d.Rows) != 2 || len(d.TIDs) != 2 {
 		t.Fatalf("%+v", d)
 	}
 	if rec.procs[0] != "proc" || rec.ups[0] != up {
@@ -84,14 +104,96 @@ func TestDeltaRouting(t *testing.T) {
 	}
 	db.Exec("UPDATE src SET v = 11 WHERE id = 1")
 	db.Exec("DELETE FROM src WHERE id = 2")
+	r.Quiesce()
 	if rec.count() != 3 {
 		t.Fatalf("deltas after update+delete: %d", rec.count())
 	}
-	if rec.deltas[1].Op != "UPDATE" || len(rec.deltas[1].OldRows) != 1 {
-		t.Fatalf("%+v", rec.deltas[1])
+	upd := rec.delta(1)
+	if upd.Op != "UPDATE" || len(upd.Rows) != 1 || len(upd.OldRows) != 1 || len(upd.OldTIDs) != 1 {
+		t.Fatalf("%+v", upd)
 	}
-	if rec.deltas[2].Op != "DELETE" {
-		t.Fatalf("%+v", rec.deltas[2])
+	del := rec.delta(2)
+	if del.Op != "DELETE" || len(del.OldRows) != 1 || len(del.Rows) != 0 {
+		t.Fatalf("%+v", del)
+	}
+}
+
+// A transaction's statements form one dispatch batch: the handler must
+// receive exactly one Delta for the whole (table, batch), not one per
+// statement.
+func TestOneDeltaPerBatch(t *testing.T) {
+	db, r, rec := setup(t)
+	if err := r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}, rec); err != nil {
+		t.Fatal(err)
+	}
+	stmts := []string{
+		"BEGIN",
+		"INSERT INTO src (id, v) VALUES (1, 10)",
+		"INSERT INTO src (id, v) VALUES (2, 20)",
+		"INSERT INTO src (id, v) VALUES (3, 30)",
+		"COMMIT",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Quiesce()
+	if rec.count() != 1 {
+		t.Fatalf("deltas: %d (want one per batch)", rec.count())
+	}
+	d := rec.delta(0)
+	if d.Events != 3 || len(d.Rows) != 3 || d.Op != engine.OpInsert {
+		t.Fatalf("%+v", d)
+	}
+}
+
+// A row inserted, updated and deleted within one batch must net out to no
+// delta at all.
+func TestBatchNetsToZero(t *testing.T) {
+	db, r, rec := setup(t)
+	if err := r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}, rec); err != nil {
+		t.Fatal(err)
+	}
+	stmts := []string{
+		"BEGIN",
+		"INSERT INTO src (id, v) VALUES (7, 70)",
+		"UPDATE src SET v = 71 WHERE id = 7",
+		"DELETE FROM src WHERE id = 7",
+		"COMMIT",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Quiesce()
+	if rec.count() != 0 {
+		t.Fatalf("deltas: %d (batch nets to zero)", rec.count())
+	}
+	// Partial cancellation: two inserts, one deleted in the same batch.
+	stmts = []string{
+		"BEGIN",
+		"INSERT INTO src (id, v) VALUES (8, 80)",
+		"INSERT INTO src (id, v) VALUES (9, 90)",
+		"DELETE FROM src WHERE id = 9",
+		"COMMIT",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Quiesce()
+	if rec.count() != 1 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+	d := rec.delta(0)
+	if len(d.Rows) != 1 || len(d.OldRows) != 0 || d.Op != engine.OpBatch {
+		t.Fatalf("%+v", d)
+	}
+	if d.Rows[0][0].Int() != 8 {
+		t.Fatalf("surviving row: %+v", d.Rows[0])
 	}
 }
 
@@ -103,6 +205,7 @@ func TestMultipleUPActionsSameRelation(t *testing.T) {
 	r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning}, rec)
 	r.Register("proc", wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeFutureRunning}, rec)
 	db.Exec("INSERT INTO src (id, v) VALUES (1, 1)")
+	r.Quiesce()
 	if rec.count() != 2 {
 		t.Fatalf("deltas: %d", rec.count())
 	}
@@ -129,7 +232,110 @@ func TestSanitizedIdentifiers(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Exec("INSERT INTO src (id, v) VALUES (9, 9)")
+	r.Quiesce()
 	if rec.count() != 1 {
 		t.Fatalf("deltas: %d", rec.count())
+	}
+}
+
+// gatedSetup registers one UP with a capacity-1 queue and a handler that
+// must be released per delivery, then feeds one delta through so the
+// worker is busy and the queue is empty.
+func gatedSetup(t *testing.T, policy wf.Policy) (*database.DB, *Router, *recorder) {
+	t.Helper()
+	db, r, rec := setup(t, WithQueueCap(1))
+	rec.started = make(chan struct{}, 16)
+	rec.release = make(chan struct{}, 16)
+	up := wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning, Policy: policy}
+	if err := r.Register("proc", up, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO src (id, v) VALUES (1, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-rec.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the first delta")
+	}
+	// Worker is now parked in RouteDelta; the queue has space for exactly
+	// one more delta.
+	if _, err := db.Exec("INSERT INTO src (id, v) VALUES (2, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	return db, r, rec
+}
+
+func TestOverflowCoalesce(t *testing.T) {
+	db, r, rec := gatedSetup(t, wf.PolicyCoalesce)
+	// Queue full: these two merge into the queued delta.
+	db.Exec("INSERT INTO src (id, v) VALUES (3, 3)")
+	db.Exec("DELETE FROM src WHERE id = 3")
+	rec.release <- struct{}{} // finish delivery 1
+	rec.release <- struct{}{} // deliver the merged delta
+	<-rec.started
+	r.Quiesce()
+	if rec.count() != 2 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+	d := rec.delta(1)
+	// Rows 2 and 3 merged; 3's insert+delete netted out across the merge.
+	if d.Events != 3 || len(d.Rows) != 1 || d.Rows[0][0].Int() != 2 {
+		t.Fatalf("merged delta: %+v", d)
+	}
+	if got := db.Metrics().Counter("react.coalesced").Value(); got != 2 {
+		t.Fatalf("react.coalesced: %d", got)
+	}
+}
+
+func TestOverflowShed(t *testing.T) {
+	db, r, rec := gatedSetup(t, wf.PolicyShed)
+	// Queue full: this delta is dropped.
+	db.Exec("INSERT INTO src (id, v) VALUES (3, 3)")
+	rec.release <- struct{}{}
+	rec.release <- struct{}{}
+	<-rec.started
+	r.Quiesce()
+	if rec.count() != 2 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+	if d := rec.delta(1); d.Rows[0][0].Int() != 2 {
+		t.Fatalf("%+v", d)
+	}
+	if got := db.Metrics().Counter("react.shed").Value(); got != 1 {
+		t.Fatalf("react.shed: %d", got)
+	}
+}
+
+func TestOverflowBlock(t *testing.T) {
+	db, r, rec := gatedSetup(t, wf.PolicyBlock)
+	// Queue full: the next statement's dispatch must stall until the
+	// worker frees a slot.
+	execDone := make(chan struct{})
+	go func() {
+		db.Exec("INSERT INTO src (id, v) VALUES (3, 3)")
+		close(execDone)
+	}()
+	select {
+	case <-execDone:
+		t.Fatal("Exec returned despite a full block-policy queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rec.release <- struct{}{} // finish delivery 1 → frees a slot
+	select {
+	case <-execDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Exec still blocked after the queue drained")
+	}
+	rec.release <- struct{}{}
+	<-rec.started
+	rec.release <- struct{}{}
+	<-rec.started
+	r.Quiesce()
+	if rec.count() != 3 {
+		t.Fatalf("deltas: %d", rec.count())
+	}
+	if got := db.Metrics().Counter("react.blocked").Value(); got == 0 {
+		t.Fatal("react.blocked not counted")
 	}
 }

@@ -90,13 +90,48 @@ type Function struct {
 	Class string
 }
 
+// Policy is the overflow policy of one UP action's delta queue: what the
+// propagation layer does when deltas arrive faster than the activity's
+// handler consumes them (a bounded queue is already full).
+type Policy string
+
+// Overflow policies.
+const (
+	// PolicyCoalesce (the default) merges the overflowing delta into the
+	// newest queued one, net-cancelling rows inserted and deleted across
+	// the pair. No change is lost, but a slow handler sees fewer, larger
+	// deltas.
+	PolicyCoalesce Policy = "coalesce"
+	// PolicyShed drops the overflowing delta and counts it in react.shed.
+	// For handlers that re-read base state anyway, losing intermediate
+	// deltas is harmless and the firehose never stalls.
+	PolicyShed Policy = "shed"
+	// PolicyBlock makes the enqueuing dispatcher wait for queue space,
+	// propagating backpressure all the way to committers.
+	PolicyBlock Policy = "block"
+)
+
+// ParsePolicy validates an overflow-policy string; empty means coalesce.
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(strings.ToLower(strings.TrimSpace(s))); p {
+	case "":
+		return PolicyCoalesce, nil
+	case PolicyCoalesce, PolicyShed, PolicyBlock:
+		return p, nil
+	}
+	return "", fmt.Errorf("wf: unknown overflow policy %q (want coalesce, shed or block)", s)
+}
+
 // UP is one update-propagation action (§V): when ΔR arrives for Relation,
 // propagate it to the instances of Activity selected by Scope. Several UP
-// actions may target the same relation and activity.
+// actions may target the same relation and activity. Policy picks the
+// overflow behavior of the action's bounded delta queue (empty =
+// coalesce).
 type UP struct {
 	Relation string
 	Activity string
 	Scope    Scope
+	Policy   Policy
 }
 
 // Node is a node of the structured process body.
@@ -351,6 +386,9 @@ func (p *Process) Validate() error {
 	}
 	for _, up := range p.UPs {
 		if _, err := ParseScope(string(up.Scope)); err != nil {
+			return err
+		}
+		if _, err := ParsePolicy(string(up.Policy)); err != nil {
 			return err
 		}
 		// "*" is the macro form (§V option 3): the enactment engine expands

@@ -139,10 +139,15 @@ func parseProcess(dec *xml.Decoder, se xml.StartElement) (*Process, error) {
 				if err != nil {
 					return nil, err
 				}
+				policy, err := ParsePolicy(attr(t, "policy"))
+				if err != nil {
+					return nil, err
+				}
 				p.UPs = append(p.UPs, UP{
 					Relation: attr(t, "relation"),
 					Activity: attr(t, "activity"),
 					Scope:    scope,
+					Policy:   policy,
 				})
 				if err := dec.Skip(); err != nil {
 					return nil, err

@@ -1,0 +1,89 @@
+package firehose
+
+import (
+	"testing"
+	"time"
+
+	"ediflow/internal/wf"
+)
+
+// TestFirehoseSoak is the CI fault-drill smoke: a short sustained-rate
+// run through the whole chain under -race. The rate is deliberately
+// modest — the race detector costs an order of magnitude — but the
+// invariants are the full-strength ones: every statement's delta reaches
+// the handler, the views match a recompute exactly, and notifications
+// were recorded.
+func TestFirehoseSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	st, err := Run(Config{Rate: 8_000, Duration: 1500 * time.Millisecond, Batch: 128, Notify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Divergence != "" {
+		t.Fatalf("view divergence: %s", st.Divergence)
+	}
+	// Coalesce policy loses nothing: every engine event on fh_edits is
+	// accounted for in some delivered delta.
+	if st.HandlerEvents != st.Statements {
+		t.Fatalf("handler saw %d events for %d statements", st.HandlerEvents, st.Statements)
+	}
+	if st.HandlerDeltas == 0 || st.HandlerDeltas > st.Statements {
+		t.Fatalf("deltas: %d (statements: %d)", st.HandlerDeltas, st.Statements)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("coalesce policy shed %d deltas", st.Shed)
+	}
+	if st.Notifications == 0 || st.NotifyLines == 0 {
+		t.Fatalf("notification chain silent: %d rows, %d lines", st.Notifications, st.NotifyLines)
+	}
+	if st.P99 <= 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+// TestFirehoseShedPolicy drives a tiny queue under shed policy: the run
+// must stay correct (views never shed — only handler deliveries do) even
+// when deltas are dropped.
+func TestFirehoseShedPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	st, err := Run(Config{Rate: 8_000, Duration: 800 * time.Millisecond, Batch: 128,
+		Policy: wf.PolicyShed, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Divergence != "" {
+		t.Fatalf("view divergence under shed: %s", st.Divergence)
+	}
+	// Shed deltas may each carry several coalesced events, so the precise
+	// ledger is one-sided: deliveries never exceed what was sent, and a
+	// loss-free run must have delivered everything.
+	if st.HandlerEvents > st.Statements {
+		t.Fatalf("delivered %d events for %d statements", st.HandlerEvents, st.Statements)
+	}
+	if st.Shed == 0 && st.HandlerEvents != st.Statements {
+		t.Fatalf("nothing shed yet %d of %d events delivered", st.HandlerEvents, st.Statements)
+	}
+}
+
+// TestFirehoseBlockPolicy exercises backpressure end-to-end: with block
+// policy nothing is ever lost, whatever the queue size.
+func TestFirehoseBlockPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	st, err := Run(Config{Rate: 8_000, Duration: 800 * time.Millisecond, Batch: 128,
+		Policy: wf.PolicyBlock, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Divergence != "" {
+		t.Fatalf("view divergence under block: %s", st.Divergence)
+	}
+	if st.HandlerEvents != st.Statements {
+		t.Fatalf("block policy lost events: %d of %d", st.HandlerEvents, st.Statements)
+	}
+}
