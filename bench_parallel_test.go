@@ -1,0 +1,30 @@
+package ediflow
+
+// Morsel-driven parallel scans and aggregate folds at 1/2/4/8 workers
+// over a 200k-row table. Workers=1 is the serial baseline (the parallel
+// path never engages); higher counts fan morsels out to the shared
+// worker pool. On a single-core host these measure coordination
+// overhead, not speedup — see EXPERIMENTS.md for the honest scaling
+// table. See internal/benchkit/parallel.go for the workloads and
+// cmd/benchjson -suite parallel for the JSON emitter.
+
+import (
+	"testing"
+
+	"ediflow/internal/benchkit"
+)
+
+const parBenchRows = 200_000
+
+func BenchmarkParallelScanW1(b *testing.B) { benchkit.ParallelScan(b, parBenchRows, 1) }
+func BenchmarkParallelScanW2(b *testing.B) { benchkit.ParallelScan(b, parBenchRows, 2) }
+func BenchmarkParallelScanW4(b *testing.B) { benchkit.ParallelScan(b, parBenchRows, 4) }
+func BenchmarkParallelScanW8(b *testing.B) { benchkit.ParallelScan(b, parBenchRows, 8) }
+
+func BenchmarkParallelAggW1(b *testing.B) { benchkit.ParallelAgg(b, parBenchRows, 1) }
+func BenchmarkParallelAggW2(b *testing.B) { benchkit.ParallelAgg(b, parBenchRows, 2) }
+func BenchmarkParallelAggW4(b *testing.B) { benchkit.ParallelAgg(b, parBenchRows, 4) }
+func BenchmarkParallelAggW8(b *testing.B) { benchkit.ParallelAgg(b, parBenchRows, 8) }
+
+func BenchmarkParallelGroupAggW1(b *testing.B) { benchkit.ParallelGroupAgg(b, parBenchRows, 1) }
+func BenchmarkParallelGroupAggW4(b *testing.B) { benchkit.ParallelGroupAgg(b, parBenchRows, 4) }

@@ -11,6 +11,7 @@
 //	go run ./cmd/benchjson -suite mixed -out results/BENCH_7.json
 //	go run ./cmd/benchjson -suite vm -out results/BENCH_8.json
 //	go run ./cmd/benchjson -suite firehose -out results/BENCH_9.json
+//	go run ./cmd/benchjson -suite parallel -out results/BENCH_10.json
 //
 // The commit suite is the concurrent group-commit workload
 // (BenchmarkConcurrentCommit{1,4,16}); the fanout suite is the §VI-C
@@ -25,7 +26,11 @@
 // the firehose suite is the §V reactive-ingestion latency/rate curve —
 // a rate ladder of paced event streams through trigger → IVM → delta
 // handler → NOTIFY, with a full-recompute divergence check at each
-// point (BenchmarkFirehose*).
+// point (BenchmarkFirehose*); the parallel suite is the morsel-driven
+// core-scaling ladder — filtered scans and aggregate folds at 1/2/4/8
+// workers over the same 200k-row table, with the vm.parallel_queries
+// and vm.morsels deltas recorded so the JSON proves which runs actually
+// took the parallel path (BenchmarkParallel*).
 package main
 
 import (
@@ -69,6 +74,9 @@ type Result struct {
 	LatP99Ms        float64 `json:"latency_p99_ms,omitempty"`
 	Deltas          int64   `json:"handler_deltas,omitempty"`
 	Coalesced       int64   `json:"coalesced,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	ParQueries      int64   `json:"parallel_queries,omitempty"`
+	Morsels         int64   `json:"morsels,omitempty"`
 }
 
 func main() {
@@ -246,8 +254,54 @@ func main() {
 				res.Bench, res.N, res.TargetRate, res.AchievedRate, res.LatP50Ms, res.LatP99Ms, res.Deltas)
 			results = append(results, res)
 		}
+	case "parallel":
+		if *out == "" {
+			*out = "results/BENCH_10.json"
+		}
+		// The morsel-parallelism core-scaling ladder: the identical
+		// workload at 1/2/4/8 workers. Workers=1 is the serial baseline
+		// (parallel_queries stays 0 by construction); Matched must be
+		// identical down the ladder — the reorder buffer and fold-merge
+		// keep parallel results byte-identical to serial.
+		type spec struct {
+			name    string
+			workers int
+			run     func(b *testing.B, workers int) benchkit.ParallelStats
+		}
+		var specs []spec
+		for _, w := range []int{1, 2, 4, 8} {
+			specs = append(specs, spec{fmt.Sprintf("ParallelScanW%d", w), w,
+				func(b *testing.B, w int) benchkit.ParallelStats { return benchkit.ParallelScan(b, 200_000, w) }})
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			specs = append(specs, spec{fmt.Sprintf("ParallelAggW%d", w), w,
+				func(b *testing.B, w int) benchkit.ParallelStats { return benchkit.ParallelAgg(b, 200_000, w) }})
+		}
+		for _, w := range []int{1, 4} {
+			specs = append(specs, spec{fmt.Sprintf("ParallelGroupAggW%d", w), w,
+				func(b *testing.B, w int) benchkit.ParallelStats { return benchkit.ParallelGroupAgg(b, 200_000, w) }})
+		}
+		for _, sp := range specs {
+			sp := sp
+			var stats benchkit.ParallelStats
+			r := testing.Benchmark(func(b *testing.B) { stats = sp.run(b, sp.workers) })
+			res := Result{
+				Bench:      sp.name,
+				N:          r.N,
+				NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp: r.AllocedBytesPerOp(),
+				Rows:       stats.Rows,
+				Matched:    stats.Matched,
+				Workers:    stats.Workers,
+				ParQueries: stats.ParQueries,
+				Morsels:    stats.Morsels,
+			}
+			fmt.Printf("%-22s %6d iters  %12.0f ns/op  %10d B/op  w=%d  %6d matched  %5d parq  %7d morsels\n",
+				res.Bench, res.N, res.NsPerOp, res.BytesPerOp, res.Workers, res.Matched, res.ParQueries, res.Morsels)
+			results = append(results, res)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, mixed, vm, or firehose)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want commit, fanout, mixed, vm, firehose, or parallel)\n", *suite)
 		os.Exit(2)
 	}
 

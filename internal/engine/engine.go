@@ -28,6 +28,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -177,6 +178,17 @@ type Engine struct {
 	mVMBatches   *metrics.Counter
 	mVMRows      *metrics.Counter
 
+	// Morsel-driven intra-query parallelism (see parallel.go). The
+	// worker budget is engine-wide: concurrent sessions draw extra
+	// workers from one shared pool so they degrade to narrower plans
+	// instead of oversubscribing the cores.
+	parallelism atomic.Int64 // target workers per query (1 = serial)
+	parMinRows  atomic.Int64 // slot-count threshold to go parallel
+	parExtra    atomic.Int64 // extra workers currently running engine-wide
+	mParQueries *metrics.Counter
+	mParMorsels *metrics.Counter
+	mParWorkers *metrics.Counter
+
 	// udfMu guards the user scalar-function registry (RegisterFunc may
 	// run while lock-free SELECTs resolve calls).
 	udfMu sync.RWMutex
@@ -231,6 +243,11 @@ func New(store *storage.Store) (*Engine, error) {
 	e.mVMFallback = e.reg.Counter("vm.fallback")
 	e.mVMBatches = e.reg.Counter("vm.exec_batches")
 	e.mVMRows = e.reg.Counter("vm.rows")
+	e.parallelism.Store(int64(runtime.GOMAXPROCS(0)))
+	e.parMinRows.Store(defaultParallelMinRows)
+	e.mParQueries = e.reg.Counter("vm.parallel_queries")
+	e.mParMorsels = e.reg.Counter("vm.morsels")
+	e.mParWorkers = e.reg.Counter("vm.parallel_workers")
 	e.registerSystemTables()
 	e.views = newViewSet(e)
 	for _, name := range store.TableNames() {
@@ -438,6 +455,10 @@ func (e *Engine) ExecStmt(st sqltext.Statement, args ...types.Value) (*Result, e
 	}
 	if err != nil {
 		e.mErrors.Inc()
+	}
+	if ctx.parWorkers > 0 {
+		e.mParQueries.Inc()
+		e.mParWorkers.Add(ctx.parWorkers)
 	}
 	if e.slow.ShouldRecord(d, err != nil) {
 		errMsg := ""

@@ -1,0 +1,1032 @@
+package engine
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ediflow/internal/engine/vm"
+	"ediflow/internal/sqltext"
+	"ediflow/internal/storage"
+	"ediflow/internal/types"
+)
+
+// Morsel-driven intra-query parallelism.
+//
+// A full scan over an MVCC snapshot is embarrassingly parallel: the
+// slot array is captured once (storage.SlotView), every worker resolves
+// visibility lock-free against the same pinned sequence number, and the
+// only coordination is an atomic cursor handing out morsels — fixed
+// runs of version-chain slots, each a few VM batches long. Workers emit
+// into a per-morsel reorder buffer, so gathering in morsel order yields
+// exactly the serial scan's rows, errors, and rows-scanned tally:
+// parallel execution is an invisible implementation detail.
+//
+// The worker budget is engine-wide (Engine.parExtra): a query reserves
+// extra workers against the configured parallelism before fanning out
+// and releases them at gather, so concurrent sessions degrade to
+// narrower plans instead of oversubscribing the cores.
+
+// morselSlots is the number of version-chain slots per morsel: 16 VM
+// batches, small enough to load-balance skewed filters, large enough to
+// amortize batch refills. Package variable (not const) so tests can
+// shrink it to force multi-morsel plans on small tables.
+var morselSlots = 16 * vm.BatchSize
+
+// defaultParallelMinRows is the slot-count threshold below which scans
+// always stay serial: two morsels is the minimum useful fan-out, and
+// point lookups / small tables must not pay goroutine overhead.
+const defaultParallelMinRows = 2 * 16 * vm.BatchSize
+
+// parallelGroupCap bounds per-worker aggregate state slabs: beyond this
+// many groups the partial-state memory (workers x items x groups)
+// outweighs the fold savings and grouped folds stay serial.
+const parallelGroupCap = 4096
+
+// SetParallelism sets the target number of workers an eligible query
+// may fan out to. 1 disables intra-query parallelism; 0 resets to
+// runtime.GOMAXPROCS. The default is GOMAXPROCS at engine start.
+func (e *Engine) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.parallelism.Store(int64(n))
+}
+
+// Parallelism reports the configured per-query worker target.
+func (e *Engine) Parallelism() int { return int(e.parallelism.Load()) }
+
+// SetParallelMinRows sets the slot-count threshold a table scan (or
+// materialized row set) must reach before the planner considers
+// parallel execution. 0 resets the default.
+func (e *Engine) SetParallelMinRows(n int) {
+	if n <= 0 {
+		n = defaultParallelMinRows
+	}
+	e.parMinRows.Store(int64(n))
+}
+
+// parallelWidth reports how many workers a phase over n rows would
+// target — 1 means stay serial. It does not reserve anything.
+func (e *Engine) parallelWidth(n int) int {
+	w := int(e.parallelism.Load())
+	if w <= 1 || int64(n) < e.parMinRows.Load() {
+		return 1
+	}
+	m := (n + morselSlots - 1) / morselSlots
+	if m < 2 {
+		return 1
+	}
+	if w > m {
+		w = m
+	}
+	return w
+}
+
+// reserveWorkers claims up to want extra workers from the engine-wide
+// budget (parallelism - 1 beyond the calling goroutine). Returns how
+// many were actually claimed; 0 means run serial. Callers must
+// releaseWorkers the same count when the phase completes.
+func (e *Engine) reserveWorkers(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	max := e.parallelism.Load() - 1
+	for {
+		cur := e.parExtra.Load()
+		free := max - cur
+		if free <= 0 {
+			return 0
+		}
+		got := int64(want)
+		if got > free {
+			got = free
+		}
+		if e.parExtra.CompareAndSwap(cur, cur+got) {
+			return int(got)
+		}
+	}
+}
+
+func (e *Engine) releaseWorkers(n int) {
+	if n > 0 {
+		e.parExtra.Add(-int64(n))
+	}
+}
+
+// notePar records the widest fan-out any phase of the statement used,
+// for the vm.parallel_queries / vm.parallel_workers metrics.
+func (ctx *stmtCtx) notePar(nw int) {
+	if int64(nw) > ctx.parWorkers {
+		ctx.parWorkers = int64(nw)
+	}
+}
+
+// morselOut is one morsel's slot in the reorder buffer. Workers fill
+// slots out of order; the gather walks them in morsel order so output
+// rows, the first surfaced error, and the scan tally are byte-identical
+// to the serial scan.
+type morselOut struct {
+	rows     []types.Row
+	scanned  int
+	whereErr error
+	projErr  error
+}
+
+// parallelScan runs the compiled streaming full scan fanned out over
+// morsels of the snapshot's slot array. Returns handled=false when the
+// scan should stay serial (below threshold, parallelism off, or the
+// engine-wide worker budget is exhausted). On handled=true the matched
+// rows were appended to rel.rows (or emitted through proj) and the scan
+// tally counted, exactly as the serial path would have.
+func (e *Engine) parallelScan(tbl *storage.Table, rel *relation, prog *vm.Program, proj *scanProj, args []types.Value, ctx *stmtCtx, nUser int) (bool, error) {
+	view := tbl.View(ctx.snap)
+	nSlots := view.Slots()
+	width := e.parallelWidth(nSlots)
+	if width <= 1 {
+		return false, nil
+	}
+	morsels := (nSlots + morselSlots - 1) / morselSlots
+	extra := e.reserveWorkers(width - 1)
+	if extra == 0 {
+		return false, nil
+	}
+	defer e.releaseWorkers(extra)
+	nw := extra + 1
+
+	kinds := batchKinds(rel.cols)
+	used := scanUsedCols(prog, proj)
+	needSys := false
+	for _, c := range used {
+		if c >= nUser {
+			needSys = true
+		}
+	}
+
+	outs := make([]morselOut, morsels)
+	var cursor atomic.Int64
+	// errFloor is the lowest morsel index that hit a WHERE error: the
+	// serial scan would have aborted inside it, so morsels above it are
+	// dead weight. The cursor hands morsels out in increasing order, so
+	// skipping every claim above the floor never skips a morsel that
+	// could lower it.
+	errFloor := atomic.Int64{}
+	errFloor.Store(int64(morsels))
+
+	worker := func() {
+		m := vm.NewMachine(prog)
+		m.Bind(args)
+		wproj := proj.clone(args)
+		batch := vm.NewBatch(kinds, used)
+		var scratch types.Row
+		if needSys {
+			scratch = make(types.Row, nUser+2)
+		}
+		vals := make([]types.Row, 0, vm.BatchSize)
+		tids := make([]int64, 0, vm.BatchSize)
+		created := make([]int64, 0, vm.BatchSize)
+		for {
+			mi := int(cursor.Add(1) - 1)
+			if mi >= morsels || int64(mi) > errFloor.Load() {
+				return
+			}
+			out := &outs[mi]
+			flush := func() error {
+				if len(vals) == 0 {
+					return nil
+				}
+				if needSys {
+					batch.Reset()
+					for i := range vals {
+						copy(scratch, vals[i])
+						scratch[nUser] = types.NewInt(tids[i])
+						scratch[nUser+1] = types.NewInt(created[i])
+						batch.Append(scratch)
+					}
+				} else {
+					batch.Fill(vals)
+				}
+				lanes, err := m.Filter(batch)
+				if err != nil {
+					return err
+				}
+				if len(lanes) > 0 && out.projErr == nil {
+					if wproj != nil {
+						out.projErr = wproj.emit(&out.rows, batch, lanes, vals, tids, created, nUser)
+					} else {
+						w := nUser + 2
+						slab := make([]types.Value, len(lanes)*w)
+						for k, i := range lanes {
+							full := types.Row(slab[k*w : (k+1)*w : (k+1)*w])
+							copy(full, vals[i])
+							full[nUser] = types.NewInt(tids[i])
+							full[nUser+1] = types.NewInt(created[i])
+							out.rows = append(out.rows, full)
+						}
+					}
+				}
+				e.countVM(batch.Len())
+				vals, tids, created = vals[:0], tids[:0], created[:0]
+				return nil
+			}
+			for it := view.IterateRange(mi*morselSlots, (mi+1)*morselSlots); ; {
+				sr, more := it.Next()
+				if !more {
+					break
+				}
+				out.scanned++
+				vals = append(vals, sr.Values)
+				tids = append(tids, sr.TID)
+				created = append(created, sr.Created)
+				if len(vals) == vm.BatchSize {
+					if err := flush(); err != nil {
+						out.whereErr = err
+						break
+					}
+				}
+			}
+			if out.whereErr == nil {
+				if err := flush(); err != nil {
+					out.whereErr = err
+				}
+			}
+			if out.whereErr != nil {
+				vals, tids, created = vals[:0], tids[:0], created[:0]
+				// CAS-min: only lower the floor.
+				for {
+					cur := errFloor.Load()
+					if int64(mi) >= cur || errFloor.CompareAndSwap(cur, int64(mi)) {
+						break
+					}
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+
+	// Gather in morsel order. A WHERE error aborts without counting the
+	// tally (the serial scan returns before countScanned); a projection
+	// error is surfaced only when no morsel hit a WHERE error, matching
+	// the serial scan's deferral of projection errors to scan end.
+	for i := range outs {
+		if outs[i].whereErr != nil {
+			return true, outs[i].whereErr
+		}
+	}
+	total := 0
+	scanned := 0
+	for i := range outs {
+		if outs[i].projErr != nil {
+			return true, outs[i].projErr
+		}
+		total += len(outs[i].rows)
+		scanned += outs[i].scanned
+	}
+	if rel.rows == nil {
+		rel.rows = make([]types.Row, 0, total)
+	}
+	for i := range outs {
+		rel.rows = append(rel.rows, outs[i].rows...)
+	}
+	e.countScanned(ctx, scanned)
+	ctx.notePar(nw)
+	if e.reg.Enabled() {
+		e.mParMorsels.Add(int64(morsels))
+	}
+	return true, nil
+}
+
+// scanUsedCols unions the columns read by the WHERE program and any
+// pushed-down projection programs.
+func scanUsedCols(prog *vm.Program, proj *scanProj) []int {
+	usedSet := map[int]bool{}
+	for _, c := range prog.Cols() {
+		usedSet[c] = true
+	}
+	if proj != nil {
+		for _, p := range proj.progs {
+			if p == nil {
+				continue
+			}
+			for _, c := range p.Cols() {
+				usedSet[c] = true
+			}
+		}
+	}
+	used := make([]int, 0, len(usedSet))
+	for c := range usedSet {
+		used = append(used, c)
+	}
+	sort.Ints(used)
+	return used
+}
+
+// clone returns a worker-private copy of a scan projection: programs
+// and bare-column maps are shared (immutable), machines are per-worker
+// (vm.Machine is not goroutine-safe).
+func (sp *scanProj) clone(args []types.Value) *scanProj {
+	if sp == nil {
+		return nil
+	}
+	c := &scanProj{
+		names:    sp.names,
+		progs:    sp.progs,
+		bare:     sp.bare,
+		machines: make([]*vm.Machine, len(sp.progs)),
+		vecs:     make([]*vm.Vec, len(sp.progs)),
+	}
+	for i, p := range sp.progs {
+		if p != nil {
+			c.machines[i] = vm.NewMachine(p)
+			c.machines[i].Bind(args)
+		}
+	}
+	return c
+}
+
+// evalVecsRange is evalVecs restricted to rel.rows[lo:hi), with the
+// sink's start index still absolute. Workers call it over disjoint
+// ranges with their own machines.
+func (e *Engine) evalVecsRange(progs []*vm.Program, rel *relation, args []types.Value, lo, hi int, sink func(start, count int, vecs []*vm.Vec) error) error {
+	machines := make([]*vm.Machine, len(progs))
+	usedSet := map[int]bool{}
+	for i, p := range progs {
+		machines[i] = vm.NewMachine(p)
+		machines[i].Bind(args)
+		for _, c := range p.Cols() {
+			usedSet[c] = true
+		}
+	}
+	used := make([]int, 0, len(usedSet))
+	for c := range usedSet {
+		used = append(used, c)
+	}
+	sort.Ints(used)
+	batch := vm.NewBatch(batchKinds(rel.cols), used)
+	vecs := make([]*vm.Vec, len(progs))
+	for start := lo; start < hi; start += vm.BatchSize {
+		end := start + vm.BatchSize
+		if end > hi {
+			end = hi
+		}
+		batch.Fill(rel.rows[start:end])
+		for i, mch := range machines {
+			vecs[i] = mch.Eval(batch)
+		}
+		e.countVM(batch.Len())
+		if err := sink(start, batch.Len(), vecs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// contiguousRanges splits [0, n) into nw near-equal ranges aligned to
+// batch boundaries, so no batch straddles two workers.
+func contiguousRanges(n, nw int) [][2]int {
+	per := (n/nw + vm.BatchSize) / vm.BatchSize * vm.BatchSize
+	var rs [][2]int
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		rs = append(rs, [2]int{lo, hi})
+	}
+	return rs
+}
+
+// parallelKeys computes group keys fanned out over contiguous row
+// ranges. Returns handled=false to fall back to the serial batch path.
+// Error selection: each range records its first (row, expression)
+// error and stops; the lowest range's error is the one the serial scan
+// would have surfaced first.
+func (e *Engine) parallelKeys(progs []*vm.Program, rel *relation, args []types.Value, keys []string, ctx *stmtCtx) (bool, error) {
+	n := len(rel.rows)
+	width := e.parallelWidth(n)
+	if width <= 1 {
+		return false, nil
+	}
+	extra := e.reserveWorkers(width - 1)
+	if extra == 0 {
+		return false, nil
+	}
+	defer e.releaseWorkers(extra)
+	nw := extra + 1
+	ranges := contiguousRanges(n, nw)
+	errs := make([]error, len(ranges))
+	var cursor atomic.Int64
+	worker := func() {
+		keyVals := make(types.Row, len(progs))
+		for {
+			wi := int(cursor.Add(1) - 1)
+			if wi >= len(ranges) {
+				return
+			}
+			errs[wi] = e.evalVecsRange(progs, rel, args, ranges[wi][0], ranges[wi][1], func(start, count int, vecs []*vm.Vec) error {
+				for ri := 0; ri < count; ri++ {
+					for gi := range progs {
+						if err := vecs[gi].Err(ri); err != nil {
+							return err
+						}
+						keyVals[gi] = vecs[gi].Value(ri)
+					}
+					keys[start+ri] = types.RowKey(keyVals)
+				}
+				return nil
+			})
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return true, err
+		}
+	}
+	ctx.notePar(nw)
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Column-native aggregate folds.
+
+type aggOp uint8
+
+const (
+	aggCount aggOp = iota
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+func aggOpOf(name string) (aggOp, bool) {
+	switch name {
+	case "COUNT":
+		return aggCount, true
+	case "SUM":
+		return aggSum, true
+	case "AVG":
+		return aggAvg, true
+	case "MIN":
+		return aggMin, true
+	case "MAX":
+		return aggMax, true
+	}
+	return 0, false
+}
+
+// Comparability classes for MIN/MAX merge safety. types.Compare never
+// errors between two values of the same class (INT and FLOAT form one
+// numeric class); any cross-class or unknown-kind comparison may, so a
+// fold that saw mixed classes cannot be merged from partials — the
+// serial fold's error depends on accumulation order.
+const (
+	clsNumeric uint8 = iota
+	clsBool
+	clsString
+	clsTime
+	clsBytes
+	clsOther
+)
+
+func classOf(v types.Value) uint8 {
+	switch v.LaneKind() {
+	case types.KindInt, types.KindFloat:
+		return clsNumeric
+	case types.KindBool:
+		return clsBool
+	case types.KindString:
+		return clsString
+	case types.KindTime:
+		return clsTime
+	case types.KindBytes:
+		return clsBytes
+	}
+	return clsOther
+}
+
+// aggState is one (aggregate item, group) accumulator, folded directly
+// from typed vector lanes — no boxed per-row value cache. argErr is the
+// first lane error in row order (what the interpreter's collect loop
+// would surface, always beating fold errors); foldErr is the first
+// error the fold itself raised (AsFloat on a non-numeric SUM operand,
+// cross-class Compare). notAllInt / mixed mark states whose partials
+// cannot be merged across row ranges (float addition is not
+// associative; cross-class Compare errors are order-dependent).
+type aggState struct {
+	cnt       int64
+	si        int64
+	sf        float64
+	best      types.Value
+	argErr    error
+	foldErr   error
+	have      bool
+	notAllInt bool
+	mixed     bool
+	class     uint8
+}
+
+// step folds one MIN/MAX operand through the generic Compare path.
+func (st *aggState) step(op aggOp, v types.Value) {
+	cls := classOf(v)
+	if !st.have {
+		st.best, st.class, st.have = v, cls, true
+		if cls == clsOther {
+			st.mixed = true
+		}
+		return
+	}
+	if cls != st.class || cls == clsOther {
+		st.mixed = true
+	}
+	c, err := types.Compare(v, st.best)
+	if err != nil {
+		st.foldErr = err
+		return
+	}
+	if (op == aggMin && c < 0) || (op == aggMax && c > 0) {
+		st.best = v
+	}
+}
+
+// result finalizes a state into the aggregate's value with exactly
+// foldAggArg's semantics (NULL on empty, int/float promotion, argument
+// errors before fold errors).
+func (st *aggState) result(op aggOp) (types.Value, error) {
+	if st.argErr != nil {
+		return types.Null, st.argErr
+	}
+	if st.foldErr != nil {
+		return types.Null, st.foldErr
+	}
+	switch op {
+	case aggCount:
+		return types.NewInt(st.cnt), nil
+	case aggSum:
+		if st.cnt == 0 {
+			return types.Null, nil
+		}
+		if !st.notAllInt {
+			return types.NewInt(st.si), nil
+		}
+		return types.NewFloat(st.sf + float64(st.si)), nil
+	case aggAvg:
+		if st.cnt == 0 {
+			return types.Null, nil
+		}
+		return types.NewFloat((st.sf + float64(st.si)) / float64(st.cnt)), nil
+	default: // aggMin, aggMax
+		if !st.have {
+			return types.Null, nil
+		}
+		return st.best, nil
+	}
+}
+
+// aggFold holds the column-native fold states for every simple
+// non-DISTINCT aggregate item, laid out [item][group].
+type aggFold struct {
+	calls   map[*sqltext.FuncCall]int
+	ops     []aggOp
+	progs   []*vm.Program
+	states  []aggState
+	nGroups int
+}
+
+func (f *aggFold) lookup(fc *sqltext.FuncCall, gi int) *aggState {
+	if f == nil {
+		return nil
+	}
+	ci, ok := f.calls[fc]
+	if !ok {
+		return nil
+	}
+	return &f.states[ci*f.nGroups+gi]
+}
+
+func (f *aggFold) covers(fc *sqltext.FuncCall) bool {
+	if f == nil {
+		return false
+	}
+	_, ok := f.calls[fc]
+	return ok
+}
+
+// buildAggFold selects the foldable aggregate items (simple call, one
+// lowerable argument, not DISTINCT) and folds them over rel.rows —
+// column-natively from typed lanes, in parallel row ranges when the
+// relation is large, the group count is bounded, and every item's
+// argument is statically merge-safe. Any state that turns out
+// merge-unsafe at runtime (float SUM, mixed-class MIN/MAX) triggers one
+// serial refold, which is always exact.
+func (e *Engine) buildAggFold(items []projItem, rel *relation, b *binder, rowGroup []int32, nGroups int, ctx *stmtCtx) *aggFold {
+	if !e.vmOn() || len(rel.rows) == 0 || nGroups == 0 {
+		return nil
+	}
+	f := &aggFold{calls: map[*sqltext.FuncCall]int{}, nGroups: nGroups}
+	for _, it := range items {
+		fc, ok := it.Expr.(*sqltext.FuncCall)
+		if !ok || !sqltext.IsAggregateName(fc.Name) || fc.Star || fc.Distinct || len(fc.Args) != 1 {
+			continue
+		}
+		if _, dup := f.calls[fc]; dup {
+			continue
+		}
+		op, ok := aggOpOf(strings.ToUpper(fc.Name))
+		if !ok {
+			continue
+		}
+		p := e.compiledProg(fc.Args[0], rel.cols)
+		if p == nil {
+			continue
+		}
+		f.calls[fc] = len(f.ops)
+		f.ops = append(f.ops, op)
+		f.progs = append(f.progs, p)
+	}
+	if len(f.ops) == 0 {
+		return nil
+	}
+	if e.parallelAggFold(f, rel, b.args, rowGroup, ctx) {
+		return f
+	}
+	f.states = e.foldRanges(f, rel, b.args, 0, len(rel.rows), rowGroup)
+	return f
+}
+
+// staticMergeSafe reports whether an item's fold partials can be merged
+// across row ranges given the argument's statically inferred kind:
+// integer sums are associative, single-kind MIN/MAX never hits a
+// cross-class Compare. Kinds are advisory (columns can promote), so the
+// runtime notAllInt/mixed flags remain the backstop.
+func staticMergeSafe(op aggOp, p *vm.Program, kinds []types.Kind) bool {
+	switch op {
+	case aggCount:
+		return true
+	case aggSum, aggAvg:
+		return p.StaticKind(kinds) == types.KindInt
+	default:
+		return p.StaticKind(kinds) != types.KindNull
+	}
+}
+
+// parallelAggFold folds f over contiguous row ranges in parallel and
+// merges the partials in range order. Returns false when the fold
+// should stay serial.
+func (e *Engine) parallelAggFold(f *aggFold, rel *relation, args []types.Value, rowGroup []int32, ctx *stmtCtx) bool {
+	n := len(rel.rows)
+	if f.nGroups > parallelGroupCap {
+		return false
+	}
+	width := e.parallelWidth(n)
+	if width <= 1 {
+		return false
+	}
+	kinds := batchKinds(rel.cols)
+	for i, op := range f.ops {
+		if !staticMergeSafe(op, f.progs[i], kinds) {
+			return false
+		}
+	}
+	extra := e.reserveWorkers(width - 1)
+	if extra == 0 {
+		return false
+	}
+	nw := extra + 1
+	ranges := contiguousRanges(n, nw)
+	partials := make([][]aggState, len(ranges))
+	var cursor atomic.Int64
+	worker := func() {
+		for {
+			wi := int(cursor.Add(1) - 1)
+			if wi >= len(ranges) {
+				return
+			}
+			partials[wi] = e.foldRanges(f, rel, args, ranges[wi][0], ranges[wi][1], rowGroup)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	e.releaseWorkers(extra)
+
+	merged := partials[0]
+	for _, part := range partials[1:] {
+		mergeAggStates(merged, part, f.ops, f.nGroups)
+	}
+	for i := range merged {
+		st := &merged[i]
+		op := f.ops[i/f.nGroups]
+		if ((op == aggSum || op == aggAvg) && st.notAllInt) || ((op == aggMin || op == aggMax) && st.mixed) {
+			// A partial turned out merge-unsafe at runtime: refold
+			// everything serially. One extra pass, but only on shapes
+			// (float sums, mixed-class extrema) whose merged result
+			// could diverge from the serial fold.
+			f.states = e.foldRanges(f, rel, args, 0, n, rowGroup)
+			ctx.notePar(nw)
+			return true
+		}
+	}
+	f.states = merged
+	ctx.notePar(nw)
+	return true
+}
+
+// mergeAggStates folds src's partial states (a later contiguous row
+// range) into dst's in range order. Error selection mirrors the serial
+// fold: the earliest range's argument error wins, fold errors for
+// integer sums are range-independent, and MIN/MAX partials merge by a
+// single Compare against the accumulated best (exact for single-class
+// folds; mixed-class folds are flagged and refolded serially).
+func mergeAggStates(dst, src []aggState, ops []aggOp, nGroups int) {
+	for ci, op := range ops {
+		for g := 0; g < nGroups; g++ {
+			d := &dst[ci*nGroups+g]
+			s := &src[ci*nGroups+g]
+			if d.argErr == nil {
+				d.argErr = s.argErr
+			}
+			if d.foldErr == nil {
+				d.foldErr = s.foldErr
+			}
+			d.cnt += s.cnt
+			d.si += s.si
+			d.sf += s.sf
+			d.notAllInt = d.notAllInt || s.notAllInt
+			d.mixed = d.mixed || s.mixed
+			if op != aggMin && op != aggMax || !s.have {
+				continue
+			}
+			if !d.have {
+				d.best, d.class, d.have = s.best, s.class, true
+				continue
+			}
+			if s.class != d.class || s.class == clsOther {
+				d.mixed = true
+			}
+			c, err := types.Compare(s.best, d.best)
+			if err != nil {
+				d.mixed = true
+				continue
+			}
+			if (op == aggMin && c < 0) || (op == aggMax && c > 0) {
+				d.best = s.best
+			}
+		}
+	}
+}
+
+// foldRanges folds every item of f over rel.rows[lo:hi), column-native:
+// typed int/float lanes fold without boxing a single value.
+func (e *Engine) foldRanges(f *aggFold, rel *relation, args []types.Value, lo, hi int, rowGroup []int32) []aggState {
+	states := make([]aggState, len(f.ops)*f.nGroups)
+	_ = e.evalVecsRange(f.progs, rel, args, lo, hi, func(start, count int, vecs []*vm.Vec) error {
+		for ci := range f.ops {
+			foldVec(states[ci*f.nGroups:(ci+1)*f.nGroups], f.ops[ci], vecs[ci], rowGroup, start, count)
+		}
+		return nil
+	})
+	return states
+}
+
+// foldVec folds one result vector into per-group states. Per lane: a
+// state that already holds an argument error is done; a lane error
+// becomes the state's argument error (first in row order, matching the
+// interpreter's collect loop, which surfaces any argument error before
+// folding); a state with a fold error keeps watching for argument
+// errors only; NULL lanes are skipped.
+func foldVec(states []aggState, op aggOp, vec *vm.Vec, rowGroup []int32, start, count int) {
+	kind := vec.Kind()
+	for ri := 0; ri < count; ri++ {
+		st := &states[0]
+		if rowGroup != nil {
+			st = &states[rowGroup[start+ri]]
+		}
+		if st.argErr != nil {
+			continue
+		}
+		if err := vec.Err(ri); err != nil {
+			st.argErr = err
+			continue
+		}
+		if st.foldErr != nil {
+			continue
+		}
+		if vec.IsNull(ri) {
+			continue
+		}
+		switch op {
+		case aggCount:
+			st.cnt++
+		case aggSum, aggAvg:
+			switch kind {
+			case types.KindInt:
+				st.si += vec.Int(ri)
+				st.cnt++
+			case types.KindFloat:
+				st.sf += vec.Float(ri)
+				st.cnt++
+				st.notAllInt = true
+			default:
+				v := vec.Value(ri)
+				if v.LaneKind() == types.KindInt {
+					st.si += v.LaneInt()
+					st.cnt++
+					continue
+				}
+				fl, err := v.AsFloat()
+				if err != nil {
+					st.foldErr = err
+					continue
+				}
+				st.sf += fl
+				st.cnt++
+				st.notAllInt = true
+			}
+		case aggMin, aggMax:
+			switch kind {
+			case types.KindInt:
+				x := vec.Int(ri)
+				if st.have && st.class == clsNumeric && st.best.LaneKind() == types.KindInt {
+					// Typed compare; strict replacement keeps the first
+					// of equals, and cmpInt agrees with < and >.
+					if (op == aggMin && x < st.best.LaneInt()) || (op == aggMax && x > st.best.LaneInt()) {
+						st.best = types.NewInt(x)
+					}
+					continue
+				}
+				st.step(op, types.NewInt(x))
+			case types.KindFloat:
+				x := vec.Float(ri)
+				if st.have && st.class == clsNumeric && st.best.LaneKind() == types.KindFloat {
+					// Strict < and > agree with types.Compare's cmpFloat
+					// for NaN too: NaN compares equal, first value kept.
+					if (op == aggMin && x < st.best.LaneFloat()) || (op == aggMax && x > st.best.LaneFloat()) {
+						st.best = types.NewFloat(x)
+					}
+					continue
+				}
+				st.step(op, types.NewFloat(x))
+			default:
+				st.step(op, vec.Value(ri))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel hash-join build.
+
+// joinIndex maps a join key to the right-side row indexes carrying it,
+// in ascending row order. Built single-threaded into one map, or in
+// parallel as hash partitions (each partition builder scans the
+// precomputed keys ascending, so per-key index lists keep the order the
+// serial build would produce, and the probe stays byte-identical).
+type joinIndex struct {
+	single map[string][]int
+	parts  []map[string][]int
+}
+
+func (ix *joinIndex) lookup(k string) []int {
+	if ix.single != nil {
+		return ix.single[k]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return ix.parts[h.Sum32()%uint32(len(ix.parts))][k]
+}
+
+// joinKey builds the equality key for a row, or ok=false when any key
+// column is NULL (NULL never joins).
+func joinKey(row types.Row, cols []int) (string, bool) {
+	key := make(types.Row, len(cols))
+	for j, c := range cols {
+		if row[c].IsNull() {
+			return "", false
+		}
+		key[j] = row[c]
+	}
+	return types.RowKey(key), true
+}
+
+// buildJoinIndex builds the right-side hash index, fanning the key
+// computation and partitioned insertion out to workers when the build
+// side is large enough.
+func (e *Engine) buildJoinIndex(rows []types.Row, eqR []int, ctx *stmtCtx) *joinIndex {
+	n := len(rows)
+	width := e.parallelWidth(n)
+	extra := 0
+	if width > 1 {
+		extra = e.reserveWorkers(width - 1)
+	}
+	if extra == 0 {
+		ix := &joinIndex{single: make(map[string][]int, n)}
+		for i, rr := range rows {
+			if k, ok := joinKey(rr, eqR); ok {
+				ix.single[k] = append(ix.single[k], i)
+			}
+		}
+		return ix
+	}
+	defer e.releaseWorkers(extra)
+	nw := extra + 1
+
+	// Phase 1: keys and partition assignments, computed over contiguous
+	// row ranges.
+	keys := make([]string, n)
+	part := make([]int32, n) // -1 = NULL key, never joins
+	ranges := contiguousRanges(n, nw)
+	var cursor atomic.Int64
+	keyWorker := func() {
+		for {
+			wi := int(cursor.Add(1) - 1)
+			if wi >= len(ranges) {
+				return
+			}
+			h := fnv.New32a()
+			for i := ranges[wi][0]; i < ranges[wi][1]; i++ {
+				k, ok := joinKey(rows[i], eqR)
+				if !ok {
+					part[i] = -1
+					continue
+				}
+				keys[i] = k
+				h.Reset()
+				h.Write([]byte(k))
+				part[i] = int32(h.Sum32() % uint32(nw))
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keyWorker()
+		}()
+	}
+	keyWorker()
+	wg.Wait()
+
+	// Phase 2: one builder per partition scans rows ascending and keeps
+	// only its own hash class — insertion order per key is ascending,
+	// exactly as the single-threaded build.
+	ix := &joinIndex{parts: make([]map[string][]int, nw)}
+	var pcur atomic.Int64
+	partWorker := func() {
+		for {
+			p := int(pcur.Add(1) - 1)
+			if p >= nw {
+				return
+			}
+			m := make(map[string][]int)
+			for i := 0; i < n; i++ {
+				if int(part[i]) == p {
+					m[keys[i]] = append(m[keys[i]], i)
+				}
+			}
+			ix.parts[p] = m
+		}
+	}
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			partWorker()
+		}()
+	}
+	partWorker()
+	wg.Wait()
+	ctx.notePar(nw)
+	return ix
+}

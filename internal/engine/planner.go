@@ -603,6 +603,15 @@ func (e *Engine) explainRef(tr sqltext.TableRef, sel *sqltext.Select, indent str
 			// when it lowers; index paths evaluate inside the index itself.
 			if rel, err := e.refCols(tr); err == nil && e.compiledProg(sel.Where, rel.cols) != nil {
 				label += " [compiled]"
+				// Morsel-parallel fan-out: shown with the configured
+				// width when the snapshot's slot count clears the
+				// threshold. The executor may still run narrower (or
+				// serial) if the engine-wide worker budget is taken.
+				if tbl := e.store.Table(target); tbl != nil {
+					if k := e.parallelWidth(tbl.View(ctx.snap).Slots()); k > 1 {
+						label += fmt.Sprintf(" [parallel n=%d]", k)
+					}
+				}
 			}
 		}
 	}

@@ -17,9 +17,10 @@ import (
 // honored there), and an exact rows-scanned tally. One ctx exists per
 // statement and is touched only by the executing goroutine.
 type stmtCtx struct {
-	snap    int64           // visibility ceiling for base-table reads
-	top     *sqltext.Select // outermost SELECT of the statement, if any
-	scanned int64           // rows examined by this statement (exact)
+	snap       int64           // visibility ceiling for base-table reads
+	top        *sqltext.Select // outermost SELECT of the statement, if any
+	scanned    int64           // rows examined by this statement (exact)
+	parWorkers int64           // widest parallel fan-out any phase used
 }
 
 // writerCtx returns the context of the mutation currently holding the
@@ -303,6 +304,7 @@ func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel 
 	n := len(rel.rows)
 	groups := map[string][]int{}
 	var order []string
+	var rowGroup []int32 // per-row group ordinal; nil = single group
 	if len(sel.GroupBy) == 0 {
 		// Single implicit group; aggregates over an empty relation still
 		// produce one row (COUNT(*) = 0).
@@ -317,21 +319,28 @@ func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel 
 		if err != nil {
 			return nil, nil, err
 		}
+		rowGroup = make([]int32, n)
+		ordinal := make(map[string]int)
 		for i := 0; i < n; i++ {
 			k := keys[i]
-			if _, ok := groups[k]; !ok {
+			g, ok := ordinal[k]
+			if !ok {
+				g = len(order)
+				ordinal[k] = g
 				order = append(order, k)
 			}
 			groups[k] = append(groups[k], i)
+			rowGroup[i] = int32(g)
 		}
 	}
-	argCache, err := e.aggArgCache(items, rel, b)
+	fold := e.buildAggFold(items, rel, b, rowGroup, len(order), b.ctx)
+	argCache, err := e.aggArgCache(items, rel, b, fold)
 	if err != nil {
 		return nil, nil, err
 	}
 	var out []types.Row
 	var src []types.Row
-	for _, k := range order {
+	for gi, k := range order {
 		idx := groups[k]
 		var grpRows []types.Row
 		rowsOf := func() []types.Row {
@@ -361,7 +370,7 @@ func (e *Engine) evalAggregateSelect(sel *sqltext.Select, items []projItem, rel 
 		}
 		row := make(types.Row, len(items))
 		for i, it := range items {
-			v, err := e.evalAggItem(it.Expr, idx, rowsOf, argCache, rel, b)
+			v, err := e.evalAggItem(it.Expr, idx, rowsOf, argCache, rel, b, fold, gi)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -393,6 +402,14 @@ func (e *Engine) groupKeys(sel *sqltext.Select, rel *relation, b *binder) ([]str
 			}
 		}
 		if all {
+			// Large relations fan the key computation out over contiguous
+			// row ranges (see parallelKeys); handled=false stays serial.
+			if handled, err := e.parallelKeys(progs, rel, b.args, keys, b.ctx); handled {
+				if err != nil {
+					return nil, err
+				}
+				return keys, nil
+			}
 			keyVals := make(types.Row, len(progs))
 			err := e.evalVecs(progs, rel, b.args, func(start, count int, vecs []*vm.Vec) error {
 				for ri := 0; ri < count; ri++ {
@@ -436,8 +453,11 @@ type aggArgVec struct {
 }
 
 // aggArgCache batch-evaluates the argument of every simple aggregate
-// projection item (one lowerable argument) across rel.rows.
-func (e *Engine) aggArgCache(items []projItem, rel *relation, b *binder) (map[*sqltext.FuncCall]*aggArgVec, error) {
+// projection item (one lowerable argument) across rel.rows. Items the
+// column-native fold already covers (non-DISTINCT — see buildAggFold)
+// are skipped: only DISTINCT calls still need the per-row value cache
+// for their dedup pass.
+func (e *Engine) aggArgCache(items []projItem, rel *relation, b *binder, fold *aggFold) (map[*sqltext.FuncCall]*aggArgVec, error) {
 	if !e.vmOn() || len(rel.rows) == 0 {
 		return nil, nil
 	}
@@ -446,7 +466,7 @@ func (e *Engine) aggArgCache(items []projItem, rel *relation, b *binder) (map[*s
 	seen := map[*sqltext.FuncCall]bool{}
 	for _, it := range items {
 		fc, ok := it.Expr.(*sqltext.FuncCall)
-		if !ok || !sqltext.IsAggregateName(fc.Name) || fc.Star || len(fc.Args) != 1 || seen[fc] {
+		if !ok || !sqltext.IsAggregateName(fc.Name) || fc.Star || len(fc.Args) != 1 || seen[fc] || fold.covers(fc) {
 			continue
 		}
 		p := e.compiledProg(fc.Args[0], rel.cols)
@@ -492,7 +512,7 @@ func (e *Engine) aggArgCache(items []projItem, rel *relation, b *binder) (map[*s
 // item is a simple aggregate call, and deferring to the interpreter's
 // evalAgg otherwise. Semantics (NULL skipping, DISTINCT, error order)
 // are identical: the fold itself is shared (foldAggregate).
-func (e *Engine) evalAggItem(x sqltext.Expr, idx []int, rowsOf func() []types.Row, cache map[*sqltext.FuncCall]*aggArgVec, rel *relation, b *binder) (types.Value, error) {
+func (e *Engine) evalAggItem(x sqltext.Expr, idx []int, rowsOf func() []types.Row, cache map[*sqltext.FuncCall]*aggArgVec, rel *relation, b *binder, fold *aggFold, gi int) (types.Value, error) {
 	if fc, ok := x.(*sqltext.FuncCall); ok && sqltext.IsAggregateName(fc.Name) {
 		name := strings.ToUpper(fc.Name)
 		if fc.Star {
@@ -500,6 +520,10 @@ func (e *Engine) evalAggItem(x sqltext.Expr, idx []int, rowsOf func() []types.Ro
 				return types.Null, fmt.Errorf("engine: %s(*) is not valid", name)
 			}
 			return types.NewInt(int64(len(idx))), nil
+		}
+		if st := fold.lookup(fc, gi); st != nil {
+			op, _ := aggOpOf(name)
+			return st.result(op)
 		}
 		if av := cache[fc]; av != nil {
 			if !fc.Distinct && av.errs == nil {
@@ -728,10 +752,12 @@ func plainIntArg(x sqltext.Expr) bool {
 }
 
 // emit projects the matched lanes of one scan batch into output tuples
-// on rel.rows. A lane error is returned (not raised): the caller must
-// keep scanning so a later row's WHERE error still wins, exactly as the
-// interpreter's filter-everything-then-project order implies.
-func (sp *scanProj) emit(rel *relation, batch *vm.Batch, lanes []int, vals []types.Row, tids, created []int64, nUser int) error {
+// on dst (rel.rows for the serial scan, a morsel's reorder-buffer slot
+// for parallel workers). A lane error is returned (not raised): the
+// caller must keep scanning so a later row's WHERE error still wins,
+// exactly as the interpreter's filter-everything-then-project order
+// implies.
+func (sp *scanProj) emit(dst *[]types.Row, batch *vm.Batch, lanes []int, vals []types.Row, tids, created []int64, nUser int) error {
 	for i, mch := range sp.machines {
 		if mch != nil {
 			sp.vecs[i] = mch.Eval(batch)
@@ -758,7 +784,7 @@ func (sp *scanProj) emit(rel *relation, batch *vm.Batch, lanes []int, vals []typ
 			}
 			row[i] = sp.vecs[i].Value(li)
 		}
-		rel.rows = append(rel.rows, row)
+		*dst = append(*dst, row)
 	}
 	return nil
 }
@@ -1211,15 +1237,35 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 	// passes the filter.
 	if where != nil {
 		if prog := e.compiledProg(where, rel.cols); prog != nil {
-			m := vm.NewMachine(prog)
-			m.Bind(args)
-
 			// Projection pushdown: when the whole statement reduces to
 			// "filter, project, maybe DISTINCT/LIMIT" and every item
 			// lowers, evaluate the projection on the already-filled
 			// batch and emit output tuples directly — matched rows are
 			// never materialized at full table width.
 			proj := e.scanProjection(sel, rel, args, ctx)
+
+			// Morsel-parallel path (see parallel.go): big enough tables
+			// fan the same compiled filter + pushdown out to a worker
+			// pool, gathering byte-identical results through a reorder
+			// buffer. handled=false falls through to the serial loop.
+			handled, err := e.parallelScan(tbl, rel, prog, proj, args, ctx, nUser)
+			if err != nil {
+				return nil, false, err
+			}
+			if handled {
+				if proj != nil {
+					cols := make([]colMeta, len(proj.names))
+					for i, n := range proj.names {
+						cols[i] = colMeta{name: strings.ToLower(n)}
+					}
+					rel.cols = cols
+					rel.projNames = proj.names
+				}
+				return rel, true, nil
+			}
+
+			m := vm.NewMachine(prog)
+			m.Bind(args)
 
 			usedSet := map[int]bool{}
 			for _, c := range prog.Cols() {
@@ -1282,7 +1328,7 @@ func (e *Engine) buildTableRef(tr sqltext.TableRef, args []types.Value, override
 				}
 				if len(lanes) > 0 && projErr == nil {
 					if proj != nil {
-						projErr = proj.emit(rel, batch, lanes, vals, tids, created, nUser)
+						projErr = proj.emit(&rel.rows, batch, lanes, vals, tids, created, nUser)
 					} else {
 						// One slab per batch instead of one allocation
 						// per matched row.
@@ -1535,26 +1581,14 @@ func (e *Engine) join(left, right *relation, jc sqltext.JoinClause, args []types
 		}
 
 		e.materializeRel(right, ctx)
-		idx := make(map[string][]int, len(right.rows))
-		buildKey := func(row types.Row, cols []int) (string, bool) {
-			key := make(types.Row, len(cols))
-			for j, c := range cols {
-				if row[c].IsNull() {
-					return "", false
-				}
-				key[j] = row[c]
-			}
-			return types.RowKey(key), true
-		}
-		for i, rr := range right.rows {
-			if k, ok := buildKey(rr, plan.eqR); ok {
-				idx[k] = append(idx[k], i)
-			}
-		}
+		// Build side: single map when small, hash-partitioned parallel
+		// build when large (see buildJoinIndex). The probe stays
+		// single-threaded either way and sees identical index lists.
+		idx := e.buildJoinIndex(right.rows, plan.eqR, ctx)
 		for _, lr := range left.rows {
 			matched := false
-			if k, ok := buildKey(lr, plan.eqL); ok {
-				for _, m := range idx[k] {
+			if k, ok := joinKey(lr, plan.eqL); ok {
+				for _, m := range idx.lookup(k) {
 					row := concat(lr, right.rows[m])
 					ok2, err := match(row)
 					if err != nil {

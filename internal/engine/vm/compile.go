@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"ediflow/internal/sqltext"
 	"ediflow/internal/types"
@@ -76,9 +77,51 @@ type inst struct {
 	dst     int
 	a, b, c int
 	imm     int
+	str     string // literal LIKE needle for specialized shapes
 	args    []int
 	fn      ScalarFunc
 	set     *inListSpec
+}
+
+// Specialized LIKE shapes, packed into opLike's imm above the NOT bit
+// (imm = not | shape<<1). likeGeneric runs the rune-wise backtracking
+// matcher against the pattern register; the rest compare the operand
+// against a literal needle with direct string kernels.
+const (
+	likeGeneric = iota
+	likeExact
+	likePrefix
+	likeSuffix
+	likeContains
+)
+
+// classifyLike recognizes literal patterns whose wildcards reduce to
+// exact/prefix/suffix/substring string comparison. The needle must be
+// valid UTF-8 and free of U+FFFD: the rune-wise matcher decodes invalid
+// operand bytes to RuneError, and only under those two conditions is a
+// byte-wise comparison against the needle equivalent to the rune-wise
+// one for every operand, valid UTF-8 or not.
+func classifyLike(pat string) (shape int, needle string, ok bool) {
+	if strings.ContainsRune(pat, '_') {
+		return 0, "", false
+	}
+	switch {
+	case !strings.Contains(pat, "%"):
+		shape, needle = likeExact, pat
+	case strings.HasSuffix(pat, "%") && !strings.Contains(pat[:len(pat)-1], "%"):
+		shape, needle = likePrefix, pat[:len(pat)-1]
+	case strings.HasPrefix(pat, "%") && !strings.Contains(pat[1:], "%"):
+		shape, needle = likeSuffix, pat[1:]
+	case len(pat) >= 2 && strings.HasPrefix(pat, "%") && strings.HasSuffix(pat, "%") &&
+		!strings.Contains(pat[1:len(pat)-1], "%"):
+		shape, needle = likeContains, pat[1:len(pat)-1]
+	default:
+		return 0, "", false
+	}
+	if !utf8.ValidString(needle) || strings.ContainsRune(needle, utf8.RuneError) {
+		return 0, "", false
+	}
+	return shape, needle, true
 }
 
 // inListSpec describes an IN list whose elements are all literals or
@@ -122,6 +165,59 @@ func (p *Program) BareCol() (int, bool) {
 		return p.insts[0].imm, true
 	}
 	return 0, false
+}
+
+// StaticKind infers the kind every non-NULL, non-error lane of the
+// program's result is guaranteed to have, given the declared column
+// kinds, or KindNull when the kind cannot be pinned statically
+// (parameters, function calls, mixed CASE arms). Callers that need the
+// guarantee to be exact — e.g. the parallel aggregation gate, whose
+// int-SUM partials are associative only if every lane really is an int
+// — must still verify the executed vector's Kind at runtime, because
+// declared column kinds are advisory for untyped sources.
+func (p *Program) StaticKind(kinds []types.Kind) types.Kind {
+	reg := make([]types.Kind, p.nregs)
+	unknown := types.KindNull
+	numeric := func(a, b types.Kind) types.Kind {
+		switch {
+		case a == types.KindInt && b == types.KindInt:
+			return types.KindInt
+		case (a == types.KindInt || a == types.KindFloat) && (b == types.KindInt || b == types.KindFloat):
+			return types.KindFloat
+		}
+		return unknown
+	}
+	for i := range p.insts {
+		ins := &p.insts[i]
+		k := unknown
+		switch ins.op {
+		case opCol:
+			if ins.imm < len(kinds) {
+				k = kinds[ins.imm]
+			}
+		case opConst:
+			k = p.consts[ins.imm].Kind()
+		case opAdd, opSub, opMul:
+			k = numeric(reg[ins.a], reg[ins.b])
+		case opDiv:
+			// Integer division stays integral; any float operand floats.
+			k = numeric(reg[ins.a], reg[ins.b])
+		case opMod:
+			if reg[ins.a] == types.KindInt && reg[ins.b] == types.KindInt {
+				k = types.KindInt
+			}
+		case opNeg:
+			if reg[ins.a] == types.KindInt || reg[ins.a] == types.KindFloat {
+				k = reg[ins.a]
+			}
+		case opConcat:
+			k = types.KindString
+		case opCmp, opNot, opAnd, opOr, opIsNull, opLike, opBetween, opInList, opInExpr, opCaseMatch:
+			k = types.KindBool
+		}
+		reg[ins.dst] = k
+	}
+	return reg[p.result]
 }
 
 // errNotLowerable is the internal signal that an expression must stay
@@ -209,6 +305,14 @@ func (c *compiler) expr(x sqltext.Expr) (int, error) {
 		a, err := c.expr(x.X)
 		if err != nil {
 			return 0, err
+		}
+		if lit, ok := x.Pattern.(*sqltext.Literal); ok && lit.Value.Kind() == types.KindString {
+			if kind, needle, ok := classifyLike(lit.Value.AsString()); ok {
+				// Specialized shape: the pattern register is never
+				// materialized, the kernel compares against the needle
+				// directly. The shape is packed above the NOT bit.
+				return c.emit(inst{op: opLike, a: a, b: -1, imm: boolImm(x.Not) | kind<<1, str: needle}), nil
+			}
 		}
 		b, err := c.expr(x.Pattern)
 		if err != nil {

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"errors"
+	"strings"
 
 	"ediflow/internal/types"
 )
@@ -703,9 +704,40 @@ func (m *Machine) isNullOp(ins *inst, n int) {
 }
 
 func (m *Machine) like(ins *inst, n int) {
-	a, b, dst := &m.regs[ins.a], &m.regs[ins.b], &m.regs[ins.dst]
-	not := ins.imm == 1
+	a, dst := &m.regs[ins.a], &m.regs[ins.dst]
+	not := ins.imm&1 == 1
 	dst.resetBool(n)
+	if shape := ins.imm >> 1; shape != likeGeneric {
+		// Literal-needle specialization: the pattern register was never
+		// compiled (ins.b is -1), the needle is baked into the
+		// instruction and compared with direct string kernels.
+		needle := ins.str
+		for i := 0; i < n; i++ {
+			if e := a.Err(i); e != nil {
+				dst.setErr(i, e)
+				continue
+			}
+			if a.isNull(i) {
+				dst.null.Set(i)
+				continue
+			}
+			s := a.Value(i).AsString()
+			var match bool
+			switch shape {
+			case likeExact:
+				match = s == needle
+			case likePrefix:
+				match = strings.HasPrefix(s, needle)
+			case likeSuffix:
+				match = strings.HasSuffix(s, needle)
+			default: // likeContains
+				match = strings.Contains(s, needle)
+			}
+			dst.bs[i] = match != not
+		}
+		return
+	}
+	b := &m.regs[ins.b]
 	for i := 0; i < n; i++ {
 		if e := a.Err(i); e != nil {
 			dst.setErr(i, e)
@@ -985,7 +1017,11 @@ lanes:
 
 // LikeMatch implements SQL LIKE with % (any run) and _ (any single
 // rune), case-sensitive, via iterative backtracking. The engine's
-// interpreter delegates here so both paths share one matcher.
+// interpreter delegates here so both paths share one matcher. The %
+// case must be tried before the literal case: a '%' pattern rune is
+// always a wildcard, even when the subject rune at that position is
+// itself '%' — otherwise 'a%b' LIKE 'a%' would consume the subject's
+// '%' literally and fail.
 func LikeMatch(s, pattern string) bool {
 	sr := []rune(s)
 	pr := []rune(pattern)
@@ -993,11 +1029,11 @@ func LikeMatch(s, pattern string) bool {
 	starSi, starPi := -1, -1
 	for si < len(sr) {
 		switch {
-		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
-			si++
-			pi++
 		case pi < len(pr) && pr[pi] == '%':
 			starSi, starPi = si, pi
+			pi++
+		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
+			si++
 			pi++
 		case starPi >= 0:
 			starSi++

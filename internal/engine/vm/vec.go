@@ -138,6 +138,37 @@ func (v *Vec) isNull(i int) bool {
 	return v.null.Get(i)
 }
 
+// Kind reports the vector's storage layout: KindInt/KindFloat/KindBool
+// mean typed lanes, KindNull means boxed types.Value lanes (including
+// string columns and any column that promoted mid-batch).
+func (v *Vec) Kind() types.Kind { return v.kind }
+
+// IsNull reports whether lane i is NULL. Undefined when the lane
+// carries an error — callers must check Err first.
+func (v *Vec) IsNull(i int) bool { return v.isNull(i) }
+
+// Int reads typed int lane i without boxing. Valid only when
+// Kind() == types.KindInt and the lane is non-NULL and error-free.
+func (v *Vec) Int(i int) int64 { return v.i64[i] }
+
+// Float reads typed float lane i without boxing. Valid only when
+// Kind() == types.KindFloat and the lane is non-NULL and error-free.
+func (v *Vec) Float(i int) float64 { return v.f64[i] }
+
+// AnyErr reports whether any lane of the vector carries an error —
+// cheap pre-check before a fold takes a no-error fast path.
+func (v *Vec) AnyErr() bool {
+	if v.errs == nil {
+		return false
+	}
+	for i := 0; i < v.n; i++ {
+		if v.errs[i] != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Value reconstructs lane i as a types.Value. Undefined when the lane
 // carries an error — callers must check Err first.
 func (v *Vec) Value(i int) types.Value {

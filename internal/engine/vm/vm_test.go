@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"strings"
 	"testing"
 
 	"ediflow/internal/sqltext"
@@ -230,6 +231,13 @@ func TestLikeMatch(t *testing.T) {
 		{"abcabc", "%abc", true},
 		{"naïve", "na_ve", true}, // rune-wise, not byte-wise
 		{"a%b", "a%b", true},
+		// '%' in the pattern is a wildcard even when the subject holds a
+		// literal '%' at that position.
+		{"a%b_c", "a%", true},
+		{"%abc", "%abc", true},
+		{"x%abc", "%abc", true},
+		{"a%", "a%", true},
+		{"a%x", "a%", true},
 	}
 	for _, c := range cases {
 		if got := LikeMatch(c.s, c.pat); got != c.want {
@@ -258,6 +266,72 @@ func TestBatchBoundaryFill(t *testing.T) {
 		b.Reset()
 		if b.Len() != 0 {
 			t.Fatalf("Reset left %d rows", b.Len())
+		}
+	}
+}
+
+// TestClassifyLike: the compile-time LIKE shape classifier must only
+// specialize patterns whose byte-wise kernel is provably equivalent to
+// the rune-wise matcher — no '_', at most the one anchoring '%', and a
+// needle that is valid UTF-8 free of U+FFFD (an invalid byte sequence
+// in the subject decodes to U+FFFD rune-wise and could falsely match a
+// literal U+FFFD needle byte-wise).
+func TestClassifyLike(t *testing.T) {
+	cases := []struct {
+		pat    string
+		shape  int
+		needle string
+		ok     bool
+	}{
+		{"abc", likeExact, "abc", true},
+		{"", likeExact, "", true},
+		{"abc%", likePrefix, "abc", true},
+		{"%abc", likeSuffix, "abc", true},
+		{"%abc%", likeContains, "abc", true},
+		{"%", likePrefix, "", true},
+		{"a_c", 0, "", false},  // '_' needs the generic matcher
+		{"a%c", 0, "", false},  // interior '%'
+		{"%a%c", 0, "", false}, // two-run pattern
+		{"a%b%", 0, "", false}, // interior plus trailing
+		{"naï%", likePrefix, "naï", true},
+		{"�x%", 0, "", false},   // literal U+FFFD needle: stay generic
+		{"\xff%", 0, "", false}, // invalid UTF-8 needle: stay generic
+	}
+	for _, c := range cases {
+		shape, needle, ok := classifyLike(c.pat)
+		if ok != c.ok || (ok && (shape != c.shape || needle != c.needle)) {
+			t.Errorf("classifyLike(%q) = (%d, %q, %v), want (%d, %q, %v)",
+				c.pat, shape, needle, ok, c.shape, c.needle, c.ok)
+		}
+	}
+}
+
+// TestLikeSpecializedVsGeneric cross-checks every specialized kernel
+// shape against the shared rune-wise matcher over subjects that include
+// empty strings, metacharacters, multi-byte runes and invalid UTF-8.
+func TestLikeSpecializedVsGeneric(t *testing.T) {
+	subjects := []string{"", "a", "abc", "abcabc", "xabc", "abcx", "a%b", "%abc", "abc%", "%", "naïve", "naï", "ïve", "\xffabc", "abc\xff", "a�c"}
+	pats := []string{"abc", "abc%", "%abc", "%abc%", "naï%", "%ïve", "%a%", "%"}
+	for _, pat := range pats {
+		shape, needle, ok := classifyLike(pat)
+		if !ok {
+			continue
+		}
+		for _, s := range subjects {
+			var fast bool
+			switch shape {
+			case likeExact:
+				fast = s == needle
+			case likePrefix:
+				fast = len(s) >= len(needle) && s[:len(needle)] == needle
+			case likeSuffix:
+				fast = len(s) >= len(needle) && s[len(s)-len(needle):] == needle
+			default:
+				fast = strings.Contains(s, needle)
+			}
+			if want := LikeMatch(s, pat); fast != want {
+				t.Errorf("%q LIKE %q: specialized %v, generic %v", s, pat, fast, want)
+			}
 		}
 	}
 }

@@ -210,6 +210,46 @@ func (it *TableIter) Next() (StoredRow, bool) {
 	return StoredRow{}, false
 }
 
+// SlotView is one captured slot array pinned to a snapshot: the unit
+// morsel-parallel scans partition. All morsels of one scan share a
+// single capture, so every worker sees exactly the slot set a serial
+// Iterate at the same instant would have seen, and the captured array
+// stays valid under concurrent Vacuum (which swaps in a fresh slice
+// rather than mutating the old one).
+type SlotView struct {
+	slots []*rowSlot
+	asOf  int64
+}
+
+// View captures the table's slot array for snapshot asOf.
+func (t *Table) View(asOf int64) SlotView {
+	t.mu.RLock()
+	slots := t.slots
+	t.mu.RUnlock()
+	return SlotView{slots: slots, asOf: asOf}
+}
+
+// Slots returns the number of captured slots (visible or not) — the
+// domain morsel ranges index into.
+func (v SlotView) Slots() int { return len(v.slots) }
+
+// IterateRange returns a lock-free iterator over the visible rows in
+// slot range [lo, hi). Concatenating the ranges [0,m1),[m1,m2),... in
+// order yields exactly the sequence Iterate produces at the same
+// snapshot.
+func (v SlotView) IterateRange(lo, hi int) TableIter {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(v.slots) {
+		hi = len(v.slots)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return TableIter{slots: v.slots[lo:hi], asOf: v.asOf}
+}
+
 // Get returns the newest live row with the given tid.
 func (t *Table) Get(tid int64) (StoredRow, bool) { return t.GetAt(tid, SeqLatest) }
 

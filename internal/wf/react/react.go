@@ -66,6 +66,7 @@ type routerMetrics struct {
 	shed      *metrics.Counter // deltas dropped (shed policy)
 	blocked   *metrics.Counter // enqueues that had to wait (block policy)
 	delivered *metrics.Counter // deltas handed to targets
+	escalated *metrics.Counter // coalesce→block promotions (adaptive overflow)
 }
 
 type subscription struct {
@@ -110,6 +111,7 @@ func NewRouter(db *database.DB, opts ...Option) *Router {
 		shed:      reg.Counter("react.shed"),
 		blocked:   reg.Counter("react.blocked"),
 		delivered: reg.Counter("react.delivered"),
+		escalated: reg.Counter("react.policy_escalations"),
 	}
 	return r
 }
@@ -327,17 +329,33 @@ func mergeDeltas(a, b module.Delta) module.Delta {
 	return out
 }
 
+// Adaptive overflow escalation: a coalesce queue that stays above
+// high-water for this many consecutive worker drains is a handler that
+// persistently cannot keep up — merged deltas grow without bound while
+// the producer never feels backpressure. The queue then promotes itself
+// to block until it fully drains, surfacing the stall to committers
+// (react.policy_escalations counts the promotions).
+const (
+	escalateAfter = 8 // consecutive hot drains before coalesce→block
+)
+
+// queueHighWater is the occupancy at which a drain counts as hot: 3/4
+// of capacity.
+func queueHighWater(cap int) int { return cap - cap/4 }
+
 // deltaQueue is one subscription's bounded FIFO of pending deltas, a
 // fixed ring drained by the subscription worker.
 type deltaQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []module.Delta
-	head   int
-	n      int
-	policy wf.Policy
-	closed bool
-	busy   bool // worker is mid-delivery
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []module.Delta
+	head      int
+	n         int
+	policy    wf.Policy // declared policy (from the UP spec)
+	escalated bool      // coalesce temporarily promoted to block
+	hot       int       // consecutive drains at/above high-water
+	closed    bool
+	busy      bool // worker is mid-delivery
 }
 
 func newDeltaQueue(cap int, policy wf.Policy) *deltaQueue {
@@ -357,7 +375,11 @@ func (q *deltaQueue) enqueue(d module.Delta, m *routerMetrics) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.n == len(q.buf) && !q.closed {
-		switch q.policy {
+		pol := q.policy
+		if q.escalated {
+			pol = wf.PolicyBlock
+		}
+		switch pol {
 		case wf.PolicyShed:
 			m.shed.Inc()
 			return false
@@ -418,6 +440,24 @@ func (s *subscription) run(r *Router) {
 		q.head = (q.head + 1) % len(q.buf)
 		q.n--
 		q.busy = true
+		// Adaptive overflow: count consecutive drains that still leave
+		// the queue at/above high-water; a declared-coalesce queue that
+		// stays hot promotes itself to block until it fully drains.
+		switch {
+		case q.n >= queueHighWater(len(q.buf)):
+			q.hot++
+			// "" is the unparsed default and also means coalesce.
+			if q.hot >= escalateAfter && !q.escalated &&
+				(q.policy == wf.PolicyCoalesce || q.policy == "") {
+				q.escalated = true
+				r.m.escalated.Inc()
+			}
+		case q.n == 0:
+			q.hot = 0
+			q.escalated = false
+		default:
+			q.hot = 0
+		}
 		q.cond.Broadcast() // space freed: wake blocked producers
 		q.mu.Unlock()
 

@@ -1,6 +1,7 @@
 package react
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -337,5 +338,120 @@ func TestOverflowBlock(t *testing.T) {
 	}
 	if got := db.Metrics().Counter("react.blocked").Value(); got == 0 {
 		t.Fatal("react.blocked not counted")
+	}
+}
+
+// TestOverflowEscalation drives a declared-coalesce queue hot for
+// escalateAfter consecutive drains: it must promote itself to block
+// (ticking react.policy_escalations), apply backpressure like a block
+// queue, and revert to coalesce once it fully drains.
+func TestOverflowEscalation(t *testing.T) {
+	db, r, rec := setup(t, WithQueueCap(4))
+	rec.started = make(chan struct{}, 64)
+	rec.release = make(chan struct{}, 64)
+	up := wf.UP{Relation: "src", Activity: "vis", Scope: wf.ScopeRunning, Policy: wf.PolicyCoalesce}
+	if err := r.Register("proc", up, rec); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert := func(id int) {
+		t.Helper()
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO src (id, v) VALUES (%d, %d)", id, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitStarted := func() {
+		t.Helper()
+		select {
+		case <-rec.started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker never started the next delivery")
+		}
+	}
+
+	// Park the worker in delivery 1, then fill the cap-4 queue.
+	mustInsert(1)
+	waitStarted()
+	for id := 2; id <= 5; id++ {
+		mustInsert(id)
+	}
+
+	// Each release drains one delta from the full queue, leaving
+	// occupancy 3 = high-water; refilling before the next drain keeps
+	// the queue hot for escalateAfter consecutive drains.
+	for i := 0; i < escalateAfter; i++ {
+		rec.release <- struct{}{}
+		waitStarted()
+		mustInsert(10 + i)
+	}
+	if got := db.Metrics().Counter("react.policy_escalations").Value(); got != 1 {
+		t.Fatalf("react.policy_escalations: %d", got)
+	}
+
+	// The declared-coalesce queue now blocks on overflow instead of
+	// merging.
+	blockedBefore := db.Metrics().Counter("react.blocked").Value()
+	execDone := make(chan struct{})
+	go func() {
+		db.Exec("INSERT INTO src (id, v) VALUES (100, 100)")
+		close(execDone)
+	}()
+	select {
+	case <-execDone:
+		t.Fatal("Exec returned despite a full escalated queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := db.Metrics().Counter("react.blocked").Value(); got != blockedBefore+1 {
+		t.Fatalf("react.blocked: %d (before %d)", got, blockedBefore)
+	}
+	rec.release <- struct{}{} // free a slot → blocked producer proceeds
+	select {
+	case <-execDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Exec still blocked after a slot freed")
+	}
+	waitStarted()
+
+	// Drain fully: the drain that empties the queue de-escalates it.
+	for i := 0; i < 4; i++ {
+		rec.release <- struct{}{}
+		waitStarted()
+	}
+	rec.release <- struct{}{}
+	r.Quiesce()
+
+	// Refill to overflow: the de-escalated queue coalesces again
+	// instead of blocking.
+	coalescedBefore := db.Metrics().Counter("react.coalesced").Value()
+	mustInsert(200)
+	waitStarted()
+	for id := 201; id <= 204; id++ {
+		mustInsert(id)
+	}
+	done := make(chan struct{})
+	go func() {
+		db.Exec("INSERT INTO src (id, v) VALUES (205, 205)")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("overflow still blocking after de-escalation")
+	}
+	if got := db.Metrics().Counter("react.coalesced").Value(); got != coalescedBefore+1 {
+		t.Fatalf("react.coalesced: %d (before %d)", got, coalescedBefore)
+	}
+	if got := db.Metrics().Counter("react.policy_escalations").Value(); got != 1 {
+		t.Fatalf("react.policy_escalations after de-escalation: %d", got)
+	}
+
+	// Drain out so Close does not wedge on the gated handler.
+	for i := 0; i < 4; i++ {
+		rec.release <- struct{}{}
+		waitStarted()
+	}
+	rec.release <- struct{}{}
+	r.Quiesce()
+	if rec.count() != 19 {
+		t.Fatalf("deliveries: %d", rec.count())
 	}
 }
